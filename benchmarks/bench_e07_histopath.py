@@ -1,0 +1,128 @@
+"""E7 — multi-task histopathology (paper section 2.7).
+
+The paper's four examined axes: (a) CPU-vs-GPU training cost (substituted
+by measuring the vectorized training step's wall time at two batch sizes),
+(b) hyper-parameter (learning-rate) search, (c) data augmentation, and
+(d) fine-tuning a pretrained backbone.  Plus the headline multi-task vs
+single-task comparison.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.histopath import (
+    augment_dataset,
+    build_model,
+    count_mae,
+    dice_score,
+    make_patches,
+    pretrain_trunk,
+    train_model,
+)
+from repro.utils.tables import Table
+
+TRAIN = make_patches(n=48, seed=0)
+TEST = make_patches(n=32, seed=1)
+
+
+def _score(model):
+    dice = dice_score(model.predict_mask(TEST.images), TEST.tissue_masks)
+    mae = count_mae(model.predict_count(TEST.images), TEST.cell_counts)
+    return dice, mae
+
+
+def test_multitask_vs_single_task(benchmark):
+    def run():
+        rows = []
+        for mode in ("seg", "count", "multitask"):
+            model = train_model(TRAIN, mode=mode, epochs=25, seed=2)
+            rows.append((mode, *_score(model)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        ["mode", "tissue dice", "count MAE"],
+        title="E7: single-task vs multi-task (pathologist-workflow model)",
+    )
+    for r in rows:
+        table.add_row(list(r))
+    emit(table.render())
+    by_mode = {r[0]: r for r in rows}
+    # Multi-task matches the specialists on both tasks simultaneously.
+    assert by_mode["multitask"][1] > by_mode["count"][1]  # dice vs count-only
+    assert by_mode["multitask"][2] < by_mode["seg"][2] + 2.0  # MAE vs seg-only
+    assert by_mode["multitask"][1] > 0.85
+
+
+def test_learning_rate_search(benchmark):
+    def sweep():
+        rows = []
+        for lr in (3e-4, 1e-3, 3e-3, 1e-2):
+            model = train_model(TRAIN, mode="multitask", epochs=12, lr=lr, seed=3)
+            rows.append((lr, *_score(model)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(["lr", "dice", "count MAE"], title="E7(b): learning-rate search", decimals=4)
+    for r in rows:
+        table.add_row(list(r))
+    emit(table.render())
+    dices = [r[1] for r in rows]
+    assert max(dices) - min(dices) > 0.02  # the search matters
+
+
+def test_augmentation_ablation(benchmark):
+    def run():
+        small = TRAIN.subset(np.arange(16))
+        plain = train_model(small, mode="multitask", epochs=20, seed=4)
+        augmented = train_model(
+            augment_dataset(small, factor=3, seed=4),
+            mode="multitask",
+            epochs=20,
+            seed=4,
+        )
+        return _score(plain), _score(augmented)
+
+    (plain_dice, plain_mae), (aug_dice, aug_mae) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    table = Table(["training set", "dice", "count MAE"], title="E7(c): augmentation at low sample size")
+    table.add_row(["16 patches", plain_dice, plain_mae])
+    table.add_row(["16 patches x3 augmented", aug_dice, aug_mae])
+    emit(table.render())
+    assert aug_dice >= plain_dice - 0.05
+
+
+def test_pretraining_convergence(benchmark):
+    def run():
+        state = pretrain_trunk(make_patches(n=96, seed=7), epochs=15, seed=8)
+        scratch = train_model(TRAIN, mode="multitask", epochs=6, seed=9)
+        warm = build_model(seed=9)
+        warm.load_trunk_state(state)
+        warm = train_model(TRAIN, mode="multitask", epochs=6, seed=9, model=warm)
+        return _score(scratch), _score(warm)
+
+    (s_dice, _), (w_dice, _) = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        f"E7(d): dice after 6 fine-tune epochs — scratch {s_dice:.3f} vs "
+        f"pretrained {w_dice:.3f} (paper: pretrained backbone improves convergence)"
+    )
+    assert w_dice >= s_dice - 0.02
+
+
+def test_batched_training_step_latency(benchmark):
+    """E7(a) substitute: the vectorized (GPU-style) training step cost."""
+    model = build_model(width=12, seed=0)
+    from repro.histopath.train import _seg_gradient
+    from repro.nn import Adam
+
+    optimizer = Adam(model.parameters(), 1e-3)
+
+    def step():
+        seg, _ = model.forward(TRAIN.images[:16])
+        _, dseg = _seg_gradient(seg, TRAIN.tissue_masks[:16])
+        optimizer.zero_grad()
+        model.backward(dseg, None)
+        optimizer.step()
+
+    benchmark(step)

@@ -1,0 +1,31 @@
+"""T3 — regenerate Table 3 (topic-area knowledge)."""
+
+import numpy as np
+from conftest import emit
+
+from repro.core import REUProgram, TABLE3_KNOWLEDGE, table3
+from repro.core.report import render_table3
+
+
+def test_table3_regeneration(benchmark, season_outcome):
+    rows = benchmark(table3, season_outcome)
+    emit(render_table3(season_outcome))
+    increases = []
+    for seed in range(6):
+        o = REUProgram().run_season(seed=seed)
+        increases.append([r.increase for r in table3(o)])
+    increases = np.mean(increases, axis=0)
+    paper = np.array([v[1] for v in TABLE3_KNOWLEDGE.values()])
+    areas = list(TABLE3_KNOWLEDGE)
+    top_two = set(np.array(areas)[np.argsort(increases)[-2:]])
+    emit(
+        f"T3 mean |paper - ours| increase = {np.abs(increases - paper).mean():.2f}; "
+        f"largest gains: {sorted(top_two)}"
+    )
+    assert len(rows) == 5
+    # The paper's point: trust and reproducibility are the two big gains.
+    assert top_two == {
+        "trust_in_computational_research",
+        "reproducibility_of_research",
+    }
+    assert np.abs(increases - paper).max() < 0.5

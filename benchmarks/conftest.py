@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints its paper-vs-measured comparison through
+:func:`emit`, so ``pytest benchmarks/ --benchmark-only -s`` (or plain
+``pytest benchmarks/``) reproduces each table and figure of the paper next
+to the regenerated values.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a comparison block, flushed, framed for benchmark logs."""
+    sys.stdout.write("\n" + text + "\n")
+    sys.stdout.flush()
+
+
+@pytest.fixture(scope="session")
+def season_outcome():
+    """One simulated REU season shared by the table benchmarks."""
+    from repro.core import REUProgram
+
+    return REUProgram().run_season(seed=42)

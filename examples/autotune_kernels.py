@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Scenario: autotune the five ML primitives and replay schedules across backends.
+
+Run:
+    python examples/autotune_kernels.py
+
+The section-2.5 project end to end: for each lesson kernel, run the
+genetic autotuner against the TVM-like backend's cost model, inspect the
+winning schedule, place the kernel on the machine's roofline, and replay
+the schedule verbatim on the MLIR-like backend — reproducing the paper's
+finding that the replica wins on matvec and trails on the dense kernels.
+"""
+
+from repro.autotune import (
+    CostModel,
+    GeneticTuner,
+    MLIR_LIKE,
+    TVM_LIKE,
+    lesson_kernels,
+    replay_schedule,
+)
+from repro.perf import roofline_analysis
+from repro.perf.roofline import A100_LIKE
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    machine = A100_LIKE
+    cost_model = CostModel(machine, n_workers=108)
+    print(
+        f"Machine: {machine.name}  peak {machine.peak_gflops:.0f} GF/s, "
+        f"{machine.bandwidth_gbs:.0f} GB/s, ridge {machine.ridge_intensity:.1f} FLOP/B"
+    )
+    print()
+
+    table = Table(
+        ["kernel", "bound", "tvm GF/s", "mlir GF/s", "winner"],
+        title="Tuned-for-TVM schedules replayed on the MLIR-like backend",
+        decimals=0,
+    )
+    for kernel in lesson_kernels():
+        roof = roofline_analysis(
+            machine, kernel.name, kernel.flops, kernel.compulsory_bytes
+        )
+        tuner = GeneticTuner(cost_model, TVM_LIKE, population=24, generations=12, seed=7)
+        result = tuner.tune(kernel)
+        src, tgt = replay_schedule(
+            result.best_schedule, kernel, cost_model, TVM_LIKE, MLIR_LIKE
+        )
+        table.add_row(
+            [kernel.name, roof.bound, src.gflops, tgt.gflops,
+             "MLIR" if tgt.gflops > src.gflops else "TVM"]
+        )
+        print(f"{kernel.name:10s} best schedule: {result.best_schedule.describe()}")
+        history = result.history
+        print(
+            f"{'':10s} search: {history[0]*1e6:8.1f} us -> {history[-1]*1e6:8.1f} us "
+            f"over {len(history) - 1} generations ({result.evaluations} evaluations)"
+        )
+    print()
+    print(table.render())
+    print()
+    print(
+        "Memory-bound kernels profit from the MLIR-like backend's lean "
+        "lowering; the TVM-like backend's tensorized codegen keeps the "
+        "dense kernels — the paper's observed gap."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Scenario: track a live concert against its schedule with a particle filter.
+
+Run:
+    python examples/concert_tracking.py
+
+The section-2.2 project end to end: build a concert schedule of distinct
+events, simulate a performance whose tempo drifts, and track the score
+position with the bootstrap particle filter under the typical Gaussian
+weighting and the project's fast (triangular) weighting.  Prints an ASCII
+trace of the tracking error and the accuracy/latency trade.
+"""
+
+import time
+
+import numpy as np
+
+from repro.particlefilter import (
+    GaussianWeighting,
+    Performance,
+    TriangularWeighting,
+    make_schedule,
+    track,
+)
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    schedule = make_schedule(n_events=14, feature_dim=8, mean_duration=18.0, seed=3)
+    print(
+        f"Schedule: {schedule.n_events} distinct events, "
+        f"{schedule.total_duration:.0f} s planned"
+    )
+    performance = Performance(schedule, tempo_volatility=0.03, seed=4)
+    true_positions, observations = performance.simulate()
+    print(f"Performance ran {len(true_positions)} s (tempo drifted)")
+    print()
+
+    table = Table(
+        ["weighting", "particles", "MAE (s)", "wall time (ms)"],
+        title="Tracking accuracy and latency",
+    )
+    results = {}
+    for kernel in (GaussianWeighting(0.5), TriangularWeighting(1.5)):
+        for n_particles in (256, 1024, 4096):
+            start = time.perf_counter()
+            result = track(
+                schedule,
+                true_positions,
+                observations,
+                n_particles=n_particles,
+                weighting=kernel,
+                seed=5,
+            )
+            elapsed_ms = (time.perf_counter() - start) * 1e3
+            table.add_row([kernel.name, n_particles, result.mean_abs_error, elapsed_ms])
+            results[(kernel.name, n_particles)] = result
+    print(table.render())
+    print()
+
+    # ASCII error trace for the fast kernel at 1024 particles.
+    result = results[("triangular", 1024)]
+    errors = np.abs(result.estimates - result.true_positions)
+    print("Tracking error over the performance (triangular, 1024 particles):")
+    buckets = np.array_split(errors, 20)
+    scale = max(e.mean() for e in buckets)
+    for i, bucket in enumerate(buckets):
+        bar = "#" * int(round(24 * bucket.mean() / max(scale, 1e-9)))
+        t0 = i * len(errors) // 20
+        print(f"  t={t0:4d}s |{bar:<24s}| {bucket.mean():.2f} s")
+    print()
+    print(
+        "The fast kernel tracks within "
+        f"{results[('triangular', 1024)].mean_abs_error:.2f} s MAE vs "
+        f"{results[('gaussian', 1024)].mean_abs_error:.2f} s for Gaussian — "
+        "'much faster and almost as accurate'."
+    )
+
+
+if __name__ == "__main__":
+    main()

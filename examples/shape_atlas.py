@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Scenario: compute a statistical shape atlas for two anatomies.
+
+Run:
+    python examples/shape_atlas.py
+
+The section-2.11 workflow exactly as the paper describes it: first the
+synthetic spherical data with one mode of variation "to familiarize
+[yourself] with the entire computational pipeline", then the left-atrium-
+like anatomy, then the particle-count ablation.
+"""
+
+import numpy as np
+
+from repro.shapes import (
+    atrium_like_family,
+    build_shape_model,
+    optimize_particles,
+    particle_count_ablation,
+    sphere_family,
+)
+from repro.utils.tables import Table
+
+
+def mode_bar(ratios, width=30):
+    """ASCII stacked bar of explained-variance ratios."""
+    chars = []
+    for i, r in enumerate(ratios[:6]):
+        chars.append(str(i + 1) * max(1, int(round(r * width))))
+    return "".join(chars)[:width]
+
+
+def main() -> None:
+    print("Step 1: warm-up on synthetic spheres (one true mode: radius)")
+    spheres = sphere_family(n_subjects=12, n_points=400, seed=0)
+    system = optimize_particles(spheres, n_particles=64, iterations=12, seed=1)
+    model = build_shape_model(system)
+    print(f"  explained variance: {mode_bar(model.explained_ratio)}")
+    print(
+        f"  mode 1 share {model.explained_ratio[0]:.2f}, "
+        f"{model.dominant_modes(0.9)} mode(s) for 90%"
+    )
+    print()
+
+    print("Step 2: the left-atrium-like anatomy (three axis modes + appendage)")
+    atria = atrium_like_family(n_subjects=12, n_points=400, seed=2)
+    system_a = optimize_particles(atria, n_particles=64, iterations=12, seed=1)
+    model_a = build_shape_model(system_a)
+    print(f"  explained variance: {mode_bar(model_a.explained_ratio)}")
+    print(
+        f"  top-3 modes share {model_a.explained_ratio[:3].sum():.2f}, "
+        f"{model_a.dominant_modes(0.9)} modes for 90%"
+    )
+    print()
+
+    print("Step 3: walk the first mode of the sphere atlas (-2sd .. +2sd)")
+    n_particles = system.n_particles
+    for c in (-2.0, 0.0, 2.0):
+        shape = model.synthesize(np.array([c])).reshape(n_particles, 3)
+        radius = float(np.linalg.norm(shape, axis=1).mean())
+        print(f"  coefficient {c:+.0f} sd -> mean radius {radius:.3f}")
+    print()
+
+    print("Step 4: particle-count ablation (paper: varying quantities of particles)")
+    table = Table(["particles", "mode-1 share", "modes for 90%", "mean spacing"])
+    for row in particle_count_ablation(spheres, [16, 32, 64, 128], seed=3):
+        table.add_row([row.n_particles, row.mode1_ratio, row.modes_for_90, row.mean_spacing])
+    print(table.render())
+    print()
+    print("Mode structure is stable across particle counts; spacing shrinks —")
+    print("more particles buy resolution, not different anatomy.")
+
+
+if __name__ == "__main__":
+    main()

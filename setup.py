@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` on offline machines lacking `wheel`
+cannot build PEP 660 editable wheels; this shim enables the legacy editable
+path (`pip install -e . --no-use-pep517 --no-build-isolation`).
+"""
+from setuptools import setup
+
+setup()

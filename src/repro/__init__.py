@@ -1,0 +1,46 @@
+"""repro — the TREU trust-and-reproducibility program toolkit.
+
+A comprehensive reproduction of "An NSF REU Site Based on Trust and
+Reproducibility of Intelligent Computation: Experience Report" (SC-W 2023).
+
+Subpackages
+-----------
+core
+    The paper's contribution: the REU program model, synthetic cohort,
+    survey instruments, and the analysis pipeline that regenerates the
+    paper's Tables 1-3 and narrative statistics.
+nn
+    From-scratch NumPy deep-learning substrate (PyTorch substitute).
+perf
+    Performance-measurement lesson module (timers, roofline, scaling laws).
+cluster
+    Discrete-event GPU-cluster simulator (slurm substitute) and the
+    staged-batch contention remedy of the paper's discussion section.
+provenance
+    Reproducibility tooling: seed ledger, manifests, artifact packaging.
+ae, particlefilter, unlearning, trajectories, autotune, detect,
+histopath, rl, malware, robuststats, shapes
+    One substrate per student project (paper sections 2.1-2.11).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "nn",
+    "perf",
+    "cluster",
+    "provenance",
+    "utils",
+    "ae",
+    "particlefilter",
+    "unlearning",
+    "trajectories",
+    "autotune",
+    "detect",
+    "histopath",
+    "rl",
+    "malware",
+    "robuststats",
+    "shapes",
+]

@@ -1,0 +1,43 @@
+"""Artifact-evaluation study substrate (paper section 2.1).
+
+Models conference artifact evaluation as a measurable process: research
+artifacts with code/documentation/environment attributes, a badge rubric, a
+reviewer simulator whose success depends on the sociotechnical factors the
+paper names (time to create an artifact, available instructions and
+infrastructure), and the human-centered-computing instruments the students
+piloted (diary studies and semi-structured interviews) with a pilot-feedback
+refinement loop.
+"""
+
+from repro.ae.agreement import AgreementReport, cohens_kappa, panel_agreement
+from repro.ae.artifact import ArtifactProfile, synthesize_artifacts
+from repro.ae.instruments import (
+    DiaryStudy,
+    InterviewProtocol,
+    PilotFeedback,
+    run_pilot_sessions,
+)
+from repro.ae.review import (
+    Badge,
+    EvaluationOutcome,
+    Reviewer,
+    award_badges,
+    evaluate_artifact,
+)
+
+__all__ = [
+    "AgreementReport",
+    "cohens_kappa",
+    "panel_agreement",
+    "ArtifactProfile",
+    "synthesize_artifacts",
+    "DiaryStudy",
+    "InterviewProtocol",
+    "PilotFeedback",
+    "run_pilot_sessions",
+    "Badge",
+    "EvaluationOutcome",
+    "Reviewer",
+    "award_badges",
+    "evaluate_artifact",
+]

@@ -1,0 +1,155 @@
+"""Diary-study and interview instruments with a pilot-refinement loop.
+
+The REU students "participated in four pilot sessions and collected feedback
+on the study materials' clarity and comprehensiveness" and "substantially
+revised the materials, improving their validity and utility".  The loop here
+reproduces that process quantitatively: each pilot session rates every item
+for clarity; items below threshold are revised (clarity improves, revision
+count increments); instrument validity is the mean item clarity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_probability
+
+__all__ = ["DiaryStudy", "InterviewProtocol", "PilotFeedback", "run_pilot_sessions"]
+
+DEFAULT_DIARY_PROMPTS = (
+    "What artifact did you evaluate today and for how long?",
+    "What obstacles did you hit while installing or running it?",
+    "Did the documentation answer the questions you actually had?",
+    "How confident are you that you exercised the paper's main claim?",
+    "What would have saved you the most time?",
+)
+
+DEFAULT_INTERVIEW_QUESTIONS = (
+    "Walk me through your most recent artifact evaluation.",
+    "How do you decide an artifact deserves the functional badge?",
+    "What do you consider part of the artifact, and what is documentation?",
+    "How does time pressure change how deeply you evaluate?",
+    "What infrastructure do you rely on, and what happens without it?",
+    "What reward, if any, do you get for careful evaluation?",
+)
+
+
+@dataclass
+class _Item:
+    """One instrument item with its current clarity and revision count."""
+
+    text: str
+    clarity: float
+    revisions: int = 0
+
+    def revise(self, improvement: float) -> None:
+        check_probability("improvement", improvement)
+        # Revision closes a fraction of the remaining gap to perfect clarity.
+        self.clarity = self.clarity + improvement * (1.0 - self.clarity)
+        self.revisions += 1
+        self.text = f"{self.text} (rev {self.revisions})"
+
+
+@dataclass
+class _Instrument:
+    """Base for diary studies and interview protocols."""
+
+    items: list[_Item] = field(default_factory=list)
+
+    @property
+    def validity(self) -> float:
+        """Mean item clarity, the instrument's usefulness proxy."""
+        if not self.items:
+            raise ValueError("instrument has no items")
+        return float(np.mean([item.clarity for item in self.items]))
+
+    @property
+    def total_revisions(self) -> int:
+        return sum(item.revisions for item in self.items)
+
+    def item_texts(self) -> list[str]:
+        return [item.text for item in self.items]
+
+
+class DiaryStudy(_Instrument):
+    """Daily-prompt diary study (piloted on Qualtrics in the paper)."""
+
+    def __init__(
+        self,
+        prompts: tuple[str, ...] = DEFAULT_DIARY_PROMPTS,
+        *,
+        initial_clarity: float = 0.55,
+    ) -> None:
+        check_probability("initial_clarity", initial_clarity)
+        super().__init__(
+            items=[_Item(text=p, clarity=initial_clarity) for p in prompts]
+        )
+
+
+class InterviewProtocol(_Instrument):
+    """Semi-structured interview protocol (conducted over Zoom)."""
+
+    def __init__(
+        self,
+        questions: tuple[str, ...] = DEFAULT_INTERVIEW_QUESTIONS,
+        *,
+        initial_clarity: float = 0.5,
+    ) -> None:
+        check_probability("initial_clarity", initial_clarity)
+        super().__init__(
+            items=[_Item(text=q, clarity=initial_clarity) for q in questions]
+        )
+
+
+@dataclass(frozen=True)
+class PilotFeedback:
+    """Summary of one pilot session."""
+
+    session: int
+    validity_before: float
+    validity_after: float
+    items_revised: int
+
+
+def run_pilot_sessions(
+    instrument: _Instrument,
+    *,
+    n_sessions: int = 4,
+    clarity_threshold: float = 0.75,
+    revision_improvement: float = 0.5,
+    rating_noise: float = 0.1,
+    seed: int | np.random.Generator | None = 0,
+) -> list[PilotFeedback]:
+    """Pilot ``instrument`` for ``n_sessions``, revising unclear items.
+
+    Each session a pilot participant rates every item (true clarity plus
+    noise); items rated below ``clarity_threshold`` are revised, closing
+    ``revision_improvement`` of their clarity gap.  Returns per-session
+    feedback; validity is non-decreasing across sessions in expectation and
+    exactly non-decreasing as measured (revision never lowers clarity).
+    """
+    if n_sessions < 1:
+        raise ValueError(f"n_sessions must be >= 1, got {n_sessions}")
+    check_probability("clarity_threshold", clarity_threshold)
+    rng = as_generator(seed)
+    feedback: list[PilotFeedback] = []
+    for session in range(n_sessions):
+        before = instrument.validity
+        revised = 0
+        for item in instrument.items:
+            rating = item.clarity + float(rng.normal(0.0, rating_noise))
+            if rating < clarity_threshold:
+                item.revise(revision_improvement)
+                revised += 1
+        feedback.append(
+            PilotFeedback(
+                session=session + 1,
+                validity_before=before,
+                validity_after=instrument.validity,
+                items_revised=revised,
+            )
+        )
+    return feedback

@@ -1,0 +1,79 @@
+"""Compiler optimization of ML primitives (paper section 2.5).
+
+The student project asked: *can the schedules an autotuner (Ansor) finds
+for the TVM compiler be replicated in another framework (MLIR's transform
+dialect) and achieve the same performance?*  Answer, per the paper: yes on
+matrix-vector multiplication — where the MLIR replica *exceeded* TVM+Ansor
+— but with residual gaps on other kernels.
+
+This package rebuilds the whole pipeline analytically:
+
+* :mod:`repro.autotune.kernels` — the five lesson kernels (matvec, conv1d,
+  conv2d, matmul, transposed matmul) with FLOP/traffic accounting and NumPy
+  reference implementations;
+* :mod:`repro.autotune.schedule` — a scheduling language (tile / reorder /
+  vectorize / parallelize / unroll) over loop nests;
+* :mod:`repro.autotune.costmodel` — an analytic cache/roofline cost model
+  mapping (kernel, schedule, machine) to time;
+* :mod:`repro.autotune.frameworks` — lowering profiles for a TVM-like and
+  an MLIR-like framework (different compute/memory efficiencies and launch
+  overheads — the mechanism behind the matvec crossover);
+* :mod:`repro.autotune.search` — a genetic autotuner (Ansor-like) and a
+  random-search baseline.
+"""
+
+from repro.autotune.costmodel import CostModel, TimeEstimate
+from repro.autotune.frameworks import (
+    FrameworkProfile,
+    MLIR_LIKE,
+    TVM_LIKE,
+    replay_schedule,
+)
+from repro.autotune.kernels import (
+    KernelSpec,
+    conv1d_kernel,
+    conv2d_kernel,
+    matmul_kernel,
+    matmul_transposed_kernel,
+    matvec_kernel,
+    lesson_kernels,
+)
+from repro.autotune.schedule import (
+    Parallelize,
+    Reorder,
+    Schedule,
+    Tile,
+    Unroll,
+    Vectorize,
+    default_schedule,
+)
+from repro.autotune.parser import ScheduleParseError, parse_schedule
+from repro.autotune.search import GeneticTuner, TuneResult, random_search
+
+__all__ = [
+    "CostModel",
+    "TimeEstimate",
+    "FrameworkProfile",
+    "MLIR_LIKE",
+    "TVM_LIKE",
+    "replay_schedule",
+    "KernelSpec",
+    "conv1d_kernel",
+    "conv2d_kernel",
+    "matmul_kernel",
+    "matmul_transposed_kernel",
+    "matvec_kernel",
+    "lesson_kernels",
+    "Parallelize",
+    "Reorder",
+    "Schedule",
+    "Tile",
+    "Unroll",
+    "Vectorize",
+    "default_schedule",
+    "GeneticTuner",
+    "TuneResult",
+    "random_search",
+    "ScheduleParseError",
+    "parse_schedule",
+]

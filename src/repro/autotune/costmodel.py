@@ -1,0 +1,176 @@
+"""Analytic cost model: (kernel, schedule, machine, framework) -> time.
+
+The model composes four effects, each a lesson from the course module:
+
+* **Memory time** — the kernel's tiled traffic over the machine's
+  bandwidth, with a cache bonus when the schedule's working set fits in the
+  modelled cache level (guide idiom: beware of cache effects).
+* **Compute time** — FLOPs over the machine's peak, derated by
+  vectorization (scalar code runs at ``1/lanes`` of peak) and by the
+  framework's per-kernel-family compute efficiency (tensorized lowering vs
+  plain loops).
+* **Parallel efficiency** — a parallelized loop with fewer blocks than the
+  machine's workers leaves workers idle.
+* **Overhead** — framework launch overhead plus per-tile loop-control cost,
+  reduced by unrolling.
+
+Total time is ``max(compute, memory) + overhead`` (perfect overlap — the
+optimistic roofline convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autotune.frameworks import FrameworkProfile
+from repro.autotune.kernels import ELEMENT_BYTES, KernelSpec
+from repro.autotune.schedule import Schedule
+from repro.perf.roofline import Machine
+
+__all__ = ["TimeEstimate", "CostModel"]
+
+
+@dataclass(frozen=True)
+class TimeEstimate:
+    """Breakdown of one estimated execution."""
+
+    kernel: str
+    schedule: str
+    compute_s: float
+    memory_s: float
+    overhead_s: float
+    flops: float
+
+    @property
+    def total_s(self) -> float:
+        return max(self.compute_s, self.memory_s) + self.overhead_s
+
+    @property
+    def gflops(self) -> float:
+        return self.flops / self.total_s / 1e9
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.compute_s >= self.memory_s else "memory"
+
+
+class CostModel:
+    """Deterministic analytic cost model.
+
+    Parameters
+    ----------
+    machine:
+        Hardware model from :mod:`repro.perf.roofline`.
+    n_workers:
+        Parallel workers (cores / SMs) the machine exposes.
+    loop_overhead_s:
+        Control cost per executed tile block (models loop/branch overhead;
+        unrolling divides it).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        *,
+        n_workers: int = 32,
+        loop_overhead_s: float = 2e-9,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if loop_overhead_s < 0:
+            raise ValueError("loop_overhead_s must be >= 0")
+        self.machine = machine
+        self.n_workers = int(n_workers)
+        self.loop_overhead_s = float(loop_overhead_s)
+
+    # -- component models ------------------------------------------------
+
+    #: traffic inflation when the innermost loop is not the unit-stride
+    #: axis (partial cache lines on every access)
+    STRIDE_PENALTY = 1.5
+
+    def _memory_seconds(self, kernel: KernelSpec, schedule: Schedule) -> float:
+        tiles = kernel.clamp_tiles(schedule.tile_sizes(kernel))
+        traffic = kernel.tiled_traffic(tiles)
+        if not schedule.unit_stride_innermost(kernel):
+            traffic *= self.STRIDE_PENALTY
+        traffic = max(traffic, kernel.compulsory_bytes)
+        # Working set of one tile block: product of tile extents, in bytes.
+        working_set = ELEMENT_BYTES * float(np.prod([tiles[k] for k in kernel.loops]))
+        in_cache = (
+            self.machine.cache_bytes > 0 and working_set <= self.machine.cache_bytes
+        )
+        # Traffic beyond compulsory is tile-to-tile re-streaming; when the
+        # working set fits in cache, that excess is served at cache speed.
+        compulsory_s = kernel.compulsory_bytes / (self.machine.bandwidth_gbs * 1e9)
+        excess = traffic - kernel.compulsory_bytes
+        excess_bw = (
+            self.machine.cache_bandwidth_gbs
+            if in_cache and self.machine.cache_bandwidth_gbs
+            else self.machine.bandwidth_gbs
+        )
+        return compulsory_s + excess / (excess_bw * 1e9)
+
+    def _compute_seconds(
+        self, kernel: KernelSpec, schedule: Schedule, framework: FrameworkProfile
+    ) -> float:
+        eff = framework.compute_efficiency.get(
+            kernel.name, framework.default_compute_efficiency
+        )
+        vec = schedule.vectorized
+        if vec is None:
+            eff *= 1.0 / 8.0  # scalar code leaves the SIMD lanes idle
+        else:
+            eff *= framework.vector_efficiency
+            # Partial utilization when the loop extent misaligns with lanes.
+            extent = kernel.loops[vec.loop]
+            eff *= extent / (vec.lanes * -(-extent // vec.lanes))
+        par = schedule.parallelized
+        if par is None:
+            eff *= 1.0 / self.n_workers  # single worker
+        else:
+            tiles = schedule.tile_sizes(kernel)
+            extent = kernel.loops[par.loop]
+            tile = max(1, tiles[par.loop])
+            # A tiled parallel loop distributes its blocks; an untiled one
+            # distributes individual iterations.
+            work_items = -(-extent // tile) if tile < extent else extent
+            eff *= min(1.0, work_items / self.n_workers)
+        eff = max(eff, 1e-6)
+        return kernel.flops / (self.machine.peak_gflops * 1e9 * eff)
+
+    def _overhead_seconds(
+        self, kernel: KernelSpec, schedule: Schedule, framework: FrameworkProfile
+    ) -> float:
+        tiles = kernel.clamp_tiles(schedule.tile_sizes(kernel))
+        n_blocks = 1.0
+        for name, extent in kernel.loops.items():
+            n_blocks *= -(-extent // tiles[name])
+        per_block = self.loop_overhead_s
+        for unroll in schedule.unrolls:
+            per_block /= unroll.factor
+        return framework.launch_overhead_s + n_blocks * per_block
+
+    # -- public API --------------------------------------------------------
+
+    def estimate(
+        self,
+        kernel: KernelSpec,
+        schedule: Schedule,
+        framework: FrameworkProfile,
+    ) -> TimeEstimate:
+        """Estimate the execution time of ``kernel`` under ``schedule``."""
+        schedule.validate(kernel)
+        memory_s = self._memory_seconds(kernel, schedule) / framework.memory_efficiency
+        compute_s = self._compute_seconds(kernel, schedule, framework)
+        overhead_s = self._overhead_seconds(kernel, schedule, framework)
+        return TimeEstimate(
+            kernel=kernel.name,
+            schedule=schedule.describe(),
+            compute_s=compute_s,
+            memory_s=memory_s,
+            overhead_s=overhead_s,
+            flops=kernel.flops,
+        )

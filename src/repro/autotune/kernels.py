@@ -1,0 +1,247 @@
+"""The five lesson kernels with FLOP and memory-traffic accounting.
+
+Each :class:`KernelSpec` names its loop nest (for the scheduling language),
+counts floating-point operations exactly, and provides two traffic numbers:
+*compulsory* traffic (every input/output moved once — the roofline floor)
+and a *tiled traffic model* used by the cost model, parameterized by the
+tile sizes a schedule chooses.  A NumPy reference implementation accompanies
+every kernel so numeric tests can pin the semantics the schedules must
+preserve.
+
+Traffic models use the standard blocked-algorithm analyses; e.g. for
+``C[M,N] += A[M,K] @ B[K,N]`` with tiles ``(tm, tn)``, matrix ``A`` streams
+once per column-block (``M*K*ceil(N/tn)`` elements) and ``B`` once per
+row-block (``K*N*ceil(M/tm)``), shrinking toward compulsory traffic as the
+tiles grow — exactly the memory-hierarchy lesson of the course module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "KernelSpec",
+    "matvec_kernel",
+    "matmul_kernel",
+    "matmul_transposed_kernel",
+    "conv1d_kernel",
+    "conv2d_kernel",
+    "lesson_kernels",
+]
+
+ELEMENT_BYTES = 4  # FP32, as in the paper's GPU experiments
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """An ML primitive as seen by the scheduler and cost model.
+
+    Parameters
+    ----------
+    name:
+        Kernel family name (``"matvec"``, ``"matmul"``, ...).
+    loops:
+        Ordered loop extents, e.g. ``{"i": M, "j": N, "k": K}``; the first
+        loop is outermost in the default nest, the *last* is the one a
+        ``Vectorize`` primitive targets.
+    flops:
+        Exact floating-point operation count.
+    compulsory_bytes:
+        Each input read once + each output written once.
+    tiled_traffic:
+        ``f(tiles: dict[str, int]) -> bytes`` modelling main-memory traffic
+        under a tiling choice.
+    reference:
+        NumPy implementation for semantic validation.
+    reduction:
+        Names of reduction loops (cannot be parallelized without atomics;
+        the scheduling language rejects ``Parallelize`` on them).
+    """
+
+    name: str
+    loops: dict[str, int]
+    flops: float
+    compulsory_bytes: float
+    tiled_traffic: Callable[[dict[str, int]], float] = field(compare=False)
+    reference: Callable[..., np.ndarray] = field(compare=False)
+    reduction: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.loops:
+            raise ValueError("kernel must have at least one loop")
+        for name, extent in self.loops.items():
+            if extent < 1:
+                raise ValueError(f"loop {name!r} extent must be >= 1, got {extent}")
+        if self.flops <= 0 or self.compulsory_bytes <= 0:
+            raise ValueError("flops and compulsory_bytes must be positive")
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOP per compulsory byte — the roofline x-coordinate."""
+        return self.flops / self.compulsory_bytes
+
+    def clamp_tiles(self, tiles: dict[str, int]) -> dict[str, int]:
+        """Clamp tile sizes into ``[1, extent]`` for each known loop."""
+        out = {}
+        for name, extent in self.loops.items():
+            t = int(tiles.get(name, extent))
+            out[name] = max(1, min(t, extent))
+        return out
+
+
+def matvec_kernel(m: int = 4096, n: int = 4096) -> KernelSpec:
+    """``y[i] = sum_j A[i,j] * x[j]`` — the memory-bound lesson kernel."""
+
+    def traffic(tiles: dict[str, int]) -> float:
+        ti = max(1, min(tiles.get("i", m), m))
+        # A streams once regardless of tiling; x is re-read once per row
+        # block; y written once.
+        blocks_i = -(-m // ti)
+        return ELEMENT_BYTES * (m * n + n * blocks_i + m)
+
+    def reference(a: np.ndarray, x: np.ndarray) -> np.ndarray:
+        return a @ x
+
+    return KernelSpec(
+        name="matvec",
+        loops={"i": m, "j": n},
+        reduction=frozenset({"j"}),
+        flops=2.0 * m * n,
+        compulsory_bytes=ELEMENT_BYTES * (m * n + n + m),
+        tiled_traffic=traffic,
+        reference=reference,
+    )
+
+
+def matmul_kernel(m: int = 1024, n: int = 1024, k: int = 1024) -> KernelSpec:
+    """``C[i,j] = sum_k A[i,k] * B[k,j]`` — the compute-bound lesson kernel."""
+
+    def traffic(tiles: dict[str, int]) -> float:
+        tm = max(1, min(tiles.get("i", m), m))
+        tn = max(1, min(tiles.get("j", n), n))
+        blocks_i = -(-m // tm)
+        blocks_j = -(-n // tn)
+        return ELEMENT_BYTES * (m * k * blocks_j + k * n * blocks_i + 2.0 * m * n)
+
+    def reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a @ b
+
+    return KernelSpec(
+        name="matmul",
+        loops={"i": m, "j": n, "k": k},
+        reduction=frozenset({"k"}),
+        flops=2.0 * m * n * k,
+        compulsory_bytes=ELEMENT_BYTES * (m * k + k * n + m * n),
+        tiled_traffic=traffic,
+        reference=reference,
+    )
+
+
+def matmul_transposed_kernel(m: int = 1024, n: int = 1024, k: int = 1024) -> KernelSpec:
+    """``C = A^T @ B`` with ``A`` stored ``(k, m)`` — strided-access variant.
+
+    Same FLOPs as matmul; the transposed operand defeats unit-stride
+    streaming, modelled as a 1.5x inflation of A's traffic (partial cache
+    lines on the strided walk).
+    """
+
+    def traffic(tiles: dict[str, int]) -> float:
+        tm = max(1, min(tiles.get("i", m), m))
+        tn = max(1, min(tiles.get("j", n), n))
+        blocks_i = -(-m // tm)
+        blocks_j = -(-n // tn)
+        return ELEMENT_BYTES * (
+            1.5 * m * k * blocks_j + k * n * blocks_i + 2.0 * m * n
+        )
+
+    def reference(a_t: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a_t.T @ b
+
+    return KernelSpec(
+        name="matmul_t",
+        loops={"i": m, "j": n, "k": k},
+        reduction=frozenset({"k"}),
+        flops=2.0 * m * n * k,
+        compulsory_bytes=ELEMENT_BYTES * (m * k + k * n + m * n),
+        tiled_traffic=traffic,
+        reference=reference,
+    )
+
+
+def conv1d_kernel(length: int = 1 << 20, taps: int = 64) -> KernelSpec:
+    """Direct 1-D convolution, ``out[i] = sum_r in[i+r] * w[r]``."""
+    out_len = length - taps + 1
+
+    def traffic(tiles: dict[str, int]) -> float:
+        ti = max(1, min(tiles.get("i", out_len), out_len))
+        blocks = -(-out_len // ti)
+        # Input halo re-read per block; weights fit in registers.
+        return ELEMENT_BYTES * (length + blocks * (taps - 1) + taps + out_len)
+
+    def reference(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        return np.convolve(x, w[::-1], mode="valid")
+
+    return KernelSpec(
+        name="conv1d",
+        loops={"i": out_len, "r": taps},
+        reduction=frozenset({"r"}),
+        flops=2.0 * out_len * taps,
+        compulsory_bytes=ELEMENT_BYTES * (length + taps + out_len),
+        tiled_traffic=traffic,
+        reference=reference,
+    )
+
+
+def conv2d_kernel(
+    height: int = 256, width: int = 256, channels: int = 64,
+    filters: int = 64, ksize: int = 3,
+) -> KernelSpec:
+    """Direct 2-D convolution (valid padding), NHWC x HWIO -> NHWF."""
+    oh, ow = height - ksize + 1, width - ksize + 1
+    in_elems = height * width * channels
+    w_elems = ksize * ksize * channels * filters
+    out_elems = oh * ow * filters
+
+    def traffic(tiles: dict[str, int]) -> float:
+        th = max(1, min(tiles.get("h", oh), oh))
+        tw = max(1, min(tiles.get("w", ow), ow))
+        blocks = (-(-oh // th)) * (-(-ow // tw))
+        halo = ((th + ksize - 1) * (tw + ksize - 1) - th * tw) * channels
+        # Weights re-streamed once per spatial block when they overflow
+        # cache; inputs re-read with halo overlap.
+        return ELEMENT_BYTES * (
+            in_elems + blocks * (halo + w_elems) + out_elems
+        )
+
+    def reference(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        from numpy.lib.stride_tricks import sliding_window_view
+
+        win = sliding_window_view(x, (ksize, ksize), axis=(0, 1))
+        return np.einsum("hwcij,ijcf->hwf", win, w, optimize=True)
+
+    return KernelSpec(
+        name="conv2d",
+        loops={"h": oh, "w": ow, "f": filters, "c": channels},
+        reduction=frozenset({"c"}),
+        flops=2.0 * oh * ow * filters * channels * ksize * ksize,
+        compulsory_bytes=ELEMENT_BYTES * (in_elems + w_elems + out_elems),
+        tiled_traffic=traffic,
+        reference=reference,
+    )
+
+
+def lesson_kernels(scale: float = 1.0) -> list[KernelSpec]:
+    """The five kernels at a common size scale (the E5 benchmark set)."""
+    if scale <= 0:
+        raise ValueError(f"scale must be > 0, got {scale}")
+    s = lambda v: max(8, int(v * scale))  # noqa: E731 - local sizing helper
+    return [
+        matvec_kernel(s(8192), s(8192)),
+        conv1d_kernel(s(1 << 20), 64),
+        conv2d_kernel(s(192), s(192), 64, 64, 3),
+        matmul_kernel(s(1536), s(1536), s(1536)),
+        matmul_transposed_kernel(s(1536), s(1536), s(1536)),
+    ]

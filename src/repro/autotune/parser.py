@@ -1,0 +1,108 @@
+"""Parse schedule scripts — the textual transform-dialect analogue.
+
+MLIR's transform dialect expresses schedules *as code*; this parser is the
+library's version of that: :func:`parse_schedule` turns the exact strings
+:meth:`repro.autotune.schedule.Schedule.describe` produces back into
+:class:`~repro.autotune.schedule.Schedule` objects, so schedules can be
+stored in experiment manifests, diffed, and replayed across backends as
+plain text.  ``parse_schedule(s.describe()) == s`` is a tested round-trip
+invariant.
+
+Grammar (one line, ``;``-separated primitives)::
+
+    schedule   := "<naive>" | primitive (";" primitive)*
+    primitive  := "tile(" loop "," int ")"
+                | "vectorize(" loop "," int ")"
+                | "parallel(" loop ")"
+                | "unroll(" loop "," int ")"
+                | "reorder(" loop ("," loop)* ")"
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.autotune.schedule import (
+    Parallelize,
+    Reorder,
+    Schedule,
+    Tile,
+    Unroll,
+    Vectorize,
+)
+
+__all__ = ["parse_schedule", "ScheduleParseError"]
+
+_PRIMITIVE = re.compile(r"^(\w+)\(([^()]*)\)$")
+_LOOP = re.compile(r"^\w+$")
+
+
+class ScheduleParseError(ValueError):
+    """Raised when a schedule script is malformed."""
+
+
+def _loop(token: str, context: str) -> str:
+    token = token.strip()
+    if not _LOOP.match(token):
+        raise ScheduleParseError(f"bad loop name {token!r} in {context!r}")
+    return token
+
+
+def _int(token: str, context: str) -> int:
+    token = token.strip()
+    if not token.lstrip("-").isdigit():
+        raise ScheduleParseError(f"bad integer {token!r} in {context!r}")
+    return int(token)
+
+
+def parse_schedule(text: str) -> Schedule:
+    """Parse a ``describe()``-format schedule script.
+
+    Raises :class:`ScheduleParseError` on malformed input; primitive-level
+    constraints (positive tile sizes, lane minimums, ...) are enforced by
+    the primitive constructors, and kernel-level validity by
+    :meth:`Schedule.validate`.
+    """
+    text = text.strip()
+    if not text:
+        raise ScheduleParseError("empty schedule script")
+    if text == "<naive>":
+        return Schedule(())
+    primitives = []
+    for part in text.split(";"):
+        part = part.strip()
+        match = _PRIMITIVE.match(part)
+        if not match:
+            raise ScheduleParseError(f"unparseable primitive {part!r}")
+        name, argstr = match.group(1), match.group(2)
+        args = [a for a in argstr.split(",")] if argstr else []
+        try:
+            if name == "tile":
+                if len(args) != 2:
+                    raise ScheduleParseError(f"tile takes 2 args, got {part!r}")
+                primitives.append(Tile(_loop(args[0], part), _int(args[1], part)))
+            elif name == "vectorize":
+                if len(args) != 2:
+                    raise ScheduleParseError(f"vectorize takes 2 args, got {part!r}")
+                primitives.append(Vectorize(_loop(args[0], part), _int(args[1], part)))
+            elif name == "parallel":
+                if len(args) != 1:
+                    raise ScheduleParseError(f"parallel takes 1 arg, got {part!r}")
+                primitives.append(Parallelize(_loop(args[0], part)))
+            elif name == "unroll":
+                if len(args) != 2:
+                    raise ScheduleParseError(f"unroll takes 2 args, got {part!r}")
+                primitives.append(Unroll(_loop(args[0], part), _int(args[1], part)))
+            elif name == "reorder":
+                if not args:
+                    raise ScheduleParseError(f"reorder needs loops, got {part!r}")
+                primitives.append(
+                    Reorder(tuple(_loop(a, part) for a in args))
+                )
+            else:
+                raise ScheduleParseError(f"unknown primitive {name!r}")
+        except ValueError as exc:
+            if isinstance(exc, ScheduleParseError):
+                raise
+            raise ScheduleParseError(f"invalid {part!r}: {exc}") from exc
+    return Schedule(tuple(primitives))

@@ -1,0 +1,222 @@
+"""A scheduling language over kernel loop nests.
+
+Mirrors the shape of TVM schedules / MLIR transform-dialect sequences: a
+:class:`Schedule` is an ordered list of primitives applied to a kernel's
+loop nest.  Validation is structural (loops must exist, factors positive,
+one vectorized loop), so a schedule tuned for one framework can be replayed
+verbatim on another — the replication question of paper section 2.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.autotune.kernels import KernelSpec
+
+__all__ = ["Tile", "Vectorize", "Parallelize", "Unroll", "Reorder", "Schedule", "default_schedule"]
+
+
+@dataclass(frozen=True)
+class Tile:
+    """Split ``loop`` into blocks of ``size`` iterations."""
+
+    loop: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"tile size must be >= 1, got {self.size}")
+
+
+@dataclass(frozen=True)
+class Vectorize:
+    """Map ``loop`` onto SIMD lanes of width ``lanes``."""
+
+    loop: str
+    lanes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.lanes < 2:
+            raise ValueError(f"lanes must be >= 2, got {self.lanes}")
+
+
+@dataclass(frozen=True)
+class Parallelize:
+    """Distribute ``loop`` across worker threads / thread blocks."""
+
+    loop: str
+
+
+@dataclass(frozen=True)
+class Unroll:
+    """Unroll ``loop`` by ``factor`` (amortizes loop-control overhead)."""
+
+    loop: str
+    factor: int = 4
+
+    def __post_init__(self) -> None:
+        if self.factor < 2:
+            raise ValueError(f"unroll factor must be >= 2, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class Reorder:
+    """Permute the loop nest; ``order[-1]`` becomes the innermost loop.
+
+    The kernel's declared loop order has the unit-stride axis last, so
+    reordering a different loop innermost trades iteration structure for
+    strided memory access — the cost model charges a traffic penalty, and
+    ``Vectorize`` must target whatever loop ends up innermost.
+    """
+
+    order: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.order)) != len(self.order):
+            raise ValueError("reorder contains duplicate loops")
+        if not self.order:
+            raise ValueError("reorder needs at least one loop")
+
+    @property
+    def loop(self) -> str:  # referenced-loop protocol used by validate()
+        return self.order[0]
+
+
+Primitive = Tile | Vectorize | Parallelize | Unroll | Reorder
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An ordered primitive sequence for one kernel."""
+
+    primitives: tuple[Primitive, ...] = field(default_factory=tuple)
+
+    def validate(self, kernel: KernelSpec) -> None:
+        """Raise ``ValueError`` if the schedule is ill-formed for ``kernel``.
+
+        Rules: every referenced loop exists; at most one Vectorize /
+        Parallelize / Reorder; at most one Tile per loop; vector lanes must
+        not exceed the vectorized loop's extent; Vectorize must target the
+        innermost loop (after any Reorder); a Reorder must be a permutation
+        of the kernel's loops; reduction loops cannot be parallelized (that
+        would require atomics the backends do not model).
+        """
+        seen_tiles: set[str] = set()
+        n_vec = n_par = n_reorder = 0
+        for prim in self.primitives:
+            if isinstance(prim, Reorder):
+                n_reorder += 1
+                if set(prim.order) != set(kernel.loops):
+                    raise ValueError(
+                        f"reorder {prim.order} is not a permutation of "
+                        f"kernel loops {list(kernel.loops)}"
+                    )
+                continue
+            if prim.loop not in kernel.loops:
+                raise ValueError(
+                    f"{type(prim).__name__} references unknown loop "
+                    f"{prim.loop!r}; kernel {kernel.name} has {list(kernel.loops)}"
+                )
+            if isinstance(prim, Parallelize) and prim.loop in kernel.reduction:
+                raise ValueError(
+                    f"cannot parallelize reduction loop {prim.loop!r}"
+                )
+            if isinstance(prim, Tile):
+                if prim.loop in seen_tiles:
+                    raise ValueError(f"loop {prim.loop!r} tiled twice")
+                seen_tiles.add(prim.loop)
+            elif isinstance(prim, Vectorize):
+                n_vec += 1
+                if prim.lanes > kernel.loops[prim.loop]:
+                    raise ValueError(
+                        f"vector lanes {prim.lanes} exceed loop extent "
+                        f"{kernel.loops[prim.loop]}"
+                    )
+            elif isinstance(prim, Parallelize):
+                n_par += 1
+        if n_vec > 1:
+            raise ValueError("at most one Vectorize primitive per schedule")
+        if n_par > 1:
+            raise ValueError("at most one Parallelize primitive per schedule")
+        if n_reorder > 1:
+            raise ValueError("at most one Reorder primitive per schedule")
+        vec = self.vectorized
+        if vec is not None and vec.loop != self.innermost(kernel):
+            raise ValueError(
+                f"Vectorize must target the innermost loop "
+                f"{self.innermost(kernel)!r}, got {vec.loop!r}"
+            )
+
+    # -- structural queries used by the cost model ----------------------
+
+    def tile_sizes(self, kernel: KernelSpec) -> dict[str, int]:
+        """Tile size per loop (untiled loops default to their full extent)."""
+        tiles = dict(kernel.loops)
+        for prim in self.primitives:
+            if isinstance(prim, Tile):
+                tiles[prim.loop] = min(prim.size, kernel.loops[prim.loop])
+        return tiles
+
+    @property
+    def vectorized(self) -> Vectorize | None:
+        for prim in self.primitives:
+            if isinstance(prim, Vectorize):
+                return prim
+        return None
+
+    @property
+    def parallelized(self) -> Parallelize | None:
+        for prim in self.primitives:
+            if isinstance(prim, Parallelize):
+                return prim
+        return None
+
+    @property
+    def unrolls(self) -> tuple[Unroll, ...]:
+        return tuple(p for p in self.primitives if isinstance(p, Unroll))
+
+    @property
+    def reorder(self) -> Reorder | None:
+        for prim in self.primitives:
+            if isinstance(prim, Reorder):
+                return prim
+        return None
+
+    def innermost(self, kernel: KernelSpec) -> str:
+        """The innermost loop after any Reorder (default: declared last)."""
+        reorder = self.reorder
+        if reorder is not None:
+            return reorder.order[-1]
+        return list(kernel.loops)[-1]
+
+    def unit_stride_innermost(self, kernel: KernelSpec) -> bool:
+        """True when the innermost loop is the kernel's unit-stride axis."""
+        return self.innermost(kernel) == list(kernel.loops)[-1]
+
+    def describe(self) -> str:
+        """One-line human-readable form (stable, for logs and tests)."""
+        if not self.primitives:
+            return "<naive>"
+        parts = []
+        for prim in self.primitives:
+            if isinstance(prim, Tile):
+                parts.append(f"tile({prim.loop},{prim.size})")
+            elif isinstance(prim, Vectorize):
+                parts.append(f"vectorize({prim.loop},{prim.lanes})")
+            elif isinstance(prim, Parallelize):
+                parts.append(f"parallel({prim.loop})")
+            elif isinstance(prim, Reorder):
+                parts.append("reorder(" + ",".join(prim.order) + ")")
+            else:
+                parts.append(f"unroll({prim.loop},{prim.factor})")
+        return ";".join(parts)
+
+
+def default_schedule(kernel: KernelSpec) -> Schedule:
+    """A sensible hand schedule: parallel outermost, vectorize innermost."""
+    loops = list(kernel.loops)
+    prims: list[Primitive] = [Parallelize(loops[0])]
+    inner = loops[-1]
+    if kernel.loops[inner] >= 8:
+        prims.append(Vectorize(inner, 8))
+    return Schedule(tuple(prims))

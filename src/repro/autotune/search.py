@@ -1,0 +1,246 @@
+"""Schedule search: a genetic autotuner (Ansor-like) and a random baseline.
+
+Ansor "uses genetic algorithms to generate potential candidates"; the tuner
+here follows the same skeleton: a population of schedules encoded as genes
+(per-loop tile exponents + vectorize/parallel/unroll choices), tournament
+selection, single-point crossover, per-gene mutation, and elitism, with the
+analytic cost model as the fitness oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autotune.costmodel import CostModel, TimeEstimate
+from repro.autotune.frameworks import FrameworkProfile
+from repro.autotune.kernels import KernelSpec
+from repro.autotune.schedule import Parallelize, Schedule, Tile, Unroll, Vectorize
+from repro.utils.rng import as_generator
+
+__all__ = ["TuneResult", "GeneticTuner", "random_search"]
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of one tuning run."""
+
+    kernel: str
+    best_schedule: Schedule
+    best_estimate: TimeEstimate
+    evaluations: int
+    history: tuple[float, ...]  # best total_s after each generation/step
+
+
+@dataclass(frozen=True)
+class _Genome:
+    """Integer-coded schedule: tile exponent per loop, and flags."""
+
+    tile_exp: tuple[int, ...]  # per loop, tile = 2**exp (capped at extent)
+    vectorize: bool
+    lanes_exp: int  # lanes = 2**lanes_exp in {2,4,8,16,32}
+    parallel_loop: int  # index into loops
+    unroll_exp: int  # 0 = no unroll, else factor 2**unroll_exp
+
+
+class GeneticTuner:
+    """Genetic schedule search for one kernel on one backend.
+
+    Parameters
+    ----------
+    cost_model:
+        Fitness oracle.
+    framework:
+        Lowering profile the tuner optimizes for (Ansor tunes *for TVM*).
+    population, generations:
+        Search effort; evaluations = population * (generations + 1).
+    mutation_rate:
+        Per-gene mutation probability.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        framework: FrameworkProfile,
+        *,
+        population: int = 24,
+        generations: int = 15,
+        mutation_rate: float = 0.2,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if population < 4:
+            raise ValueError(f"population must be >= 4, got {population}")
+        if generations < 1:
+            raise ValueError(f"generations must be >= 1, got {generations}")
+        if not 0.0 <= mutation_rate <= 1.0:
+            raise ValueError(f"mutation_rate must lie in [0,1], got {mutation_rate}")
+        self.cost_model = cost_model
+        self.framework = framework
+        self.population = int(population)
+        self.generations = int(generations)
+        self.mutation_rate = float(mutation_rate)
+        self._rng = as_generator(seed)
+
+    # -- genome <-> schedule ------------------------------------------------
+
+    def _max_exp(self, extent: int) -> int:
+        return int(np.floor(np.log2(max(extent, 1))))
+
+    def _parallelizable(self, kernel: KernelSpec) -> list[int]:
+        loops = list(kernel.loops)
+        ok = [i for i, name in enumerate(loops) if name not in kernel.reduction]
+        if not ok:
+            raise ValueError(f"kernel {kernel.name} has no parallelizable loop")
+        return ok
+
+    def _random_genome(self, kernel: KernelSpec) -> _Genome:
+        rng = self._rng
+        extents = list(kernel.loops.values())
+        tile_exp = tuple(
+            int(rng.integers(0, self._max_exp(e) + 1)) for e in extents
+        )
+        par_ok = self._parallelizable(kernel)
+        return _Genome(
+            tile_exp=tile_exp,
+            vectorize=bool(rng.random() < 0.8),
+            lanes_exp=int(rng.integers(1, 6)),
+            parallel_loop=int(rng.choice(par_ok)),
+            unroll_exp=int(rng.integers(0, 4)),
+        )
+
+    def _to_schedule(self, genome: _Genome, kernel: KernelSpec) -> Schedule:
+        loops = list(kernel.loops)
+        prims: list = []
+        for name, exp in zip(loops, genome.tile_exp):
+            size = min(2**exp, kernel.loops[name])
+            if size < kernel.loops[name]:
+                prims.append(Tile(name, size))
+        prims.append(Parallelize(loops[genome.parallel_loop]))
+        inner = loops[-1]
+        lanes = 2**genome.lanes_exp
+        if genome.vectorize and lanes <= kernel.loops[inner]:
+            prims.append(Vectorize(inner, lanes))
+        if genome.unroll_exp > 0:
+            prims.append(Unroll(inner, 2**genome.unroll_exp))
+        return Schedule(tuple(prims))
+
+    def _fitness(self, genome: _Genome, kernel: KernelSpec) -> float:
+        est = self.cost_model.estimate(
+            kernel, self._to_schedule(genome, kernel), self.framework
+        )
+        return est.total_s
+
+    def _mutate(self, genome: _Genome, kernel: KernelSpec) -> _Genome:
+        rng = self._rng
+        extents = list(kernel.loops.values())
+        tile_exp = list(genome.tile_exp)
+        for i, extent in enumerate(extents):
+            if rng.random() < self.mutation_rate:
+                tile_exp[i] = int(rng.integers(0, self._max_exp(extent) + 1))
+        return _Genome(
+            tile_exp=tuple(tile_exp),
+            vectorize=(
+                not genome.vectorize
+                if rng.random() < self.mutation_rate
+                else genome.vectorize
+            ),
+            lanes_exp=(
+                int(rng.integers(1, 6))
+                if rng.random() < self.mutation_rate
+                else genome.lanes_exp
+            ),
+            parallel_loop=(
+                int(rng.choice(self._parallelizable(kernel)))
+                if rng.random() < self.mutation_rate
+                else genome.parallel_loop
+            ),
+            unroll_exp=(
+                int(rng.integers(0, 4))
+                if rng.random() < self.mutation_rate
+                else genome.unroll_exp
+            ),
+        )
+
+    def _crossover(self, a: _Genome, b: _Genome) -> _Genome:
+        rng = self._rng
+        cut = int(rng.integers(0, len(a.tile_exp) + 1))
+        return _Genome(
+            tile_exp=a.tile_exp[:cut] + b.tile_exp[cut:],
+            vectorize=a.vectorize if rng.random() < 0.5 else b.vectorize,
+            lanes_exp=a.lanes_exp if rng.random() < 0.5 else b.lanes_exp,
+            parallel_loop=a.parallel_loop if rng.random() < 0.5 else b.parallel_loop,
+            unroll_exp=a.unroll_exp if rng.random() < 0.5 else b.unroll_exp,
+        )
+
+    # -- search --------------------------------------------------------------
+
+    def tune(self, kernel: KernelSpec) -> TuneResult:
+        """Run the genetic search; returns the best schedule found."""
+        rng = self._rng
+        pop = [self._random_genome(kernel) for _ in range(self.population)]
+        costs = np.array([self._fitness(g, kernel) for g in pop])
+        evaluations = len(pop)
+        history = [float(costs.min())]
+        for _ in range(self.generations):
+            new_pop: list[_Genome] = []
+            # Elitism: carry the two best forward unchanged.
+            elite_idx = np.argsort(costs)[:2]
+            new_pop.extend(pop[i] for i in elite_idx)
+            while len(new_pop) < self.population:
+                # Tournament selection of two parents.
+                def pick() -> _Genome:
+                    i, j = rng.integers(0, len(pop), size=2)
+                    return pop[i] if costs[i] <= costs[j] else pop[j]
+
+                child = self._crossover(pick(), pick())
+                child = self._mutate(child, kernel)
+                new_pop.append(child)
+            pop = new_pop
+            costs = np.array([self._fitness(g, kernel) for g in pop])
+            evaluations += len(pop)
+            history.append(float(min(history[-1], costs.min())))
+        best = int(np.argmin(costs))
+        best_schedule = self._to_schedule(pop[best], kernel)
+        best_est = self.cost_model.estimate(kernel, best_schedule, self.framework)
+        # The running best may have been an elite from a prior generation;
+        # history is monotone, so the final entry is the true optimum seen.
+        return TuneResult(
+            kernel=kernel.name,
+            best_schedule=best_schedule,
+            best_estimate=best_est,
+            evaluations=evaluations,
+            history=tuple(history),
+        )
+
+
+def random_search(
+    kernel: KernelSpec,
+    cost_model: CostModel,
+    framework: FrameworkProfile,
+    *,
+    n_trials: int = 200,
+    seed: int | np.random.Generator | None = 0,
+) -> TuneResult:
+    """Uniform random schedule search — the ablation baseline for E5."""
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    tuner = GeneticTuner(cost_model, framework, seed=seed)
+    best_est: TimeEstimate | None = None
+    best_schedule: Schedule | None = None
+    history: list[float] = []
+    for _ in range(n_trials):
+        genome = tuner._random_genome(kernel)
+        schedule = tuner._to_schedule(genome, kernel)
+        est = cost_model.estimate(kernel, schedule, framework)
+        if best_est is None or est.total_s < best_est.total_s:
+            best_est, best_schedule = est, schedule
+        history.append(best_est.total_s)
+    assert best_schedule is not None and best_est is not None
+    return TuneResult(
+        kernel=kernel.name,
+        best_schedule=best_schedule,
+        best_estimate=best_est,
+        evaluations=n_trials,
+        history=tuple(history),
+    )

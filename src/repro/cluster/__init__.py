@@ -1,0 +1,46 @@
+"""Discrete-event GPU-cluster simulation (the slurm/CHPC substitute).
+
+The paper's assessment section reports that "an array of ML/AI projects
+finishing at the same time resulted in GPU availability issues" and proposes
+"staging GPU result collection across non-overlapping batches".  This package
+reproduces that finding: a discrete-event simulator of a small GPU pool, a
+slurm-like FIFO scheduler with EASY backfill, a deadline-driven workload
+generator modelling the REU's 11 projects, and submission policies (naive
+end-of-program crunch vs. staged batches).
+"""
+
+from repro.cluster.engine import EventQueue, ScheduledEvent
+from repro.cluster.jobs import Job, JobRecord, JobState
+from repro.cluster.metrics import ScheduleMetrics, evaluate_schedule
+from repro.cluster.policies import (
+    naive_deadline_submission,
+    staged_batch_submission,
+    uniform_submission,
+)
+from repro.cluster.resources import GPUPool
+from repro.cluster.scheduler import ClusterSimulator, SchedulerPolicy
+from repro.cluster.trace import dump_trace, dumps_trace, load_trace, loads_trace
+from repro.cluster.workload import ProjectSpec, default_reu_projects, generate_workload
+
+__all__ = [
+    "EventQueue",
+    "ScheduledEvent",
+    "Job",
+    "JobRecord",
+    "JobState",
+    "ScheduleMetrics",
+    "evaluate_schedule",
+    "naive_deadline_submission",
+    "staged_batch_submission",
+    "uniform_submission",
+    "GPUPool",
+    "ClusterSimulator",
+    "SchedulerPolicy",
+    "dump_trace",
+    "dumps_trace",
+    "load_trace",
+    "loads_trace",
+    "ProjectSpec",
+    "default_reu_projects",
+    "generate_workload",
+]

@@ -1,0 +1,93 @@
+"""Job model for the cluster simulator.
+
+Times are in hours (the natural unit for multi-day REU training runs).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+__all__ = ["JobState", "Job", "JobRecord"]
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a simulated job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+
+
+@dataclass(frozen=True)
+class Job:
+    """An immutable GPU job request.
+
+    Parameters
+    ----------
+    job_id:
+        Unique identifier.
+    project:
+        Owning REU project (e.g. ``"histopath"``).
+    n_gpus:
+        GPUs required for the whole duration.
+    duration:
+        Run time in hours once started.
+    submit_time:
+        When the job enters the queue (hours from program start).
+    deadline:
+        When results are needed (poster-printing time); used only for
+        metrics, the scheduler does not see it.
+    """
+
+    job_id: int
+    project: str
+    n_gpus: int
+    duration: float
+    submit_time: float
+    deadline: float
+
+    def __post_init__(self) -> None:
+        if self.n_gpus < 1:
+            raise ValueError(f"n_gpus must be >= 1, got {self.n_gpus}")
+        check_positive("duration", self.duration)
+        if self.submit_time < 0:
+            raise ValueError(f"submit_time must be >= 0, got {self.submit_time}")
+
+
+@dataclass
+class JobRecord:
+    """Mutable execution record accumulated by the simulator."""
+
+    job: Job
+    state: JobState = JobState.PENDING
+    start_time: float | None = None
+    end_time: float | None = None
+
+    @property
+    def wait_time(self) -> float:
+        """Queue wait in hours (start - submit); NaN until started."""
+        if self.start_time is None:
+            return float("nan")
+        return self.start_time - self.job.submit_time
+
+    @property
+    def turnaround(self) -> float:
+        """Submit-to-finish latency in hours; NaN until completed."""
+        if self.end_time is None:
+            return float("nan")
+        return self.end_time - self.job.submit_time
+
+    @property
+    def missed_deadline(self) -> bool:
+        """True when the job finished after its deadline."""
+        return self.end_time is not None and self.end_time > self.job.deadline
+
+    @property
+    def lateness(self) -> float:
+        """Hours past deadline (0 when on time); NaN until completed."""
+        if self.end_time is None:
+            return float("nan")
+        return max(0.0, self.end_time - self.job.deadline)

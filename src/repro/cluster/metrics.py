@@ -1,0 +1,81 @@
+"""Schedule quality metrics.
+
+The contention story is told by queue-wait statistics near the deadline:
+mean and p95 wait, deadline misses, and total lateness.  Utilization and
+makespan bound how much a staging policy "pays" for decongestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.jobs import JobRecord, JobState
+
+__all__ = ["ScheduleMetrics", "evaluate_schedule"]
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """Aggregate statistics of one simulated schedule (times in hours)."""
+
+    n_jobs: int
+    mean_wait: float
+    p95_wait: float
+    max_wait: float
+    missed_deadlines: int
+    total_lateness: float
+    makespan: float
+    mean_wait_final_week: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "n_jobs": self.n_jobs,
+            "mean_wait": self.mean_wait,
+            "p95_wait": self.p95_wait,
+            "max_wait": self.max_wait,
+            "missed_deadlines": self.missed_deadlines,
+            "total_lateness": self.total_lateness,
+            "makespan": self.makespan,
+            "mean_wait_final_week": self.mean_wait_final_week,
+        }
+
+
+def evaluate_schedule(
+    records: list[JobRecord], *, final_week_start: float | None = None
+) -> ScheduleMetrics:
+    """Summarize completed job records.
+
+    Parameters
+    ----------
+    records:
+        Output of :meth:`repro.cluster.ClusterSimulator.run`; every record
+        must be COMPLETED (raises otherwise — an incomplete schedule has
+        undefined waits).
+    final_week_start:
+        Submissions at/after this time contribute to
+        ``mean_wait_final_week`` (default: 7 days before the latest
+        deadline), isolating the end-of-program crunch.
+    """
+    if not records:
+        raise ValueError("records must be non-empty")
+    incomplete = [r.job.job_id for r in records if r.state is not JobState.COMPLETED]
+    if incomplete:
+        raise ValueError(f"jobs not completed: {incomplete}")
+    waits = np.array([r.wait_time for r in records])
+    ends = np.array([r.end_time for r in records])
+    if final_week_start is None:
+        final_week_start = max(r.job.deadline for r in records) - 7 * 24.0
+    final_mask = np.array([r.job.submit_time >= final_week_start for r in records])
+    final_waits = waits[final_mask]
+    return ScheduleMetrics(
+        n_jobs=len(records),
+        mean_wait=float(waits.mean()),
+        p95_wait=float(np.percentile(waits, 95)),
+        max_wait=float(waits.max()),
+        missed_deadlines=int(sum(r.missed_deadline for r in records)),
+        total_lateness=float(sum(r.lateness for r in records)),
+        makespan=float(ends.max()),
+        mean_wait_final_week=float(final_waits.mean()) if final_waits.size else 0.0,
+    )

@@ -1,0 +1,65 @@
+"""GPU pool resource accounting."""
+
+from __future__ import annotations
+
+__all__ = ["GPUPool"]
+
+
+class GPUPool:
+    """A counted pool of identical GPUs with utilization bookkeeping.
+
+    The pool tracks allocated GPU-hours via a time-weighted integral so the
+    simulator can report utilization without sampling.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._in_use = 0
+        self._last_time = 0.0
+        self._gpu_hours = 0.0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    def can_allocate(self, n: int) -> bool:
+        """True when ``n`` GPUs are currently free."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        return n <= self.available
+
+    def _advance(self, now: float) -> None:
+        if now < self._last_time:
+            raise ValueError(f"time went backwards: {now} < {self._last_time}")
+        self._gpu_hours += self._in_use * (now - self._last_time)
+        self._last_time = now
+
+    def allocate(self, n: int, now: float) -> None:
+        """Claim ``n`` GPUs at simulation time ``now``."""
+        self._advance(now)
+        if not self.can_allocate(n):
+            raise RuntimeError(
+                f"over-allocation: requested {n}, only {self.available} free"
+            )
+        self._in_use += n
+
+    def release(self, n: int, now: float) -> None:
+        """Return ``n`` GPUs at simulation time ``now``."""
+        self._advance(now)
+        if n < 1 or n > self._in_use:
+            raise RuntimeError(f"invalid release of {n} with {self._in_use} in use")
+        self._in_use -= n
+
+    def utilization(self, horizon: float) -> float:
+        """Mean fraction of the pool busy over ``[0, horizon]``."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        # Include the busy time accrued since the last event up to horizon.
+        pending = self._in_use * max(0.0, horizon - self._last_time)
+        return (self._gpu_hours + pending) / (self.capacity * horizon)

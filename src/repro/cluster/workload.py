@@ -1,0 +1,156 @@
+"""Deadline-driven workload generation modelling the REU's 11 projects.
+
+Each project runs exploratory jobs through the research weeks and a burst of
+final "result collection" training runs ahead of the poster deadline — the
+pattern the paper identifies as the source of end-of-program GPU contention
+("an array of ML/AI projects finishing at the same time resulted in GPU
+availability issues").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.jobs import Job
+from repro.utils.rng import as_generator
+
+__all__ = ["ProjectSpec", "default_reu_projects", "generate_workload"]
+
+# Hours: research phase spans program weeks 5-9, posters at end of week 10.
+RESEARCH_START_H = 4 * 7 * 24.0
+POSTER_DEADLINE_H = 10 * 7 * 24.0
+
+
+@dataclass(frozen=True)
+class ProjectSpec:
+    """GPU demand profile of one student project.
+
+    Parameters
+    ----------
+    name:
+        Project identifier (paper section names).
+    gpu_hungry:
+        Whether the project runs long multi-GPU final jobs (the paper notes
+        several projects needed big allocations; others, e.g. the robust-
+        statistics and malware projects, ran in minutes on CPU).
+    n_exploratory:
+        Short jobs spread across the research weeks.
+    n_final:
+        Result-collection jobs near the poster deadline.
+    final_hours:
+        Duration of each final job.
+    final_gpus:
+        GPUs per final job.
+    """
+
+    name: str
+    gpu_hungry: bool
+    n_exploratory: int = 6
+    n_final: int = 3
+    final_hours: float = 24.0
+    final_gpus: int = 1
+
+
+def default_reu_projects() -> list[ProjectSpec]:
+    """The 11 projects of paper sections 2.1-2.11 with their GPU appetites.
+
+    Appetites follow the paper: histopathology "required GPUs with more
+    RAM" (CHPC), RL "compute resources were limited", detection and
+    unlearning used a single GPU, the malware experiments "completed within
+    minutes", robust statistics "GPUs were not needed", and the
+    artifact-evaluation / shape-modeling projects ran on desktops.
+    """
+    return [
+        ProjectSpec("artifact_eval", False, n_exploratory=2, n_final=1,
+                    final_hours=1.0),
+        ProjectSpec("particle_filter", True, n_final=3, final_hours=12.0),
+        ProjectSpec("unlearning", True, n_final=2, final_hours=18.0),
+        ProjectSpec("trajectories", False, n_final=2, final_hours=4.0),
+        ProjectSpec("autotune", True, n_final=4, final_hours=10.0,
+                    final_gpus=1),
+        ProjectSpec("detection", True, n_final=2, final_hours=16.0),
+        ProjectSpec("histopath", True, n_final=4, final_hours=30.0,
+                    final_gpus=2),
+        ProjectSpec("rl", True, n_final=4, final_hours=36.0, final_gpus=2),
+        ProjectSpec("malware", False, n_exploratory=4, n_final=2,
+                    final_hours=2.0),
+        ProjectSpec("robust_stats", False, n_exploratory=3, n_final=1,
+                    final_hours=1.0),
+        ProjectSpec("shape_atlas", False, n_exploratory=3, n_final=2,
+                    final_hours=3.0),
+    ]
+
+
+def generate_workload(
+    projects: list[ProjectSpec] | None = None,
+    *,
+    submit_times: dict[str, list[float]] | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> list[Job]:
+    """Build the job list for one REU season.
+
+    Parameters
+    ----------
+    projects:
+        Project demand profiles (defaults to the 11 paper projects).
+    submit_times:
+        Optional map of project name -> submit times for its *final* jobs,
+        produced by a policy from :mod:`repro.cluster.policies`.  When
+        omitted, final jobs use the naive pattern: submitted as late as
+        possible (deadline minus duration, jittered earlier by a few hours).
+    seed:
+        RNG for exploratory-phase placement and jitter.
+
+    Returns
+    -------
+    list[Job]
+        Jobs sorted by submit time with consecutive ids.
+    """
+    rng = as_generator(seed)
+    projects = default_reu_projects() if projects is None else projects
+    jobs: list[Job] = []
+    job_id = 0
+    for spec in projects:
+        # Exploratory phase: short single-GPU jobs across research weeks 5-8.
+        for _ in range(spec.n_exploratory):
+            start = rng.uniform(RESEARCH_START_H, POSTER_DEADLINE_H - 7 * 24.0)
+            jobs.append(
+                Job(
+                    job_id=job_id,
+                    project=spec.name,
+                    n_gpus=1,
+                    duration=float(rng.uniform(0.5, 4.0)),
+                    submit_time=float(start),
+                    deadline=POSTER_DEADLINE_H,
+                )
+            )
+            job_id += 1
+        # Final result-collection jobs.
+        if submit_times is not None and spec.name in submit_times:
+            finals = submit_times[spec.name]
+            if len(finals) != spec.n_final:
+                raise ValueError(
+                    f"policy supplied {len(finals)} submit times for "
+                    f"{spec.name}, expected {spec.n_final}"
+                )
+        else:
+            latest = POSTER_DEADLINE_H - spec.final_hours
+            finals = [
+                latest - float(rng.uniform(0.0, 12.0)) for _ in range(spec.n_final)
+            ]
+        for t in finals:
+            jobs.append(
+                Job(
+                    job_id=job_id,
+                    project=spec.name,
+                    n_gpus=spec.final_gpus,
+                    duration=spec.final_hours,
+                    submit_time=float(t),
+                    deadline=POSTER_DEADLINE_H,
+                )
+            )
+            job_id += 1
+    jobs.sort(key=lambda j: j.submit_time)
+    return jobs

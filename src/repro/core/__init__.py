@@ -1,0 +1,101 @@
+"""The paper's contribution: the TREU program model and its assessment.
+
+``REUProgram().run_season(seed)`` simulates one season; the analysis
+functions regenerate the paper's Tables 1-3 and narrative statistics from
+the simulated surveys, and :mod:`repro.core.report` prints them next to
+the published numbers (shipped verbatim in :mod:`repro.core.reference`).
+"""
+
+from repro.core.analysis import (
+    GoalRow,
+    KnowledgeRow,
+    NarrativeStats,
+    SkillRow,
+    narrative_stats,
+    table1,
+    table2,
+    table3,
+)
+from repro.core.applicants import Applicant, make_applicant_pool, select_offers
+from repro.core.cohort import KNOWLEDGE_AREAS, SKILLS, Student, make_cohort
+from repro.core.goals import GOALS, Goal, goal_names
+from repro.core.learning import ConstantGainModel, ExperienceModel
+from repro.core.multiyear import YearOutcome, YearPlan, run_years
+from repro.core.program import (
+    ProgramConfig,
+    REUProgram,
+    SeasonOutcome,
+    Timeline,
+)
+from repro.core.reference import (
+    NARRATIVE,
+    TABLE1_GOALS,
+    TABLE2_CONFIDENCE,
+    TABLE3_KNOWLEDGE,
+    TOP5_CONFIDENCE_GAINS,
+)
+from repro.core.report import render_season_report
+from repro.core.topics import (
+    CurriculumOutcome,
+    CurriculumPolicy,
+    InterestProfile,
+    all_attend_policy,
+    evaluate_curriculum,
+    narrowed_policy,
+    sample_interest_profiles,
+    targeted_policy,
+)
+from repro.core.surveys import (
+    AttritionPlan,
+    SurveyResponse,
+    collect_apriori,
+    collect_posthoc,
+)
+
+__all__ = [
+    "GoalRow",
+    "KnowledgeRow",
+    "NarrativeStats",
+    "SkillRow",
+    "narrative_stats",
+    "table1",
+    "table2",
+    "table3",
+    "Applicant",
+    "make_applicant_pool",
+    "select_offers",
+    "KNOWLEDGE_AREAS",
+    "SKILLS",
+    "Student",
+    "make_cohort",
+    "GOALS",
+    "Goal",
+    "goal_names",
+    "ConstantGainModel",
+    "ExperienceModel",
+    "ProgramConfig",
+    "REUProgram",
+    "YearOutcome",
+    "YearPlan",
+    "run_years",
+    "SeasonOutcome",
+    "Timeline",
+    "NARRATIVE",
+    "TABLE1_GOALS",
+    "TABLE2_CONFIDENCE",
+    "TABLE3_KNOWLEDGE",
+    "TOP5_CONFIDENCE_GAINS",
+    "render_season_report",
+    "CurriculumOutcome",
+    "CurriculumPolicy",
+    "InterestProfile",
+    "all_attend_policy",
+    "evaluate_curriculum",
+    "narrowed_policy",
+    "sample_interest_profiles",
+    "targeted_policy",
+    "AttritionPlan",
+    "SurveyResponse",
+    "collect_apriori",
+    "collect_posthoc",
+]

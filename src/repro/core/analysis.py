@@ -1,0 +1,191 @@
+"""Survey analysis: regenerate Tables 1-3 and the narrative statistics.
+
+All computations work from the *survey responses* (what the instructors
+actually had), never from latent cohort state — the analysis pipeline is
+exactly what a program evaluator would run on real data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cohort import KNOWLEDGE_AREAS, SKILLS
+from repro.core.goals import goal_names
+from repro.core.program import SeasonOutcome
+from repro.core.surveys import SurveyResponse
+from repro.utils.stats import likert_mean, likert_mode
+
+__all__ = [
+    "GoalRow",
+    "SkillRow",
+    "KnowledgeRow",
+    "NarrativeStats",
+    "table1",
+    "table2",
+    "table3",
+    "narrative_stats",
+]
+
+
+@dataclass(frozen=True)
+class GoalRow:
+    """One Table 1 row."""
+
+    goal: str
+    accomplished: int
+    respondents: int
+
+
+@dataclass(frozen=True)
+class SkillRow:
+    """One Table 2 row."""
+
+    skill: str
+    apriori_mean: float
+    boost: float
+    posthoc_mean: float
+
+
+@dataclass(frozen=True)
+class KnowledgeRow:
+    """One Table 3 row."""
+
+    area: str
+    apriori_mean: float
+    increase: float
+    posthoc_mean: float
+
+
+def _complete(responses: list[SurveyResponse]) -> list[SurveyResponse]:
+    return [r for r in responses if r.complete]
+
+
+def table1(outcome: SeasonOutcome) -> list[GoalRow]:
+    """Goals accomplished among complete post-hoc respondents (Table 1)."""
+    respondents = _complete(outcome.posthoc)
+    if not respondents:
+        raise ValueError("no complete post-hoc responses")
+    rows = []
+    for goal in goal_names():
+        count = sum(goal in r.goals_accomplished for r in respondents)
+        rows.append(
+            GoalRow(goal=goal, accomplished=count, respondents=len(respondents))
+        )
+    return rows
+
+
+def table2(outcome: SeasonOutcome) -> list[SkillRow]:
+    """A-priori confidence means and boosts (Table 2).
+
+    Means follow the paper's method: the a-priori mean is over all a-priori
+    respondents, the post-hoc mean over all post-hoc respondents (the
+    surveys were anonymous, so pairs cannot be linked), and the boost is
+    their difference.
+    """
+    pre = np.array([r.confidence for r in outcome.apriori])
+    post = np.array([r.confidence for r in outcome.posthoc])
+    if pre.size == 0 or post.size == 0:
+        raise ValueError("need both survey waves")
+    rows = []
+    for k, skill in enumerate(SKILLS):
+        a = likert_mean(pre[:, k])
+        p = likert_mean(post[:, k])
+        rows.append(
+            SkillRow(
+                skill=skill,
+                apriori_mean=a,
+                boost=round(p - a, 1),
+                posthoc_mean=p,
+            )
+        )
+    return rows
+
+
+def table3(outcome: SeasonOutcome) -> list[KnowledgeRow]:
+    """Knowledge means and increases (Table 3)."""
+    pre = np.array([r.knowledge for r in outcome.apriori])
+    post = np.array([r.knowledge for r in outcome.posthoc])
+    if pre.size == 0 or post.size == 0:
+        raise ValueError("need both survey waves")
+    rows = []
+    for k, area in enumerate(KNOWLEDGE_AREAS):
+        a = likert_mean(pre[:, k])
+        p = likert_mean(post[:, k])
+        rows.append(
+            KnowledgeRow(
+                area=area,
+                apriori_mean=a,
+                increase=round(p - a, 1),
+                posthoc_mean=p,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class NarrativeStats:
+    """The running-text statistics of paper section 3."""
+
+    n_applicants: int
+    apriori_responses: int
+    posthoc_responses: int
+    complete_posthoc_responses: int
+    phd_intent_apriori_mean: float
+    phd_intent_apriori_mode: int
+    phd_intent_posthoc_mean: float
+    phd_intent_posthoc_mode: int
+    recommenders_reu_mode: int
+    recommenders_reu_range: tuple[int, int]
+    recommenders_home_mode: int
+    recommenders_home_range: tuple[int, int]
+    recommenders_external_mode: int
+    recommenders_external_range: tuple[int, int]
+    goals_accomplished_by_all: int
+    top5_confidence_gains: tuple[tuple[str, float], ...]
+
+
+def narrative_stats(outcome: SeasonOutcome) -> NarrativeStats:
+    """Compute every statistic the paper reports in prose."""
+    complete = _complete(outcome.posthoc)
+    if not complete:
+        raise ValueError("no complete post-hoc responses")
+    pre_intent = np.array([r.phd_intent for r in outcome.apriori])
+    post_intent = np.array([r.phd_intent for r in outcome.posthoc])
+    reu = np.array([r.recommenders_reu for r in complete])
+    home_pre = np.array(
+        [r.recommenders_home for r in outcome.apriori if r.recommenders_home is not None]
+    )
+    ext_pre = np.array(
+        [
+            r.recommenders_external
+            for r in outcome.apriori
+            if r.recommenders_external is not None
+        ]
+    )
+    rows1 = table1(outcome)
+    all_nine = sum(row.accomplished == row.respondents for row in rows1)
+    rows2 = table2(outcome)
+    top5 = tuple(
+        (row.skill, row.posthoc_mean)
+        for row in sorted(rows2, key=lambda r: r.boost, reverse=True)[:5]
+    )
+    return NarrativeStats(
+        n_applicants=outcome.n_applicants,
+        apriori_responses=len(outcome.apriori),
+        posthoc_responses=len(outcome.posthoc),
+        complete_posthoc_responses=len(complete),
+        phd_intent_apriori_mean=likert_mean(pre_intent),
+        phd_intent_apriori_mode=likert_mode(pre_intent),
+        phd_intent_posthoc_mean=likert_mean(post_intent),
+        phd_intent_posthoc_mode=likert_mode(post_intent),
+        recommenders_reu_mode=likert_mode(reu),
+        recommenders_reu_range=(int(reu.min()), int(reu.max())),
+        recommenders_home_mode=likert_mode(home_pre),
+        recommenders_home_range=(int(home_pre.min()), int(home_pre.max())),
+        recommenders_external_mode=likert_mode(ext_pre),
+        recommenders_external_range=(int(ext_pre.min()), int(ext_pre.max())),
+        goals_accomplished_by_all=all_nine,
+        top5_confidence_gains=top5,
+    )

@@ -1,0 +1,76 @@
+"""The student-goal taxonomy of Table 1.
+
+Nineteen unique goals, as recognized by an REU instructor from the free-
+text "list two goals for the summer" a-priori survey item.  Each goal
+carries the program activities that advance it, which is how the season
+simulation decides accomplishment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.reference import TABLE1_GOALS
+
+__all__ = ["Goal", "GOALS", "goal_names"]
+
+
+@dataclass(frozen=True)
+class Goal:
+    """One student-set goal.
+
+    Parameters
+    ----------
+    name:
+        Canonical key (matches :data:`repro.core.reference.TABLE1_GOALS`).
+    title:
+        Human-readable phrasing from the paper.
+    cohort_wide:
+        Whether the program structure advances this goal for everyone
+        (e.g. peer collaboration) versus only for students whose project or
+        inclination exercises it (e.g. learning a new language).
+    """
+
+    name: str
+    title: str
+    cohort_wide: bool
+
+
+_TITLES = {
+    "collaborate_with_peers": "Collaborate with peers",
+    "create_research_poster": "Create a research poster",
+    "create_or_work_with_ml_models": "Create or work with ML models",
+    "develop_professional_relationships": "Develop professional relationships",
+    "work_on_paper_yielding_projects": "Work on paper-yielding research projects",
+    "identify_engrossing_research_areas": "Identify engrossing research areas",
+    "improve_social_networking_skills": "Improve (social) networking skills",
+    "improve_grasp_of_research_papers": "Improve ability to grasp research papers",
+    "improve_time_management": "Improve time management skills",
+    "improve_writing_skills": "Improve writing skills",
+    "increase_awareness_of_cs_research": "Increase awareness of CS research areas",
+    "increase_knowledge_of_career_options": "Increase knowledge of career options",
+    "increase_knowledge_of_cybersecurity": "Increase knowledge of cybersecurity",
+    "increase_knowledge_of_hpc": "Increase knowledge of HPC",
+    "increase_knowledge_of_ml_ai": "Increase knowledge of ML and AI",
+    "learn_new_programming_language": "Learn a new programming language",
+    "decide_about_phd": "Make a decision about pursuing a PhD",
+    "meet_researchers_at_career_stages": "Meet researchers at different career stages",
+    "produce_demonstrable_artifacts": "Produce demonstrable research artifacts",
+}
+
+# Goals every respondent accomplished are the structurally cohort-wide
+# ones: the program forces them (shared lectures, group projects, poster
+# week); the rest depend on the individual student.
+_COHORT_WIDE = {
+    name for name, count in TABLE1_GOALS.items() if count == 9
+}
+
+GOALS: tuple[Goal, ...] = tuple(
+    Goal(name=name, title=_TITLES[name], cohort_wide=name in _COHORT_WIDE)
+    for name in TABLE1_GOALS
+)
+
+
+def goal_names() -> list[str]:
+    """Canonical goal keys in Table 1 order."""
+    return [g.name for g in GOALS]

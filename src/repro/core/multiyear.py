@@ -1,0 +1,183 @@
+"""Multi-year program simulation — running the site beyond year one.
+
+The paper closes with concrete year-two plans (narrow/target the lecture
+topics, collect exit surveys before departure, stage GPU batches).  This
+module composes the pieces into consecutive seasons so the plans can be
+evaluated *as a program change*, not just in isolation: the curriculum
+policy modulates each student's engagement (enthusiastic students engage
+more, and engagement drives every gain in the experience model), and the
+attrition plan sets the survey yield.
+
+The mechanism is deliberately conservative: engagement is scaled by a
+bounded factor of the student's mean enthusiasm over attended lectures, so
+curriculum improvements move outcomes by plausible amounts rather than
+dominating them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cohort import Student, make_cohort
+from repro.core.learning import ExperienceModel
+from repro.core.program import ProgramConfig, REUProgram, SeasonOutcome
+from repro.core.surveys import AttritionPlan
+from repro.core.topics import (
+    CurriculumPolicy,
+    all_attend_policy,
+    evaluate_curriculum,
+    narrowed_policy,
+    sample_interest_profiles,
+    targeted_policy,
+)
+from repro.utils.rng import SeedSequenceLedger
+
+__all__ = ["YearPlan", "YearOutcome", "run_years"]
+
+_CURRICULA = {
+    "all_attend": all_attend_policy,
+    "targeted": targeted_policy,
+    "narrowed": narrowed_policy,
+}
+
+
+@dataclass(frozen=True)
+class YearPlan:
+    """One season's policy choices."""
+
+    name: str
+    curriculum: str = "all_attend"
+    attrition: AttritionPlan = field(default_factory=AttritionPlan)
+
+    def __post_init__(self) -> None:
+        if self.curriculum not in _CURRICULA:
+            raise ValueError(
+                f"curriculum must be one of {sorted(_CURRICULA)}, "
+                f"got {self.curriculum!r}"
+            )
+
+
+@dataclass(frozen=True)
+class YearOutcome:
+    """Season results the program director compares year over year."""
+
+    plan: YearPlan
+    mean_enthusiasm: float
+    ignored_fraction: float
+    complete_responses: int
+    mean_confidence_boost: float
+    mean_knowledge_gain: float
+    season: SeasonOutcome
+
+
+def _engaged_cohort(
+    cohort: list[Student], policy: CurriculumPolicy, profiles
+) -> list[Student]:
+    """Scale each student's engagement by their curriculum enthusiasm.
+
+    A student whose attended lectures average interest e gets engagement
+    multiplied by ``0.8 + 0.4 * e`` (bounded in [0.8, 1.2]) — enthusiasm
+    helps, boredom hurts, neither dominates.
+    """
+    out = []
+    for student, profile in zip(cohort, profiles):
+        attended = policy.attendance[profile.student_id]
+        enthusiasm = (
+            float(profile.interests[attended].mean()) if attended.any() else 0.0
+        )
+        factor = 0.8 + 0.4 * enthusiasm
+        adjusted = Student(
+            student_id=student.student_id,
+            confidence=student.confidence.copy(),
+            knowledge=student.knowledge.copy(),
+            phd_intent=student.phd_intent,
+            recommenders_home=student.recommenders_home,
+            recommenders_external=student.recommenders_external,
+            engagement=float(np.clip(student.engagement * factor, 0.3, 1.0)),
+            goals=student.goals,
+            local=student.local,
+        )
+        out.append(adjusted)
+    return out
+
+
+def run_years(
+    plans: list[YearPlan],
+    *,
+    base_seed: int = 0,
+    model: ExperienceModel | None = None,
+) -> list[YearOutcome]:
+    """Simulate consecutive seasons, one per plan.
+
+    Each year draws a fresh cohort (REU cohorts do not repeat), applies the
+    year's curriculum to modulate engagement, runs the season with the
+    year's attrition plan, and summarizes the outcomes the paper's year-two
+    discussion cares about.
+    """
+    if not plans:
+        raise ValueError("plans must be non-empty")
+    ledger = SeedSequenceLedger(base_seed)
+    outcomes: list[YearOutcome] = []
+    for year_index, plan in enumerate(plans):
+        year_rng = ledger.generator(f"year-{year_index}")
+        seed = int(year_rng.integers(0, 2**31))
+        cohort = make_cohort(15, seed=seed)
+        profiles = sample_interest_profiles(len(cohort), seed=seed + 1)
+        policy = _CURRICULA[plan.curriculum](profiles)
+        scored = evaluate_curriculum(profiles, policy)
+        engaged = _engaged_cohort(cohort, policy, profiles)
+
+        program = REUProgram(
+            ProgramConfig(attrition=plan.attrition), model=model
+        )
+        # Re-run the season pipeline on the engagement-adjusted cohort: the
+        # program's internal cohort step is bypassed by monkeying the
+        # season's seed-derived cohort with ours via the season helper.
+        season = _run_season_with_cohort(program, engaged, seed=seed + 2)
+
+        pre_conf = np.array([s.confidence for s in season.cohort_before])
+        post_conf = np.array([s.confidence for s in season.cohort_after])
+        pre_known = np.array([s.knowledge for s in season.cohort_before])
+        post_known = np.array([s.knowledge for s in season.cohort_after])
+        outcomes.append(
+            YearOutcome(
+                plan=plan,
+                mean_enthusiasm=scored.mean_enthusiasm,
+                ignored_fraction=scored.ignored_fraction,
+                complete_responses=sum(r.complete for r in season.posthoc),
+                mean_confidence_boost=float((post_conf - pre_conf).mean()),
+                mean_knowledge_gain=float((post_known - pre_known).mean()),
+                season=season,
+            )
+        )
+    return outcomes
+
+
+def _run_season_with_cohort(
+    program: REUProgram, cohort: list[Student], *, seed: int
+) -> SeasonOutcome:
+    """Run the season pipeline on a pre-built cohort."""
+    from repro.core.surveys import collect_apriori, collect_posthoc
+
+    ledger = SeedSequenceLedger(seed)
+    apriori = collect_apriori(cohort, seed=ledger.generator("apriori"))
+    growth_rng = ledger.generator("experience")
+    after = [program.model.apply(s, seed=growth_rng) for s in cohort]
+    accomplished = program._accomplish_goals(after, ledger.generator("goals"))
+    posthoc = collect_posthoc(
+        after,
+        accomplished,
+        plan=program.config.attrition,
+        seed=ledger.generator("posthoc"),
+    )
+    return SeasonOutcome(
+        cohort_before=cohort,
+        cohort_after=after,
+        apriori=apriori,
+        posthoc=posthoc,
+        accomplished=accomplished,
+        n_applicants=program.config.n_applicants,
+        seed_audit=ledger.audit(),
+    )

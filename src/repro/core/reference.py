@@ -1,0 +1,116 @@
+"""The paper's published numbers, verbatim.
+
+Single source of truth for every benchmark's "paper" column.  Tables are
+transcribed from the SC-W 2023 text:
+
+* Table 1 — goals accomplished, out of nine post-hoc respondents;
+* Table 2 — a-priori mean confidence (1-5) and confidence boost per skill;
+* Table 3 — a-priori knowledge mean and knowledge increase per topic area;
+* narrative statistics from sections 1 and 3.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+
+__all__ = [
+    "TABLE1_GOALS",
+    "TABLE2_CONFIDENCE",
+    "TABLE3_KNOWLEDGE",
+    "NARRATIVE",
+    "TOP5_CONFIDENCE_GAINS",
+]
+
+# Table 1: goal -> number of the nine respondents who accomplished it.
+TABLE1_GOALS = MappingProxyType(
+    {
+        "collaborate_with_peers": 9,
+        "create_research_poster": 8,
+        "create_or_work_with_ml_models": 9,
+        "develop_professional_relationships": 9,
+        "work_on_paper_yielding_projects": 5,
+        "identify_engrossing_research_areas": 7,
+        "improve_social_networking_skills": 6,
+        "improve_grasp_of_research_papers": 8,
+        "improve_time_management": 4,
+        "improve_writing_skills": 4,
+        "increase_awareness_of_cs_research": 9,
+        "increase_knowledge_of_career_options": 7,
+        "increase_knowledge_of_cybersecurity": 6,
+        "increase_knowledge_of_hpc": 8,
+        "increase_knowledge_of_ml_ai": 9,
+        "learn_new_programming_language": 2,
+        "decide_about_phd": 4,
+        "meet_researchers_at_career_stages": 8,
+        "produce_demonstrable_artifacts": 8,
+    }
+)
+
+# Table 2: skill -> (a-priori mean confidence, confidence boost).
+TABLE2_CONFIDENCE = MappingProxyType(
+    {
+        "designing_own_research": (2.5, 1.0),
+        "writing_scientific_report": (2.5, 1.2),
+        "using_tools_in_lab": (2.7, 1.2),
+        "preparing_scientific_poster": (2.9, 1.6),
+        "presenting_results_of_data": (3.1, 1.3),
+        "using_statistics_to_analyze_data": (3.2, 0.5),
+        "analyzing_data": (3.3, 0.7),
+        "collecting_data": (3.3, 0.7),
+        "managing_time": (3.5, 0.6),
+        "problem_solving_in_lab": (3.6, 0.4),
+        "understanding_scientific_articles": (3.7, 0.3),
+        "observing_research_in_lab": (3.7, 0.4),
+        "reading_scholarly_research": (3.7, 0.6),
+        "understanding_guest_lectures": (3.8, 0.2),
+        "research_team_experience": (3.8, 0.6),
+        "speaking_with_professors": (3.9, 0.4),
+        "research_relevance_recognition": (3.9, 0.7),
+        "grasping_summer_research_basics": (3.9, 0.7),
+    }
+)
+
+# Table 3: topic area -> (a-priori knowledge mean, increase).
+TABLE3_KNOWLEDGE = MappingProxyType(
+    {
+        "trust_in_computational_research": (2.0, 1.6),
+        "reproducibility_of_research": (2.3, 1.6),
+        "research_careers": (2.4, 0.8),
+        "ethics_in_research": (2.7, 0.9),
+        "engineering_careers": (2.9, 0.5),
+    }
+)
+
+# Narrative statistics quoted in the running text.
+NARRATIVE = MappingProxyType(
+    {
+        "applicants": 85,
+        "external_positions": 10,
+        "a_priori_responses": 15,
+        "post_hoc_responses": 10,
+        "complete_post_hoc_responses": 9,
+        "phd_intent_apriori_mean": 3.2,
+        "phd_intent_apriori_mode": 3,
+        "phd_intent_posthoc_mean": 3.6,
+        "phd_intent_posthoc_mode": 4,
+        "recommenders_reu_mode": 2,
+        "recommenders_reu_range": (2, 4),
+        "recommenders_home_mode": 2,
+        "recommenders_home_range": (1, 5),
+        "recommenders_external_mode": 1,
+        "recommenders_external_range": (0, 5),
+        "goals_accomplished_by_all": 5,
+        "n_unique_goals": 19,
+        "n_projects": 11,
+    }
+)
+
+# Section 3: "the five skills where students gained the most confidence"
+# with their post-hoc means.
+TOP5_CONFIDENCE_GAINS = (
+    ("preparing_scientific_poster", 4.4),
+    ("presenting_results_of_data", 4.4),
+    ("using_tools_in_lab", 3.9),
+    ("writing_scientific_report", 3.8),
+    ("designing_own_research", 3.4),
+)

@@ -1,0 +1,119 @@
+"""Side-by-side rendering of regenerated tables against the paper."""
+
+from __future__ import annotations
+
+from repro.core.analysis import (
+    NarrativeStats,
+    narrative_stats,
+    table1,
+    table2,
+    table3,
+)
+from repro.core.program import SeasonOutcome
+from repro.core.reference import (
+    NARRATIVE,
+    TABLE1_GOALS,
+    TABLE2_CONFIDENCE,
+    TABLE3_KNOWLEDGE,
+)
+from repro.utils.tables import Table
+
+__all__ = [
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_narrative",
+    "render_season_report",
+]
+
+
+def render_table1(outcome: SeasonOutcome) -> str:
+    """Table 1 (goals accomplished), paper vs regenerated."""
+    t = Table(
+        ["goal", "paper", "ours"],
+        title="Table 1: goals accomplished (out of complete respondents)",
+        decimals=0,
+    )
+    for row in table1(outcome):
+        t.add_row([row.goal, TABLE1_GOALS[row.goal], row.accomplished])
+    return t.render()
+
+
+def render_table2(outcome: SeasonOutcome) -> str:
+    """Table 2 (confidence), paper vs regenerated."""
+    t = Table(
+        ["skill", "paper_apriori", "ours_apriori", "paper_boost", "ours_boost"],
+        title="Table 2: research-skill confidence",
+        decimals=1,
+    )
+    for row in table2(outcome):
+        paper_a, paper_b = TABLE2_CONFIDENCE[row.skill]
+        t.add_row([row.skill, paper_a, row.apriori_mean, paper_b, row.boost])
+    return t.render()
+
+
+def render_table3(outcome: SeasonOutcome) -> str:
+    """Table 3 (knowledge), paper vs regenerated."""
+    t = Table(
+        ["area", "paper_apriori", "ours_apriori", "paper_incr", "ours_incr"],
+        title="Table 3: topic-area knowledge",
+        decimals=1,
+    )
+    for row in table3(outcome):
+        paper_a, paper_i = TABLE3_KNOWLEDGE[row.area]
+        t.add_row([row.area, paper_a, row.apriori_mean, paper_i, row.increase])
+    return t.render()
+
+
+def render_narrative(stats: NarrativeStats) -> str:
+    """Narrative statistics, paper vs regenerated."""
+    t = Table(["statistic", "paper", "ours"], title="Narrative statistics", decimals=1)
+    t.add_row(["applicants", NARRATIVE["applicants"], stats.n_applicants])
+    t.add_row(
+        ["a-priori responses", NARRATIVE["a_priori_responses"], stats.apriori_responses]
+    )
+    t.add_row(
+        ["post-hoc responses", NARRATIVE["post_hoc_responses"], stats.posthoc_responses]
+    )
+    t.add_row(
+        [
+            "complete post-hoc",
+            NARRATIVE["complete_post_hoc_responses"],
+            stats.complete_posthoc_responses,
+        ]
+    )
+    t.add_row(
+        [
+            "PhD intent mean (pre -> post)",
+            f"{NARRATIVE['phd_intent_apriori_mean']} -> {NARRATIVE['phd_intent_posthoc_mean']}",
+            f"{stats.phd_intent_apriori_mean} -> {stats.phd_intent_posthoc_mean}",
+        ]
+    )
+    t.add_row(
+        [
+            "recommenders (REU) mode",
+            NARRATIVE["recommenders_reu_mode"],
+            stats.recommenders_reu_mode,
+        ]
+    )
+    t.add_row(
+        [
+            "goals accomplished by all",
+            NARRATIVE["goals_accomplished_by_all"],
+            stats.goals_accomplished_by_all,
+        ]
+    )
+    return t.render()
+
+
+def render_season_report(outcome: SeasonOutcome) -> str:
+    """The full comparison report for one simulated season."""
+    stats = narrative_stats(outcome)
+    return "\n\n".join(
+        [
+            render_table1(outcome),
+            render_table2(outcome),
+            render_table3(outcome),
+            render_narrative(stats),
+        ]
+    )

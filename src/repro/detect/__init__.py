@@ -1,0 +1,49 @@
+"""Object detection on video frames: lettuce vs weeds (paper section 2.6).
+
+The project trained detectors on frames extracted from field video.  The
+original dataset sampled frames densely, so consecutive frames overlap
+heavily; a "deaugmented" dataset sampled at a stride of a full frame width,
+so each frame shows unique content (and covers 24x the video length).  The
+finding — the deaugmented-trained model generalizes better, unsurprising
+given its coverage — is experiment E6.
+
+This package provides the synthetic field-video generator (a long field
+strip with lettuce and weed objects, sampled into frames at a configurable
+stride), a grid detector (tiny YOLO-style per-cell classifier on
+:mod:`repro.nn`), cell-level detection metrics, and the train/compare
+harness.
+"""
+
+from repro.detect.data import (
+    CELL,
+    FieldStrip,
+    FrameDataset,
+    extract_frames,
+    make_field_strip,
+)
+from repro.detect.metrics import DetectionReport, evaluate_detector
+from repro.detect.model import build_grid_detector, predict_cells
+from repro.detect.objects import (
+    ObjectReport,
+    evaluate_objects,
+    grid_to_objects,
+    match_objects,
+)
+from repro.detect.train import train_detector
+
+__all__ = [
+    "CELL",
+    "FieldStrip",
+    "FrameDataset",
+    "extract_frames",
+    "make_field_strip",
+    "DetectionReport",
+    "evaluate_detector",
+    "build_grid_detector",
+    "predict_cells",
+    "ObjectReport",
+    "evaluate_objects",
+    "grid_to_objects",
+    "match_objects",
+    "train_detector",
+]

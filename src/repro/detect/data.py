@@ -1,0 +1,164 @@
+"""Synthetic field video: a long strip with lettuce and weeds.
+
+A :class:`FieldStrip` is one crop row seen from above: soil-textured
+background, large circular "lettuce" plants near the row center, and small
+irregular "weeds" scattered around.  Frames are windows into the strip;
+their horizontal sampling stride controls content overlap — stride 2 px
+(the original video's effective stride) vs stride = frame width (the
+deaugmented set).
+
+Labels are per grid cell (``CELL`` px square): background / lettuce / weed,
+assigned by which object center falls in the cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+__all__ = ["CELL", "FieldStrip", "FrameDataset", "make_field_strip", "extract_frames"]
+
+CELL = 4  # label-grid cell size in pixels
+BACKGROUND, LETTUCE, WEED = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class FieldStrip:
+    """One rendered crop row.
+
+    Attributes
+    ----------
+    image:
+        Float RGB strip, shape ``(H, W_total, 3)`` in [0, 1].
+    cell_labels:
+        Per-cell class grid, shape ``(H // CELL, W_total // CELL)``.
+    """
+
+    image: np.ndarray
+    cell_labels: np.ndarray
+
+    @property
+    def height(self) -> int:
+        return int(self.image.shape[0])
+
+    @property
+    def width(self) -> int:
+        return int(self.image.shape[1])
+
+
+@dataclass(frozen=True)
+class FrameDataset:
+    """Frames extracted from a strip plus their per-cell labels."""
+
+    frames: np.ndarray       # (N, H, W, 3)
+    cell_labels: np.ndarray  # (N, H // CELL, W // CELL)
+    offsets: np.ndarray      # (N,) horizontal pixel offset of each frame
+
+    def __len__(self) -> int:
+        return int(self.frames.shape[0])
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Mean fractional horizontal overlap of consecutive frames."""
+        if len(self) < 2:
+            return 0.0
+        width = self.frames.shape[2]
+        gaps = np.diff(np.sort(self.offsets))
+        return float(np.clip(1.0 - gaps / width, 0.0, 1.0).mean())
+
+
+def _stamp_disk(
+    image: np.ndarray, cy: int, cx: int, radius: int, color: np.ndarray
+) -> None:
+    """Blend a soft disk of ``color`` into ``image`` (in place)."""
+    h, w, _ = image.shape
+    y0, y1 = max(0, cy - radius), min(h, cy + radius + 1)
+    x0, x1 = max(0, cx - radius), min(w, cx + radius + 1)
+    yy, xx = np.mgrid[y0:y1, x0:x1]
+    d2 = (yy - cy) ** 2 + (xx - cx) ** 2
+    mask = np.clip(1.0 - d2 / (radius**2 + 1e-9), 0.0, 1.0)[..., None]
+    image[y0:y1, x0:x1] = image[y0:y1, x0:x1] * (1 - mask) + color * mask
+
+
+def make_field_strip(
+    total_width: int = 768,
+    height: int = 32,
+    *,
+    lettuce_spacing: int = 28,
+    weed_rate: float = 0.35,
+    seed: int | np.random.Generator | None = 0,
+) -> FieldStrip:
+    """Render one field strip.
+
+    Lettuce plants sit near the row centerline every ``lettuce_spacing`` px
+    (with jitter); weeds appear per lettuce-interval with probability
+    ``weed_rate`` at random positions.  ``total_width`` and ``height`` must
+    be multiples of :data:`CELL`.
+    """
+    if total_width % CELL or height % CELL:
+        raise ValueError(f"dimensions must be multiples of {CELL}")
+    check_positive("lettuce_spacing", lettuce_spacing)
+    rng = as_generator(seed)
+    # Soil background: brown with speckle.
+    base = np.array([0.35, 0.25, 0.15])
+    image = base + rng.normal(0.0, 0.03, size=(height, total_width, 3))
+    labels = np.zeros((height // CELL, total_width // CELL), dtype=int)
+    lettuce_color = np.array([0.15, 0.65, 0.2])
+    weed_color = np.array([0.6, 0.55, 0.05])
+    for x in range(lettuce_spacing // 2, total_width, lettuce_spacing):
+        cx = int(np.clip(x + rng.integers(-4, 5), 0, total_width - 1))
+        cy = int(np.clip(height // 2 + rng.integers(-3, 4), 0, height - 1))
+        radius = int(rng.integers(4, 7))
+        _stamp_disk(image, cy, cx, radius, lettuce_color)
+        labels[cy // CELL, cx // CELL] = LETTUCE
+        if rng.random() < weed_rate:
+            wx = int(np.clip(x + rng.integers(-lettuce_spacing // 2, lettuce_spacing // 2), 0, total_width - 1))
+            wy = int(rng.integers(2, height - 2))
+            # Keep weeds out of the lettuce cell so labels stay unambiguous.
+            if (wy // CELL, wx // CELL) != (cy // CELL, cx // CELL):
+                _stamp_disk(image, wy, wx, int(rng.integers(2, 5)), weed_color)
+                labels[wy // CELL, wx // CELL] = WEED
+    image = np.clip(image, 0.0, 1.0)
+    return FieldStrip(image=image, cell_labels=labels)
+
+
+def extract_frames(
+    strip: FieldStrip,
+    n_frames: int,
+    frame_width: int = 32,
+    *,
+    stride: int,
+    start: int = 0,
+) -> FrameDataset:
+    """Cut ``n_frames`` windows of ``frame_width`` px every ``stride`` px.
+
+    ``stride < frame_width`` yields overlapping frames (the original video
+    dataset); ``stride == frame_width`` yields unique content (the
+    deaugmented dataset).  Raises if the strip is too short.
+    """
+    if n_frames < 1:
+        raise ValueError(f"n_frames must be >= 1, got {n_frames}")
+    check_positive("stride", stride)
+    if frame_width % CELL or stride % CELL:
+        raise ValueError(f"frame_width and stride must be multiples of {CELL}")
+    last = start + (n_frames - 1) * stride + frame_width
+    if last > strip.width:
+        raise ValueError(
+            f"need {last} px of strip, have {strip.width} "
+            f"(n_frames={n_frames}, stride={stride})"
+        )
+    offsets = start + stride * np.arange(n_frames)
+    frames = np.stack(
+        [strip.image[:, o : o + frame_width] for o in offsets]
+    )
+    cells = np.stack(
+        [
+            strip.cell_labels[:, o // CELL : (o + frame_width) // CELL]
+            for o in offsets
+        ]
+    )
+    return FrameDataset(frames=frames, cell_labels=cells, offsets=offsets)

@@ -1,0 +1,67 @@
+"""Cell-level detection metrics.
+
+Per-class precision/recall/F1 on the label grid, plus the macro-F1 over the
+two object classes (background excluded) used as the generalization score
+in experiment E6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detect.data import FrameDataset
+from repro.detect.model import N_CLASSES, predict_cells
+from repro.nn import Sequential
+
+__all__ = ["DetectionReport", "evaluate_detector"]
+
+CLASS_NAMES = ("background", "lettuce", "weed")
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Detection quality on one dataset."""
+
+    precision: tuple[float, ...]  # per class
+    recall: tuple[float, ...]
+    f1: tuple[float, ...]
+    cell_accuracy: float
+
+    @property
+    def object_macro_f1(self) -> float:
+        """Mean F1 over lettuce and weed (the generalization score)."""
+        return float(np.mean(self.f1[1:]))
+
+    def as_dict(self) -> dict[str, float]:
+        out: dict[str, float] = {"cell_accuracy": self.cell_accuracy}
+        for i, name in enumerate(CLASS_NAMES):
+            out[f"precision_{name}"] = self.precision[i]
+            out[f"recall_{name}"] = self.recall[i]
+            out[f"f1_{name}"] = self.f1[i]
+        out["object_macro_f1"] = self.object_macro_f1
+        return out
+
+
+def evaluate_detector(model: Sequential, dataset: FrameDataset) -> DetectionReport:
+    """Evaluate per-cell predictions against the dataset's label grid."""
+    pred = predict_cells(model, dataset.frames).ravel()
+    true = np.asarray(dataset.cell_labels).ravel()
+    precision, recall, f1 = [], [], []
+    for c in range(N_CLASSES):
+        tp = float(np.sum((pred == c) & (true == c)))
+        fp = float(np.sum((pred == c) & (true != c)))
+        fn = float(np.sum((pred != c) & (true == c)))
+        p = tp / (tp + fp) if tp + fp else 0.0
+        r = tp / (tp + fn) if tp + fn else 0.0
+        f = 2 * p * r / (p + r) if p + r else 0.0
+        precision.append(p)
+        recall.append(r)
+        f1.append(f)
+    return DetectionReport(
+        precision=tuple(precision),
+        recall=tuple(recall),
+        f1=tuple(f1),
+        cell_accuracy=float((pred == true).mean()),
+    )

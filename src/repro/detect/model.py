@@ -1,0 +1,44 @@
+"""The grid detector: a tiny YOLO-style per-cell classifier.
+
+Three conv blocks downsample a frame by :data:`~repro.detect.data.CELL` so
+the output spatial grid aligns 1:1 with the label grid; a final 1x1
+convolution emits per-cell class logits (background / lettuce / weed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detect.data import CELL
+from repro.nn import Conv2D, MaxPool2D, ReLU, Sequential
+
+__all__ = ["build_grid_detector", "predict_cells"]
+
+N_CLASSES = 3
+
+
+def build_grid_detector(*, width: int = 12, seed: int = 0) -> Sequential:
+    """Construct the detector.
+
+    Output shape for input ``(B, H, W, 3)`` is ``(B, H/CELL, W/CELL, 3)``
+    — per-cell logits.  ``width`` is the base channel count.
+    """
+    if CELL != 4:  # the two pooling stages assume a 4-px cell
+        raise AssertionError("detector architecture assumes CELL == 4")
+    return Sequential(
+        [
+            Conv2D(3, width, 3, seed=seed),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(width, 2 * width, 3, seed=seed + 1),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(2 * width, N_CLASSES, 1, seed=seed + 2),
+        ]
+    )
+
+
+def predict_cells(model: Sequential, frames: np.ndarray) -> np.ndarray:
+    """Per-cell class predictions, shape ``(B, H/CELL, W/CELL)``."""
+    logits = model.predict(np.asarray(frames, dtype=float), batch_size=32)
+    return logits.argmax(axis=-1)

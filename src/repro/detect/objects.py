@@ -1,0 +1,129 @@
+"""Object-level detection metrics.
+
+Cell-level F1 (``repro.detect.metrics``) scores the label grid; a detector
+user cares about *objects*: how many lettuce plants / weeds were found,
+with how many false alarms.  This module groups per-cell predictions into
+objects via connected-component labeling (shared with
+:mod:`repro.histopath.postprocess`), takes component centroids as detected
+object centers, and greedily matches them to ground-truth centers within a
+cell-distance tolerance — yielding object precision/recall/F1, the
+YOLO-style quantity the paper's project reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detect.data import FrameDataset
+from repro.detect.model import N_CLASSES, predict_cells
+from repro.histopath.postprocess import label_components
+from repro.nn import Sequential
+
+__all__ = ["ObjectReport", "grid_to_objects", "match_objects", "evaluate_objects"]
+
+
+def grid_to_objects(cell_grid: np.ndarray, class_id: int) -> np.ndarray:
+    """Centroids of connected components of ``class_id`` cells.
+
+    Returns ``(K, 2)`` array of (row, col) centroids in cell coordinates.
+    """
+    mask = np.asarray(cell_grid) == class_id
+    labels = label_components(mask, connectivity=8)
+    centers = []
+    for component in range(1, labels.max() + 1):
+        ys, xs = np.nonzero(labels == component)
+        centers.append((ys.mean(), xs.mean()))
+    return np.array(centers).reshape(-1, 2)
+
+
+def match_objects(
+    predicted: np.ndarray, truth: np.ndarray, *, tolerance: float = 1.5
+) -> tuple[int, int, int]:
+    """Greedy nearest-first matching of predicted to true centers.
+
+    Returns ``(true_positives, false_positives, false_negatives)``.  Each
+    truth center matches at most one prediction, within ``tolerance`` cells.
+    """
+    predicted = np.asarray(predicted, dtype=float).reshape(-1, 2)
+    truth = np.asarray(truth, dtype=float).reshape(-1, 2)
+    if len(predicted) == 0 or len(truth) == 0:
+        return 0, len(predicted), len(truth)
+    d = np.linalg.norm(predicted[:, None] - truth[None, :], axis=2)
+    pred_used = np.zeros(len(predicted), dtype=bool)
+    true_used = np.zeros(len(truth), dtype=bool)
+    # Greedy globally-nearest pairs first.
+    order = np.argsort(d, axis=None)
+    tp = 0
+    for flat in order:
+        i, j = divmod(int(flat), len(truth))
+        if d[i, j] > tolerance:
+            break
+        if pred_used[i] or true_used[j]:
+            continue
+        pred_used[i] = True
+        true_used[j] = True
+        tp += 1
+    return tp, int((~pred_used).sum()), int((~true_used).sum())
+
+
+@dataclass(frozen=True)
+class ObjectReport:
+    """Object-level detection quality per class."""
+
+    class_names: tuple[str, ...]
+    true_positives: tuple[int, ...]
+    false_positives: tuple[int, ...]
+    false_negatives: tuple[int, ...]
+
+    def precision(self, class_index: int) -> float:
+        tp, fp = self.true_positives[class_index], self.false_positives[class_index]
+        return tp / (tp + fp) if tp + fp else 0.0
+
+    def recall(self, class_index: int) -> float:
+        tp, fn = self.true_positives[class_index], self.false_negatives[class_index]
+        return tp / (tp + fn) if tp + fn else 0.0
+
+    def f1(self, class_index: int) -> float:
+        p, r = self.precision(class_index), self.recall(class_index)
+        return 2 * p * r / (p + r) if p + r else 0.0
+
+    @property
+    def macro_f1(self) -> float:
+        return float(np.mean([self.f1(i) for i in range(len(self.class_names))]))
+
+
+def evaluate_objects(
+    model: Sequential,
+    dataset: FrameDataset,
+    *,
+    tolerance: float = 1.5,
+) -> ObjectReport:
+    """Object-level evaluation over every frame (classes 1..N-1).
+
+    Background (class 0) has no objects; lettuce and weed components are
+    matched frame by frame.
+    """
+    predictions = predict_cells(model, dataset.frames)
+    truth = np.asarray(dataset.cell_labels)
+    names = ("lettuce", "weed")
+    tps = [0, 0]
+    fps = [0, 0]
+    fns = [0, 0]
+    for f in range(len(dataset)):
+        for k, class_id in enumerate(range(1, N_CLASSES)):
+            tp, fp, fn = match_objects(
+                grid_to_objects(predictions[f], class_id),
+                grid_to_objects(truth[f], class_id),
+                tolerance=tolerance,
+            )
+            tps[k] += tp
+            fps[k] += fp
+            fns[k] += fn
+    return ObjectReport(
+        class_names=names,
+        true_positives=tuple(tps),
+        false_positives=tuple(fps),
+        false_negatives=tuple(fns),
+    )

@@ -1,0 +1,37 @@
+"""ML-based computational histopathology (paper section 2.7).
+
+The project trained one model to mimic a pathologist's workflow: zoom out
+to segment tissue, zoom in to detect/count cells — two tasks with a
+dependence the model should exploit.  On the OCELOT-like synthetic data
+here (tissue and cell annotations on the same patches), a shared trunk
+feeds a tissue-segmentation head and a cell-count head; experiment E7
+compares multi-task training against single-task baselines and runs the
+paper's ablations: hyper-parameter (learning-rate) search, data
+augmentation, and fine-tuning a pretrained backbone.
+"""
+
+from repro.histopath.augment import augment_dataset
+from repro.histopath.crossval import FoldScore, kfold_evaluate
+from repro.histopath.data import HistoPatch, PatchDataset, make_patches
+from repro.histopath.metrics import count_mae, dice_score
+from repro.histopath.model import MultiTaskModel, build_model
+from repro.histopath.postprocess import count_blobs, counting_baseline, label_components
+from repro.histopath.train import pretrain_trunk, train_model
+
+__all__ = [
+    "augment_dataset",
+    "FoldScore",
+    "kfold_evaluate",
+    "HistoPatch",
+    "PatchDataset",
+    "make_patches",
+    "count_mae",
+    "dice_score",
+    "MultiTaskModel",
+    "build_model",
+    "count_blobs",
+    "counting_baseline",
+    "label_components",
+    "pretrain_trunk",
+    "train_model",
+]

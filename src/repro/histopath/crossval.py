@@ -1,0 +1,63 @@
+"""k-fold cross-validation harness for the E7 configuration comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.histopath.data import PatchDataset
+from repro.histopath.metrics import count_mae, dice_score
+from repro.histopath.model import MultiTaskModel
+from repro.utils.rng import as_generator
+
+__all__ = ["FoldScore", "kfold_evaluate"]
+
+
+@dataclass(frozen=True)
+class FoldScore:
+    """Per-fold metrics for one configuration."""
+
+    dice: tuple[float, ...]
+    mae: tuple[float, ...]
+
+    @property
+    def mean_dice(self) -> float:
+        return float(np.mean(self.dice))
+
+    @property
+    def mean_mae(self) -> float:
+        return float(np.mean(self.mae))
+
+
+def kfold_evaluate(
+    dataset: PatchDataset,
+    train_fn: Callable[[PatchDataset, int], MultiTaskModel],
+    *,
+    n_folds: int = 3,
+    seed: int | np.random.Generator | None = 0,
+) -> FoldScore:
+    """Cross-validate a training configuration.
+
+    ``train_fn(train_subset, fold_index)`` must return a trained model; the
+    harness evaluates Dice (segmentation) and count MAE on the held-out
+    fold.  Deterministic fold assignment given ``seed``.
+    """
+    if n_folds < 2:
+        raise ValueError(f"n_folds must be >= 2, got {n_folds}")
+    if len(dataset) < n_folds:
+        raise ValueError(f"{len(dataset)} samples cannot fill {n_folds} folds")
+    rng = as_generator(seed)
+    order = rng.permutation(len(dataset))
+    folds = np.array_split(order, n_folds)
+    dices, maes = [], []
+    for f, test_idx in enumerate(folds):
+        train_idx = np.concatenate([folds[g] for g in range(n_folds) if g != f])
+        model = train_fn(dataset.subset(train_idx), f)
+        test = dataset.subset(test_idx)
+        pred_mask = model.predict_mask(test.images)
+        pred_count = model.predict_count(test.images)
+        dices.append(dice_score(pred_mask, test.tissue_masks))
+        maes.append(count_mae(pred_count, test.cell_counts))
+    return FoldScore(dice=tuple(dices), mae=tuple(maes))

@@ -1,0 +1,33 @@
+"""Evaluation metrics for segmentation and counting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["dice_score", "count_mae"]
+
+
+def dice_score(pred_mask: np.ndarray, true_mask: np.ndarray) -> float:
+    """Mean Dice coefficient of binary masks over a batch.
+
+    A patch with no tissue in either mask scores 1.0 (vacuous agreement).
+    """
+    pred = np.asarray(pred_mask).astype(bool)
+    true = np.asarray(true_mask).astype(bool)
+    if pred.shape != true.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {true.shape}")
+    if pred.ndim == 2:
+        pred, true = pred[None], true[None]
+    inter = (pred & true).sum(axis=(1, 2)).astype(float)
+    sizes = pred.sum(axis=(1, 2)) + true.sum(axis=(1, 2))
+    dice = np.where(sizes > 0, 2.0 * inter / np.maximum(sizes, 1), 1.0)
+    return float(dice.mean())
+
+
+def count_mae(pred_counts: np.ndarray, true_counts: np.ndarray) -> float:
+    """Mean absolute error of cell-count regressions."""
+    pred = np.asarray(pred_counts, dtype=float)
+    true = np.asarray(true_counts, dtype=float)
+    if pred.shape != true.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {true.shape}")
+    return float(np.mean(np.abs(pred - true)))

@@ -1,0 +1,117 @@
+"""Shared-trunk multi-task model: tissue segmentation + cell counting.
+
+A convolutional trunk keeps full resolution (the patches are small); the
+segmentation head is a 1x1 convolution to per-pixel logits, the count head
+pools the trunk features and regresses the cell count.  Either head can be
+trained alone (single-task baselines) or both jointly with a task-weighted
+loss (the multi-task configuration the paper's project aimed for).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    Conv2D,
+    Dense,
+    GlobalAveragePool,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+
+__all__ = ["MultiTaskModel", "build_model"]
+
+
+class MultiTaskModel:
+    """Trunk + (segmentation head, count head)."""
+
+    def __init__(self, trunk: Sequential, seg_head: Sequential, count_head: Sequential) -> None:
+        self.trunk = trunk
+        self.seg_head = seg_head
+        self.count_head = count_head
+        self._features: np.ndarray | None = None
+
+    # -- forward -------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return (seg_logits ``(B,H,W,2)``, counts ``(B,)``)."""
+        feats = self.trunk.forward(np.asarray(x, dtype=float))
+        self._features = feats
+        seg = self.seg_head.forward(feats)
+        count = self.count_head.forward(feats)[:, 0]
+        return seg, count
+
+    def backward(self, dseg: np.ndarray | None, dcount: np.ndarray | None) -> None:
+        """Backprop one or both heads into the shared trunk."""
+        if dseg is None and dcount is None:
+            raise ValueError("at least one head gradient is required")
+        assert self._features is not None, "backward before forward"
+        grad = np.zeros_like(self._features)
+        if dseg is not None:
+            grad += self.seg_head.backward(dseg)
+        if dcount is not None:
+            grad += self.count_head.backward(dcount[:, None])
+        self.trunk.backward(grad)
+
+    # -- inference -------------------------------------------------------
+
+    def predict_mask(self, x: np.ndarray, *, batch_size: int = 64) -> np.ndarray:
+        """Per-pixel tissue predictions ``(B, H, W)`` in eval mode."""
+        self.eval()
+        out = []
+        for i in range(0, len(x), batch_size):
+            seg, _ = self.forward(np.asarray(x[i : i + batch_size], dtype=float))
+            out.append(seg.argmax(axis=-1))
+        return np.concatenate(out)
+
+    def predict_count(self, x: np.ndarray, *, batch_size: int = 64) -> np.ndarray:
+        """Cell-count regressions ``(B,)`` in eval mode."""
+        self.eval()
+        out = []
+        for i in range(0, len(x), batch_size):
+            _, count = self.forward(np.asarray(x[i : i + batch_size], dtype=float))
+            out.append(count)
+        return np.concatenate(out)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def parameters(self, *, heads: str = "both") -> list[Parameter]:
+        """Trainable parameters; ``heads`` in {'both', 'seg', 'count'}."""
+        params = self.trunk.parameters()
+        if heads in ("both", "seg"):
+            params = params + self.seg_head.parameters()
+        if heads in ("both", "count"):
+            params = params + self.count_head.parameters()
+        if heads not in ("both", "seg", "count"):
+            raise ValueError(f"heads must be 'both', 'seg' or 'count', got {heads!r}")
+        return params
+
+    def train(self) -> None:
+        for part in (self.trunk, self.seg_head, self.count_head):
+            part.train()
+
+    def eval(self) -> None:
+        for part in (self.trunk, self.seg_head, self.count_head):
+            part.eval()
+
+    def trunk_state(self) -> dict[str, np.ndarray]:
+        return self.trunk.state_dict()
+
+    def load_trunk_state(self, state: dict[str, np.ndarray]) -> None:
+        self.trunk.load_state_dict(state)
+
+
+def build_model(*, width: int = 12, seed: int = 0) -> MultiTaskModel:
+    """Construct the study's standard architecture."""
+    trunk = Sequential(
+        [
+            Conv2D(1, width, 3, seed=seed),
+            ReLU(),
+            Conv2D(width, width, 3, seed=seed + 1),
+            ReLU(),
+        ]
+    )
+    seg_head = Sequential([Conv2D(width, 2, 1, seed=seed + 2)])
+    count_head = Sequential([GlobalAveragePool(), Dense(width, 1, seed=seed + 3)])
+    return MultiTaskModel(trunk, seg_head, count_head)

@@ -1,0 +1,108 @@
+"""Training loops for the histopathology model.
+
+``train_model`` supports three modes matching the E7 comparison arms:
+``"multitask"`` (joint loss), ``"seg"`` (segmentation only), ``"count"``
+(counting only).  ``pretrain_trunk`` trains a segmentation-only model on a
+separate (larger) dataset and returns its trunk weights — the
+"fine-tuning a pretrained backbone" ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.histopath.data import PatchDataset
+from repro.histopath.model import MultiTaskModel, build_model
+from repro.nn import Adam, softmax
+from repro.utils.rng import as_generator
+
+__all__ = ["train_model", "pretrain_trunk"]
+
+# Counts are regressed in units of ~typical cells-per-patch so the MSE term
+# starts on the same scale as the segmentation cross-entropy.
+COUNT_SCALE = 10.0
+
+
+def _seg_gradient(seg_logits: np.ndarray, masks: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean per-pixel CE over the batch and its logits gradient."""
+    b, h, w, c = seg_logits.shape
+    flat = seg_logits.reshape(-1, c)
+    labels = masks.reshape(-1)
+    probs = softmax(flat, axis=1)
+    n = flat.shape[0]
+    eps = 1e-12
+    loss = float(-np.log(probs[np.arange(n), labels] + eps).mean())
+    dflat = probs
+    dflat[np.arange(n), labels] -= 1.0
+    dflat /= n
+    return loss, dflat.reshape(b, h, w, c)
+
+
+def _count_gradient(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """MSE in scaled count units and its gradient."""
+    diff = (pred - target) / COUNT_SCALE
+    loss = float(np.mean(diff**2))
+    return loss, (2.0 / len(pred)) * diff / COUNT_SCALE
+
+
+def train_model(
+    dataset: PatchDataset,
+    *,
+    mode: str = "multitask",
+    seg_weight: float = 1.0,
+    count_weight: float = 1.0,
+    epochs: int = 30,
+    lr: float = 3e-3,
+    batch_size: int = 16,
+    width: int = 12,
+    seed: int = 0,
+    model: MultiTaskModel | None = None,
+) -> MultiTaskModel:
+    """Train (or fine-tune, when ``model`` is given) and return the model."""
+    if mode not in ("multitask", "seg", "count"):
+        raise ValueError(f"mode must be multitask/seg/count, got {mode!r}")
+    if epochs < 1:
+        raise ValueError(f"epochs must be >= 1, got {epochs}")
+    rng = as_generator(seed)
+    net = model if model is not None else build_model(width=width, seed=seed)
+    heads = {"multitask": "both", "seg": "seg", "count": "count"}[mode]
+    optimizer = Adam(net.parameters(heads=heads), lr)
+    x = dataset.images
+    net.train()
+    for _ in range(epochs):
+        order = rng.permutation(len(x))
+        for start in range(0, len(x), batch_size):
+            idx = order[start : start + batch_size]
+            seg_logits, counts = net.forward(x[idx])
+            dseg = dcount = None
+            if mode in ("multitask", "seg"):
+                _, dseg = _seg_gradient(seg_logits, dataset.tissue_masks[idx])
+                dseg = dseg * seg_weight
+            if mode in ("multitask", "count"):
+                _, dcount = _count_gradient(counts, dataset.cell_counts[idx])
+                dcount = dcount * count_weight
+            optimizer.zero_grad()
+            net.backward(dseg, dcount)
+            optimizer.step()
+    net.eval()
+    return net
+
+
+def pretrain_trunk(
+    pretrain_data: PatchDataset,
+    *,
+    epochs: int = 20,
+    lr: float = 3e-3,
+    width: int = 12,
+    seed: int = 100,
+) -> dict[str, np.ndarray]:
+    """Pretrain on segmentation alone; return the trunk's state dict.
+
+    Mirrors the project's "fine-tuning pre-trained backbone for improved
+    convergence": segmentation is the data-rich task, so its features
+    transfer to the count head.
+    """
+    model = train_model(
+        pretrain_data, mode="seg", epochs=epochs, lr=lr, width=width, seed=seed
+    )
+    return model.trunk_state()

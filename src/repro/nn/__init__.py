@@ -1,0 +1,88 @@
+"""A from-scratch NumPy deep-learning substrate.
+
+The student projects in the reproduced paper (particle filters, machine
+unlearning, histopathology, reinforcement learning, malware classification)
+were written in PyTorch on GPUs.  This package is the laptop-scale
+substitute: a small but complete layer/optimizer/training stack implemented
+with vectorized NumPy, following the HPC-Python idioms of the course guides
+(im2col convolutions, fused softmax-cross-entropy, in-place optimizer
+updates, no Python-level loops over samples).
+
+Public surface
+--------------
+* layers: :class:`Dense`, :class:`Conv1D`, :class:`Conv2D`,
+  :class:`MaxPool2D`, :class:`GlobalAveragePool`, :class:`Embedding`,
+  :class:`LayerNorm`, :class:`Dropout`, :class:`Flatten`,
+  :class:`MultiHeadSelfAttention`, :class:`PositionalEncoding`,
+  :class:`TransformerBlock`, activations (:class:`ReLU`, :class:`GELU`,
+  :class:`Tanh`, :class:`Sigmoid`)
+* model container: :class:`Sequential`
+* losses: :func:`softmax_cross_entropy`, :func:`mse_loss`, :func:`softmax`
+* optimizers: :class:`SGD`, :class:`Adam`
+* training: :func:`fit`, :func:`evaluate_accuracy`, :class:`TrainConfig`,
+  :class:`History`
+* verification: :func:`numeric_gradient`, :func:`check_gradients`
+"""
+
+from repro.nn.activations import GELU, ReLU, Sigmoid, Tanh
+from repro.nn.attention import (
+    MultiHeadSelfAttention,
+    PositionalEncoding,
+    TransformerBlock,
+)
+from repro.nn.conv import Conv1D, Conv2D, GlobalAveragePool, GlobalMaxPool, MaxPool2D
+from repro.nn.gradcheck import check_gradients, numeric_gradient
+from repro.nn.io import load_model, model_digest, save_model
+from repro.nn.layers import (
+    BatchNorm,
+    Dense,
+    Dropout,
+    Embedding,
+    Flatten,
+    Layer,
+    LayerNorm,
+    Parameter,
+)
+from repro.nn.losses import mse_loss, softmax, softmax_cross_entropy
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.train import History, TrainConfig, evaluate_accuracy, fit
+
+__all__ = [
+    "GELU",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "MultiHeadSelfAttention",
+    "PositionalEncoding",
+    "TransformerBlock",
+    "Conv1D",
+    "Conv2D",
+    "GlobalAveragePool",
+    "GlobalMaxPool",
+    "MaxPool2D",
+    "check_gradients",
+    "numeric_gradient",
+    "load_model",
+    "model_digest",
+    "save_model",
+    "BatchNorm",
+    "Dense",
+    "Dropout",
+    "Embedding",
+    "Flatten",
+    "Layer",
+    "LayerNorm",
+    "Parameter",
+    "mse_loss",
+    "softmax",
+    "softmax_cross_entropy",
+    "Sequential",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "History",
+    "TrainConfig",
+    "evaluate_accuracy",
+    "fit",
+]

@@ -1,0 +1,90 @@
+"""Elementwise activation layers.
+
+Each activation caches only what its backward pass needs (guide idiom: be
+easy on memory — keep views where possible, avoid gratuitous copies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+__all__ = ["ReLU", "Sigmoid", "Tanh", "GELU"]
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad, 0.0)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid."""
+
+    def __init__(self) -> None:
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        # Numerically stable piecewise evaluation.
+        out = np.empty_like(np.asarray(x, dtype=float))
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        self._out = out
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad * self._out * (1.0 - self._out)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent."""
+
+    def __init__(self) -> None:
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad * (1.0 - self._out**2)
+
+
+class GELU(Layer):
+    """Gaussian error linear unit (tanh approximation, as used in BERT)."""
+
+    _C = np.sqrt(2.0 / np.pi)
+
+    def __init__(self) -> None:
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = np.asarray(x, dtype=float)
+        inner = self._C * (x + 0.044715 * x**3)
+        return 0.5 * x * (1.0 + np.tanh(inner))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        x = self._x
+        inner = self._C * (x + 0.044715 * x**3)
+        t = np.tanh(inner)
+        dinner = self._C * (1.0 + 3 * 0.044715 * x**2)
+        return grad * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t**2) * dinner)

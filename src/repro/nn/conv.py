@@ -1,0 +1,275 @@
+"""Convolution and pooling layers (channels-last, vectorized).
+
+Forward passes use :func:`numpy.lib.stride_tricks.sliding_window_view`, which
+creates a zero-copy view of all receptive fields, and a single ``einsum``
+contraction — no Python loop over the batch or spatial positions (guide
+idiom: vectorize; use views, not copies).  Backward passes loop only over the
+kernel taps (K or K*K iterations, each a full-batch GEMM).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.nn.layers import Layer, Parameter, he_normal
+from repro.utils.rng import as_generator
+
+__all__ = ["Conv1D", "Conv2D", "MaxPool2D", "GlobalAveragePool"]
+
+
+def _pad_amount(size: int, kernel: int, stride: int, padding: str) -> int:
+    """Total padding along one axis for 'same' (stride-aware) or 'valid'."""
+    if padding == "valid":
+        return 0
+    if padding == "same":
+        out = -(-size // stride)  # ceil division
+        return max((out - 1) * stride + kernel - size, 0)
+    raise ValueError(f"padding must be 'same' or 'valid', got {padding!r}")
+
+
+class Conv1D(Layer):
+    """1-D convolution over sequences shaped ``(B, T, C_in)``.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel widths.
+    kernel_size:
+        Receptive-field length K.
+    stride:
+        Temporal stride.
+    padding:
+        ``'same'`` (output length ceil(T/stride)) or ``'valid'``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        *,
+        stride: int = 1,
+        padding: str = "same",
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if kernel_size < 1 or stride < 1:
+            raise ValueError("kernel_size and stride must be >= 1")
+        rng = as_generator(seed)
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.padding = padding
+        fan_in = in_channels * kernel_size
+        self.weight = Parameter(
+            "weight",
+            he_normal((kernel_size, in_channels, out_channels), rng, fan_in=fan_in),
+        )
+        self.bias = Parameter("bias", np.zeros(out_channels))
+        self._cache: tuple[np.ndarray, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 3 or x.shape[2] != self.in_channels:
+            raise ValueError(
+                f"Conv1D expected (B, T, {self.in_channels}), got {x.shape}"
+            )
+        pad = _pad_amount(x.shape[1], self.kernel_size, self.stride, self.padding)
+        if pad:
+            x = np.pad(x, ((0, 0), (pad // 2, pad - pad // 2), (0, 0)))
+        self._cache = (x, pad)
+        # (B, T_pad - K + 1, C, K) -> stride slice -> contract taps+channels.
+        win = sliding_window_view(x, self.kernel_size, axis=1)[:, :: self.stride]
+        out = np.einsum("btck,kco->bto", win, self.weight.value, optimize=True)
+        return out + self.bias.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_pad, pad = self._cache
+        win = sliding_window_view(x_pad, self.kernel_size, axis=1)[:, :: self.stride]
+        self.weight.grad += np.einsum("btck,bto->kco", win, grad, optimize=True)
+        self.bias.grad += grad.sum(axis=(0, 1))
+        dx = np.zeros_like(x_pad)
+        t_out = grad.shape[1]
+        # One full-batch GEMM per kernel tap.
+        for k in range(self.kernel_size):
+            contrib = grad @ self.weight.value[k].T  # (B, T_out, C_in)
+            dx[:, k : k + t_out * self.stride : self.stride] += contrib
+        if pad:
+            lo = pad // 2
+            dx = dx[:, lo : dx.shape[1] - (pad - lo)]
+        return dx
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+
+class Conv2D(Layer):
+    """2-D convolution over images shaped ``(B, H, W, C_in)``."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        *,
+        stride: int = 1,
+        padding: str = "same",
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if kernel_size < 1 or stride < 1:
+            raise ValueError("kernel_size and stride must be >= 1")
+        rng = as_generator(seed)
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            "weight",
+            he_normal(
+                (kernel_size, kernel_size, in_channels, out_channels),
+                rng,
+                fan_in=fan_in,
+            ),
+        )
+        self.bias = Parameter("bias", np.zeros(out_channels))
+        self._cache: tuple[np.ndarray, int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 4 or x.shape[3] != self.in_channels:
+            raise ValueError(
+                f"Conv2D expected (B, H, W, {self.in_channels}), got {x.shape}"
+            )
+        k, s = self.kernel_size, self.stride
+        pad_h = _pad_amount(x.shape[1], k, s, self.padding)
+        pad_w = _pad_amount(x.shape[2], k, s, self.padding)
+        if pad_h or pad_w:
+            x = np.pad(
+                x,
+                (
+                    (0, 0),
+                    (pad_h // 2, pad_h - pad_h // 2),
+                    (pad_w // 2, pad_w - pad_w // 2),
+                    (0, 0),
+                ),
+            )
+        self._cache = (x, pad_h, pad_w)
+        win = sliding_window_view(x, (k, k), axis=(1, 2))[:, ::s, ::s]
+        # win: (B, H_out, W_out, C, k, k); weight: (k, k, C, O).
+        out = np.einsum("bhwcij,ijco->bhwo", win, self.weight.value, optimize=True)
+        return out + self.bias.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_pad, pad_h, pad_w = self._cache
+        k, s = self.kernel_size, self.stride
+        win = sliding_window_view(x_pad, (k, k), axis=(1, 2))[:, ::s, ::s]
+        self.weight.grad += np.einsum("bhwcij,bhwo->ijco", win, grad, optimize=True)
+        self.bias.grad += grad.sum(axis=(0, 1, 2))
+        dx = np.zeros_like(x_pad)
+        h_out, w_out = grad.shape[1], grad.shape[2]
+        for i in range(k):
+            for j in range(k):
+                contrib = grad @ self.weight.value[i, j].T  # (B, H_out, W_out, C)
+                dx[:, i : i + h_out * s : s, j : j + w_out * s : s] += contrib
+        lo_h, lo_w = pad_h // 2, pad_w // 2
+        if pad_h or pad_w:
+            dx = dx[
+                :,
+                lo_h : dx.shape[1] - (pad_h - lo_h),
+                lo_w : dx.shape[2] - (pad_w - lo_w),
+            ]
+        return dx
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping max pooling over ``(B, H, W, C)``.
+
+    ``H`` and ``W`` must be divisible by ``pool``; with random continuous
+    inputs argmax ties have measure zero, and on ties the gradient is routed
+    to the first maximal element (matching ``argmax`` semantics).
+    """
+
+    def __init__(self, pool: int = 2) -> None:
+        if pool < 1:
+            raise ValueError("pool must be >= 1")
+        self.pool = int(pool)
+        self._cache: tuple[np.ndarray, tuple[int, ...]] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        p = self.pool
+        b, h, w, c = x.shape
+        if h % p or w % p:
+            raise ValueError(f"spatial dims {h}x{w} not divisible by pool {p}")
+        blocks = x.reshape(b, h // p, p, w // p, p, c)
+        flat = blocks.transpose(0, 1, 3, 5, 2, 4).reshape(b, h // p, w // p, c, p * p)
+        arg = flat.argmax(axis=-1)
+        self._cache = (arg, x.shape)
+        return np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        arg, shape = self._cache
+        b, h, w, c = shape
+        p = self.pool
+        flat = np.zeros((b, h // p, w // p, c, p * p))
+        np.put_along_axis(flat, arg[..., None], grad[..., None], axis=-1)
+        blocks = flat.reshape(b, h // p, w // p, c, p, p).transpose(0, 1, 4, 2, 5, 3)
+        return blocks.reshape(b, h, w, c)
+
+
+class GlobalMaxPool(Layer):
+    """Max over all spatial axes: ``(B, ..., C)`` -> ``(B, C)``.
+
+    Used as max-over-time pooling in sequence CNNs (one feature per filter,
+    wherever in the sequence it fires — which is what lets a convolutional
+    malware classifier see signatures anywhere in a long opcode stream).
+    """
+
+    def __init__(self) -> None:
+        self._cache: tuple[np.ndarray, tuple[int, ...]] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        shape = x.shape
+        flat = x.reshape(shape[0], -1, shape[-1])
+        arg = flat.argmax(axis=1)
+        self._cache = (arg, shape)
+        return np.take_along_axis(flat, arg[:, None, :], axis=1)[:, 0, :]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        arg, shape = self._cache
+        flat = np.zeros((shape[0], int(np.prod(shape[1:-1])), shape[-1]))
+        np.put_along_axis(flat, arg[:, None, :], grad[:, None, :], axis=1)
+        return flat.reshape(shape)
+
+
+class GlobalAveragePool(Layer):
+    """Average over all spatial axes: ``(B, ..., C)`` -> ``(B, C)``."""
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        axes = tuple(range(1, x.ndim - 1))
+        return x.mean(axis=axes)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        shape = self._shape
+        spatial = int(np.prod(shape[1:-1]))
+        expand = grad.reshape(shape[0], *(1,) * (len(shape) - 2), shape[-1])
+        return np.broadcast_to(expand / spatial, shape).copy()

@@ -1,0 +1,102 @@
+"""Numeric gradient verification.
+
+Central-difference checking of analytic backward passes is how the test
+suite certifies every layer in :mod:`repro.nn`; it is exposed publicly so
+downstream extensions (new layers) can verify themselves the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+__all__ = ["numeric_gradient", "check_gradients"]
+
+
+def numeric_gradient(
+    f: Callable[[np.ndarray], float], x: np.ndarray, *, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``f`` at ``x``.
+
+    O(n) function evaluations per element — intended for small test tensors
+    only.
+    """
+    x = np.asarray(x, dtype=float)
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        f_plus = f(x)
+        flat[i] = orig - eps
+        f_minus = f(x)
+        flat[i] = orig
+        gflat[i] = (f_plus - f_minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    layer: Layer,
+    x: np.ndarray,
+    *,
+    eps: float = 1e-6,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Verify ``layer.backward`` against central differences.
+
+    Uses the scalar objective ``sum(forward(x) * R)`` with a fixed random
+    projection ``R`` so every output element participates.  Checks both the
+    input gradient and every parameter gradient; raises ``AssertionError``
+    with the offending tensor's name on mismatch.
+
+    Returns
+    -------
+    dict
+        Max absolute error per checked tensor (``"input"`` plus parameter
+        names), for reporting.
+    """
+    rng = np.random.default_rng(seed)
+    x = np.asarray(x)
+    differentiable_input = np.issubdtype(x.dtype, np.floating)
+    if differentiable_input:
+        x = x.astype(float)
+    out = layer.forward(x)
+    projection = rng.normal(size=out.shape)
+
+    def objective_wrt_input(x_val: np.ndarray) -> float:
+        return float(np.sum(layer.forward(x_val) * projection))
+
+    errors: dict[str, float] = {}
+
+    # Analytic pass.
+    for p in layer.parameters():
+        p.zero_grad()
+    layer.forward(x)
+    analytic_dx = layer.backward(projection)
+
+    if differentiable_input:
+        numeric_dx = numeric_gradient(objective_wrt_input, x.copy(), eps=eps)
+        err = float(np.max(np.abs(analytic_dx - numeric_dx))) if x.size else 0.0
+        errors["input"] = err
+        if not np.allclose(analytic_dx, numeric_dx, atol=atol, rtol=rtol):
+            raise AssertionError(f"input gradient mismatch (max abs err {err:.3e})")
+
+    for i, p in enumerate(layer.parameters()):
+        def objective_wrt_param(_: np.ndarray, _p=p) -> float:
+            return float(np.sum(layer.forward(x) * projection))
+
+        numeric_dp = numeric_gradient(objective_wrt_param, p.value, eps=eps)
+        name = f"{i}.{p.name}"
+        err = float(np.max(np.abs(p.grad - numeric_dp)))
+        errors[name] = err
+        if not np.allclose(p.grad, numeric_dp, atol=atol, rtol=rtol):
+            raise AssertionError(
+                f"parameter gradient mismatch for {name} (max abs err {err:.3e})"
+            )
+    return errors

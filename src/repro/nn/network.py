@@ -1,0 +1,89 @@
+"""Model container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer, Parameter
+
+__all__ = ["Sequential"]
+
+
+class Sequential(Layer):
+    """A linear stack of layers with whole-model forward/backward.
+
+    Examples
+    --------
+    >>> from repro.nn import Dense, ReLU, Sequential
+    >>> model = Sequential([Dense(4, 8, seed=0), ReLU(), Dense(8, 2, seed=1)])
+    >>> import numpy as np
+    >>> model(np.zeros((3, 4))).shape
+    (3, 2)
+    """
+
+    def __init__(self, layers: list[Layer]) -> None:
+        if not layers:
+            raise ValueError("Sequential requires at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def train(self) -> None:
+        self.training = True
+        for layer in self.layers:
+            layer.train()
+
+    def eval(self) -> None:
+        self.training = False
+        for layer in self.layers:
+            layer.eval()
+
+    def predict(self, x: np.ndarray, *, batch_size: int = 256) -> np.ndarray:
+        """Run inference in eval mode, batched to bound peak memory."""
+        was_training = self.training
+        self.eval()
+        try:
+            outputs = [
+                self.forward(x[i : i + batch_size])
+                for i in range(0, len(x), batch_size)
+            ]
+        finally:
+            if was_training:
+                self.train()
+        return np.concatenate(outputs, axis=0)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of all parameter values, keyed by position and name."""
+        return {
+            f"{i}.{j}.{p.name}": p.value.copy()
+            for i, layer in enumerate(self.layers)
+            for j, p in enumerate(layer.parameters())
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore parameters saved by :meth:`state_dict` (shapes must match)."""
+        for i, layer in enumerate(self.layers):
+            for j, p in enumerate(layer.parameters()):
+                key = f"{i}.{j}.{p.name}"
+                if key not in state:
+                    raise KeyError(f"missing parameter {key!r} in state dict")
+                if state[key].shape != p.value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key!r}: "
+                        f"{state[key].shape} vs {p.value.shape}"
+                    )
+                p.value[...] = state[key]

@@ -1,0 +1,116 @@
+"""Optimizers operating in place on :class:`~repro.nn.layers.Parameter`.
+
+Updates mutate ``Parameter.value`` with in-place NumPy operations (guide
+idiom: ``a *= x`` rather than ``a = a * x``) so no per-step reallocation of
+the weight tensors occurs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimizer bound to a fixed parameter list."""
+
+    def __init__(self, params: list[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        if not params:
+            raise ValueError("params must be non-empty")
+        self.params = list(params)
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        """Clear all gradient accumulators."""
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def clip_grad_norm(self, max_norm: float) -> float:
+        """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+        Returns the pre-clipping norm (useful for training diagnostics).
+        """
+        total = float(
+            np.sqrt(sum(float(np.sum(p.grad**2)) for p in self.params))
+        )
+        if total > max_norm > 0:
+            scale = max_norm / (total + 1e-12)
+            for p in self.params:
+                p.grad *= scale
+        return total
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 0.01,
+        *,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must lie in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity = [np.zeros_like(p.value) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.value
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                g = v
+            p.value -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        *,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        for name, b in (("beta1", beta1), ("beta2", beta2)):
+            if not 0.0 <= b < 1.0:
+                raise ValueError(f"{name} must lie in [0, 1), got {b}")
+        self.beta1, self.beta2, self.eps = float(beta1), float(beta2), float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m = [np.zeros_like(p.value) for p in self.params]
+        self._v = [np.zeros_like(p.value) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.value
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p.value -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)

@@ -1,0 +1,130 @@
+"""Mini-batch training loop and evaluation helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.losses import softmax_cross_entropy
+from repro.nn.network import Sequential
+from repro.nn.optim import Optimizer
+from repro.utils.rng import as_generator
+
+__all__ = ["TrainConfig", "History", "fit", "evaluate_accuracy"]
+
+LossFn = Callable[[np.ndarray, np.ndarray], tuple[float, np.ndarray]]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyper-parameters for :func:`fit`."""
+
+    epochs: int = 5
+    batch_size: int = 32
+    shuffle: bool = True
+    clip_norm: float = 0.0  # 0 disables clipping
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {self.epochs}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+
+
+@dataclass
+class History:
+    """Per-epoch training trace."""
+
+    loss: list[float] = field(default_factory=list)
+    accuracy: list[float] = field(default_factory=list)
+    val_accuracy: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.loss[-1] if self.loss else float("nan")
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.accuracy[-1] if self.accuracy else float("nan")
+
+
+def evaluate_accuracy(
+    model: Sequential, x: np.ndarray, y: np.ndarray, *, batch_size: int = 256
+) -> float:
+    """Top-1 accuracy of ``model`` on ``(x, y)``."""
+    logits = model.predict(x, batch_size=batch_size)
+    return float((logits.argmax(axis=1) == np.asarray(y)).mean())
+
+
+def fit(
+    model: Sequential,
+    optimizer: Optimizer,
+    x: np.ndarray,
+    y: np.ndarray,
+    config: TrainConfig | None = None,
+    *,
+    loss_fn: LossFn = softmax_cross_entropy,
+    validation: tuple[np.ndarray, np.ndarray] | None = None,
+) -> History:
+    """Train ``model`` with mini-batch gradient descent.
+
+    Parameters
+    ----------
+    model, optimizer:
+        The network and an optimizer already bound to its parameters.
+    x, y:
+        Training inputs and integer labels (or regression targets when a
+        custom ``loss_fn`` is supplied).
+    config:
+        :class:`TrainConfig`; defaults are suitable for the toy scales used
+        in the test-suite.
+    loss_fn:
+        Fused loss returning ``(scalar, dlogits)``.
+    validation:
+        Optional ``(x_val, y_val)`` evaluated at the end of every epoch.
+
+    Returns
+    -------
+    History
+        Per-epoch mean loss, training accuracy, and validation accuracy.
+    """
+    cfg = config or TrainConfig()
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if len(x) != len(y):
+        raise ValueError(f"x and y disagree on sample count: {len(x)} vs {len(y)}")
+    if len(x) == 0:
+        raise ValueError("training set is empty")
+    rng = as_generator(cfg.seed)
+    history = History()
+    classification = loss_fn is softmax_cross_entropy
+    model.train()
+    for _ in range(cfg.epochs):
+        order = rng.permutation(len(x)) if cfg.shuffle else np.arange(len(x))
+        losses: list[float] = []
+        correct = 0
+        for start in range(0, len(x), cfg.batch_size):
+            idx = order[start : start + cfg.batch_size]
+            xb, yb = x[idx], y[idx]
+            logits = model.forward(xb)
+            loss, dlogits = loss_fn(logits, yb)
+            optimizer.zero_grad()
+            model.backward(dlogits)
+            if cfg.clip_norm > 0:
+                optimizer.clip_grad_norm(cfg.clip_norm)
+            optimizer.step()
+            losses.append(loss)
+            if classification:
+                correct += int((logits.argmax(axis=1) == yb).sum())
+        history.loss.append(float(np.mean(losses)))
+        history.accuracy.append(correct / len(x) if classification else float("nan"))
+        if validation is not None:
+            history.val_accuracy.append(
+                evaluate_accuracy(model, validation[0], validation[1])
+            )
+            model.train()
+    model.eval()
+    return history

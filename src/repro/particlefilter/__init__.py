@@ -1,0 +1,48 @@
+"""Particle filter for temporal event location (paper section 2.2).
+
+The project: locate *where in a known schedule* a live performance is, from
+imperfect sensor readings, when environment features are **not** repeatedly
+observable — each event (a concert piece/cue) happens once.  The filter
+tracks a latent score position and tempo; observations are noisy feature
+vectors of the currently-sounding event.
+
+The paper's headline: a *fast weighting function* that is "much faster and
+almost as accurate as the typical Gaussian weighting function", preferable
+"in applications that demand low latency or frequent updates".  Both
+weighting kernels live in :mod:`repro.particlefilter.weighting` and the
+accuracy/latency comparison is experiment E2.
+"""
+
+from repro.particlefilter.filter import ParticleFilter, TrackingResult, track
+from repro.particlefilter.metrics import (
+    FilterHealth,
+    OnsetReport,
+    event_onsets,
+    filter_health,
+    onset_report,
+)
+from repro.particlefilter.schedule import ConcertSchedule, Performance, make_schedule
+from repro.particlefilter.weighting import (
+    EpanechnikovWeighting,
+    GaussianWeighting,
+    TriangularWeighting,
+    WeightingFunction,
+)
+
+__all__ = [
+    "ParticleFilter",
+    "TrackingResult",
+    "track",
+    "FilterHealth",
+    "OnsetReport",
+    "event_onsets",
+    "filter_health",
+    "onset_report",
+    "ConcertSchedule",
+    "Performance",
+    "make_schedule",
+    "EpanechnikovWeighting",
+    "GaussianWeighting",
+    "TriangularWeighting",
+    "WeightingFunction",
+]

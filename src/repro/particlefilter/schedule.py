@@ -1,0 +1,145 @@
+"""Concert schedules and simulated performances.
+
+A :class:`ConcertSchedule` is an ordered sequence of distinct events with
+planned durations, each carrying a feature vector (think: spectral signature
+of a musical section).  A :class:`Performance` realizes the schedule with a
+drifting tempo and emits noisy observations of the currently-sounding
+event's features — every event occurs exactly once, which is what defeats
+the usual "repeatedly observable landmark" particle-filter assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+__all__ = ["ConcertSchedule", "Performance", "make_schedule"]
+
+
+@dataclass(frozen=True)
+class ConcertSchedule:
+    """Planned event sequence.
+
+    Parameters
+    ----------
+    durations:
+        Planned duration of each event, seconds, shape ``(E,)``.
+    features:
+        Feature vector per event, shape ``(E, D)``; rows should be
+        distinguishable (the generator draws them well-separated).
+    """
+
+    durations: np.ndarray
+    features: np.ndarray
+
+    def __post_init__(self) -> None:
+        durations = np.asarray(self.durations, dtype=float)
+        features = np.asarray(self.features, dtype=float)
+        if durations.ndim != 1 or durations.size == 0:
+            raise ValueError("durations must be a non-empty 1-D array")
+        if np.any(durations <= 0):
+            raise ValueError("all durations must be positive")
+        if features.ndim != 2 or features.shape[0] != durations.size:
+            raise ValueError(
+                f"features must be (E, D) with E={durations.size}, got {features.shape}"
+            )
+        object.__setattr__(self, "durations", durations)
+        object.__setattr__(self, "features", features)
+        object.__setattr__(self, "_boundaries", np.concatenate([[0.0], np.cumsum(durations)]))
+
+    @property
+    def n_events(self) -> int:
+        return int(self.durations.size)
+
+    @property
+    def total_duration(self) -> float:
+        return float(self.durations.sum())
+
+    @property
+    def boundaries(self) -> np.ndarray:
+        """Event start times plus the final end time, shape ``(E + 1,)``."""
+        return self._boundaries  # type: ignore[attr-defined]
+
+    def event_at(self, positions: np.ndarray | float) -> np.ndarray:
+        """Index of the event sounding at each score position (vectorized).
+
+        Positions are clipped into ``[0, total_duration)``.
+        """
+        pos = np.clip(np.asarray(positions, dtype=float), 0.0, self.total_duration * (1 - 1e-12))
+        return np.searchsorted(self.boundaries, pos, side="right") - 1
+
+    def features_at(self, positions: np.ndarray | float) -> np.ndarray:
+        """Feature vectors of the events at the given score positions."""
+        return self.features[self.event_at(positions)]
+
+
+def make_schedule(
+    n_events: int = 12,
+    feature_dim: int = 8,
+    *,
+    mean_duration: float = 20.0,
+    seed: int | np.random.Generator | None = 0,
+) -> ConcertSchedule:
+    """Generate a schedule with well-separated unit-norm event features."""
+    if n_events < 2:
+        raise ValueError(f"n_events must be >= 2, got {n_events}")
+    check_positive("mean_duration", mean_duration)
+    rng = as_generator(seed)
+    durations = rng.uniform(0.5 * mean_duration, 1.5 * mean_duration, size=n_events)
+    features = rng.normal(size=(n_events, feature_dim))
+    features /= np.linalg.norm(features, axis=1, keepdims=True)
+    return ConcertSchedule(durations=durations, features=features)
+
+
+@dataclass
+class Performance:
+    """A simulated live rendition of a schedule.
+
+    The true tempo follows a bounded random walk around 1.0 (score seconds
+    per wall-clock second); observations are the sounding event's feature
+    vector plus isotropic Gaussian noise.
+    """
+
+    schedule: ConcertSchedule
+    tempo_volatility: float = 0.02
+    tempo_bounds: tuple[float, float] = (0.7, 1.4)
+    observation_noise: float = 0.3
+    seed: int | np.random.Generator | None = 0
+
+    def __post_init__(self) -> None:
+        check_positive("tempo_volatility", self.tempo_volatility)
+        check_positive("observation_noise", self.observation_noise)
+        lo, hi = self.tempo_bounds
+        if not 0 < lo < hi:
+            raise ValueError(f"tempo_bounds must satisfy 0 < lo < hi, got {self.tempo_bounds}")
+
+    def simulate(self, dt: float = 1.0) -> tuple[np.ndarray, np.ndarray]:
+        """Run the performance to the end of the schedule.
+
+        Returns
+        -------
+        (positions, observations):
+            True score position at each tick, shape ``(T,)``, and the
+            observation matrix, shape ``(T, D)``.
+        """
+        check_positive("dt", dt)
+        rng = as_generator(self.seed)
+        total = self.schedule.total_duration
+        lo, hi = self.tempo_bounds
+        positions: list[float] = []
+        tempo = 1.0
+        pos = 0.0
+        while pos < total:
+            positions.append(pos)
+            tempo = float(np.clip(tempo + rng.normal(0.0, self.tempo_volatility), lo, hi))
+            pos += tempo * dt
+        true_positions = np.array(positions)
+        clean = self.schedule.features_at(true_positions)
+        observations = clean + rng.normal(
+            0.0, self.observation_noise, size=clean.shape
+        )
+        return true_positions, observations

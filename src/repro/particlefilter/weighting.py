@@ -1,0 +1,105 @@
+"""Particle weighting kernels.
+
+The "typical" kernel is Gaussian: ``w = exp(-d^2 / (2*sigma^2))``, requiring
+a transcendental per particle.  The project's *fast* kernels replace the
+exponential with compactly-supported polynomials — triangular
+(``max(0, 1 - |d|/c)``) and Epanechnikov (``max(0, 1 - (d/c)^2)``) — that
+need only arithmetic the hardware pipelines natively.  On every backend we
+measured (NumPy here; the paper used PyTorch tensors on GPU) the polynomial
+kernels are severalfold cheaper per update while ranking particles almost
+identically, which is what preserves tracking accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "WeightingFunction",
+    "GaussianWeighting",
+    "TriangularWeighting",
+    "EpanechnikovWeighting",
+]
+
+_FLOOR = 1e-300  # keeps weights strictly positive so normalization is safe
+
+
+class WeightingFunction:
+    """Maps observation-to-particle distances to unnormalized weights."""
+
+    name = "base"
+
+    def __call__(self, distances: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def support_radius(self) -> float:
+        """Distance beyond which the kernel is (effectively) zero."""
+        raise NotImplementedError  # pragma: no cover
+
+
+class GaussianWeighting(WeightingFunction):
+    """The typical kernel: ``exp(-d^2 / (2 sigma^2))``."""
+
+    name = "gaussian"
+
+    def __init__(self, sigma: float = 0.5) -> None:
+        check_positive("sigma", sigma)
+        self.sigma = float(sigma)
+
+    def __call__(self, distances: np.ndarray) -> np.ndarray:
+        d = np.asarray(distances, dtype=float)
+        out = d * (1.0 / self.sigma)
+        np.multiply(out, out, out=out)
+        out *= -0.5
+        np.exp(out, out=out)
+        out += _FLOOR
+        return out
+
+    def support_radius(self) -> float:
+        return 5.0 * self.sigma
+
+
+class TriangularWeighting(WeightingFunction):
+    """Fast kernel: ``max(0, 1 - |d| / cutoff)`` — one subtract, one clip."""
+
+    name = "triangular"
+
+    def __init__(self, cutoff: float = 1.5) -> None:
+        check_positive("cutoff", cutoff)
+        self.cutoff = float(cutoff)
+
+    def __call__(self, distances: np.ndarray) -> np.ndarray:
+        d = np.asarray(distances, dtype=float)
+        out = np.abs(d)
+        out *= -1.0 / self.cutoff
+        out += 1.0
+        np.clip(out, 0.0, None, out=out)
+        out += _FLOOR
+        return out
+
+    def support_radius(self) -> float:
+        return self.cutoff
+
+
+class EpanechnikovWeighting(WeightingFunction):
+    """Fast kernel: ``max(0, 1 - (d / cutoff)^2)`` — optimal-MSE kernel."""
+
+    name = "epanechnikov"
+
+    def __init__(self, cutoff: float = 1.5) -> None:
+        check_positive("cutoff", cutoff)
+        self.cutoff = float(cutoff)
+
+    def __call__(self, distances: np.ndarray) -> np.ndarray:
+        d = np.asarray(distances, dtype=float)
+        out = d * (1.0 / self.cutoff)
+        np.multiply(out, out, out=out)
+        np.subtract(1.0, out, out=out)
+        np.clip(out, 0.0, None, out=out)
+        out += _FLOOR
+        return out
+
+    def support_radius(self) -> float:
+        return self.cutoff

@@ -1,0 +1,35 @@
+"""Performance measurement of parallel computations — the lesson module.
+
+The paper's discussion section highlights "one lesson module for wider
+adoption ... on how to conduct performance measurement of parallel
+computations".  This package is that module as a library: repeated-
+measurement timing with robust statistics, the roofline model, and the
+classic scaling laws (Amdahl, Gustafson) with speedup/efficiency tables.
+"""
+
+from repro.perf.roofline import Machine, RooflinePoint, roofline_analysis
+from repro.perf.scaling import (
+    amdahl_speedup,
+    efficiency,
+    gustafson_speedup,
+    karp_flatt_metric,
+    scaling_table,
+)
+from repro.perf.profiler import SectionProfiler, SectionStats
+from repro.perf.timers import Measurement, measure, measure_pair
+
+__all__ = [
+    "Machine",
+    "RooflinePoint",
+    "roofline_analysis",
+    "amdahl_speedup",
+    "efficiency",
+    "gustafson_speedup",
+    "karp_flatt_metric",
+    "scaling_table",
+    "Measurement",
+    "measure",
+    "measure_pair",
+    "SectionProfiler",
+    "SectionStats",
+]

@@ -1,0 +1,118 @@
+"""Section profiling — "no optimization without measuring".
+
+A :class:`SectionProfiler` accumulates wall-clock time per named code
+section via a context manager, supports nesting, and renders the classic
+where-does-the-time-go table the optimization lesson starts from (the
+course guide's first step: profile simple use-cases to find bottlenecks,
+then optimize only those).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.utils.tables import Table
+
+__all__ = ["SectionProfiler", "SectionStats"]
+
+
+@dataclass
+class SectionStats:
+    """Accumulated timing of one named section."""
+
+    name: str
+    calls: int = 0
+    total_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+
+class SectionProfiler:
+    """Accumulating wall-clock profiler with nesting support.
+
+    Examples
+    --------
+    >>> prof = SectionProfiler()
+    >>> with prof.section("outer"):
+    ...     with prof.section("inner"):
+    ...         _ = sum(range(10))
+    >>> prof.stats("inner").calls
+    1
+    """
+
+    def __init__(self) -> None:
+        self._stats: dict[str, SectionStats] = {}
+        self._stack: list[str] = []
+
+    @contextmanager
+    def section(self, name: str):
+        """Time the enclosed block under ``name`` (re-entrant, nestable)."""
+        if not name:
+            raise ValueError("section name must be non-empty")
+        qualified = "/".join(self._stack + [name])
+        self._stack.append(name)
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self._stack.pop()
+            entry = self._stats.setdefault(qualified, SectionStats(qualified))
+            entry.calls += 1
+            entry.total_s += elapsed
+
+    def stats(self, name: str) -> SectionStats:
+        """Stats for a section by its qualified name (``outer/inner``).
+
+        Unqualified names match when unambiguous.
+        """
+        if name in self._stats:
+            return self._stats[name]
+        matches = [s for key, s in self._stats.items() if key.split("/")[-1] == name]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise KeyError(f"no section named {name!r}")
+        raise KeyError(
+            f"ambiguous section {name!r}; qualified names: "
+            f"{[m.name for m in matches]}"
+        )
+
+    @property
+    def total_s(self) -> float:
+        """Total time across top-level sections."""
+        return sum(
+            s.total_s for key, s in self._stats.items() if "/" not in key
+        )
+
+    def report(self) -> Table:
+        """Render the per-section table, sorted by total time descending."""
+        table = Table(
+            ["section", "calls", "total s", "mean s", "% of top"],
+            title="Section profile",
+            decimals=4,
+        )
+        total = self.total_s or 1.0
+        for entry in sorted(
+            self._stats.values(), key=lambda s: s.total_s, reverse=True
+        ):
+            table.add_row(
+                [
+                    entry.name,
+                    entry.calls,
+                    entry.total_s,
+                    entry.mean_s,
+                    100.0 * entry.total_s / total,
+                ]
+            )
+        return table
+
+    def reset(self) -> None:
+        """Clear all accumulated sections."""
+        if self._stack:
+            raise RuntimeError("cannot reset while sections are open")
+        self._stats.clear()

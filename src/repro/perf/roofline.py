@@ -1,0 +1,116 @@
+"""The roofline performance model.
+
+Lesson content (paper §2.5): attainable performance of a kernel on a machine
+is ``min(peak_flops, bandwidth * arithmetic_intensity)``.  Kernels left of
+the ridge point are memory-bound; right of it, compute-bound.  The machine
+models used throughout :mod:`repro.autotune` are defined here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+__all__ = ["Machine", "RooflinePoint", "roofline_analysis", "A100_LIKE", "EPYC_LIKE"]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """An analytic machine model for roofline analysis.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier.
+    peak_gflops:
+        Peak floating-point throughput (GFLOP/s).
+    bandwidth_gbs:
+        Peak main-memory bandwidth (GB/s).
+    cache_bytes:
+        Capacity of the last cache level the cost model tiles for.
+    cache_bandwidth_gbs:
+        Bandwidth when the working set fits in that cache.
+    """
+
+    name: str
+    peak_gflops: float
+    bandwidth_gbs: float
+    cache_bytes: int = 0
+    cache_bandwidth_gbs: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("peak_gflops", self.peak_gflops)
+        check_positive("bandwidth_gbs", self.bandwidth_gbs)
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Arithmetic intensity (FLOP/byte) at the compute/memory crossover."""
+        return self.peak_gflops / self.bandwidth_gbs
+
+    def attainable_gflops(self, intensity: float, *, in_cache: bool = False) -> float:
+        """Roofline-attainable GFLOP/s at a given arithmetic intensity."""
+        check_positive("intensity", intensity)
+        bw = self.cache_bandwidth_gbs if in_cache and self.cache_bandwidth_gbs else self.bandwidth_gbs
+        return min(self.peak_gflops, bw * intensity)
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position on a machine's roofline."""
+
+    kernel: str
+    flops: float
+    bytes_moved: float
+    attainable_gflops: float
+    bound: str  # "memory" or "compute"
+
+    @property
+    def intensity(self) -> float:
+        return self.flops / self.bytes_moved
+
+
+def roofline_analysis(
+    machine: Machine, kernel: str, flops: float, bytes_moved: float
+) -> RooflinePoint:
+    """Place a kernel on ``machine``'s roofline.
+
+    Parameters
+    ----------
+    flops:
+        Total floating-point operations the kernel performs.
+    bytes_moved:
+        Total bytes of compulsory main-memory traffic.
+    """
+    check_positive("flops", flops)
+    check_positive("bytes_moved", bytes_moved)
+    intensity = flops / bytes_moved
+    attainable = machine.attainable_gflops(intensity)
+    bound = "compute" if intensity >= machine.ridge_intensity else "memory"
+    return RooflinePoint(
+        kernel=kernel,
+        flops=flops,
+        bytes_moved=bytes_moved,
+        attainable_gflops=attainable,
+        bound=bound,
+    )
+
+
+# Reference machine models, calibrated to the public spec sheets of the
+# hardware used in the paper's compiler-optimization project (paper 2.5).
+# Absolute numbers are nominal; only the ratios matter for the experiments.
+A100_LIKE = Machine(
+    name="a100-like-gpu",
+    peak_gflops=19_500.0,  # FP32 peak of an A100 (no tensor cores)
+    bandwidth_gbs=1_555.0,
+    cache_bytes=40 * 1024 * 1024,
+    cache_bandwidth_gbs=5_000.0,
+)
+
+EPYC_LIKE = Machine(
+    name="epyc-7513-like-cpu",
+    peak_gflops=1_300.0,  # 32 cores * 2.6 GHz * 16 FP32 FLOP/cycle
+    bandwidth_gbs=204.8,
+    cache_bytes=128 * 1024 * 1024,
+    cache_bandwidth_gbs=1_000.0,
+)

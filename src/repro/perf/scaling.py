@@ -1,0 +1,80 @@
+"""Parallel scaling laws: Amdahl, Gustafson, Karp-Flatt.
+
+Lesson content: strong scaling is bounded by the serial fraction (Amdahl);
+weak scaling rescues efficiency by growing the problem (Gustafson); and the
+Karp-Flatt metric recovers the *experimentally determined* serial fraction
+from measured speedups, exposing parallelization overhead growth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.tables import Table
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = [
+    "amdahl_speedup",
+    "gustafson_speedup",
+    "efficiency",
+    "karp_flatt_metric",
+    "scaling_table",
+]
+
+
+def amdahl_speedup(serial_fraction: float, n_workers: int | np.ndarray) -> np.ndarray:
+    """Amdahl's-law speedup ``1 / (s + (1-s)/n)`` (strong scaling)."""
+    check_probability("serial_fraction", serial_fraction)
+    n = np.asarray(n_workers, dtype=float)
+    if np.any(n < 1):
+        raise ValueError("n_workers must be >= 1")
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / n)
+
+
+def gustafson_speedup(serial_fraction: float, n_workers: int | np.ndarray) -> np.ndarray:
+    """Gustafson's-law scaled speedup ``n - s*(n-1)`` (weak scaling)."""
+    check_probability("serial_fraction", serial_fraction)
+    n = np.asarray(n_workers, dtype=float)
+    if np.any(n < 1):
+        raise ValueError("n_workers must be >= 1")
+    return n - serial_fraction * (n - 1.0)
+
+
+def efficiency(speedup: float | np.ndarray, n_workers: int | np.ndarray) -> np.ndarray:
+    """Parallel efficiency ``speedup / n``."""
+    n = np.asarray(n_workers, dtype=float)
+    if np.any(n < 1):
+        raise ValueError("n_workers must be >= 1")
+    return np.asarray(speedup, dtype=float) / n
+
+
+def karp_flatt_metric(speedup: float, n_workers: int) -> float:
+    """Experimentally determined serial fraction (Karp & Flatt 1990).
+
+    ``e = (1/S - 1/n) / (1 - 1/n)``.  A value growing with ``n`` indicates
+    parallelization overhead beyond a constant serial fraction.
+    """
+    check_positive("speedup", speedup)
+    if n_workers < 2:
+        raise ValueError(f"n_workers must be >= 2, got {n_workers}")
+    return float((1.0 / speedup - 1.0 / n_workers) / (1.0 - 1.0 / n_workers))
+
+
+def scaling_table(
+    serial_fraction: float,
+    worker_counts: list[int],
+    *,
+    law: str = "amdahl",
+) -> Table:
+    """Render speedup and efficiency across worker counts as a text table."""
+    if law not in ("amdahl", "gustafson"):
+        raise ValueError(f"law must be 'amdahl' or 'gustafson', got {law!r}")
+    fn = amdahl_speedup if law == "amdahl" else gustafson_speedup
+    table = Table(
+        ["workers", "speedup", "efficiency"],
+        title=f"{law.capitalize()} scaling (serial fraction {serial_fraction:.2f})",
+    )
+    for n in worker_counts:
+        s = float(fn(serial_fraction, n))
+        table.add_row([n, s, float(efficiency(s, n))])
+    return table

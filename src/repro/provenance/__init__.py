@@ -1,0 +1,33 @@
+"""Reproducibility tooling — the program's "ingrained practices" as code.
+
+The paper argues that "trust fundamentally depends on reproducibility" and
+that "practices and habits that promote reproducibility ... must become
+ingrained into common practice".  This package provides those practices as a
+library: environment capture, a hash-chained experiment manifest, artifact
+packaging with checksum verification, and a deterministic-rerun verifier.
+
+Every benchmark in this repository records its runs through
+:class:`ExperimentManifest`, which is itself exercised by the test-suite.
+"""
+
+from repro.provenance.artifact import ArtifactBundle, package_artifact, verify_artifact
+from repro.provenance.env import EnvironmentSnapshot, capture_environment
+from repro.provenance.manifest import ExperimentManifest, RunEntry, stable_hash
+from repro.provenance.notebook import LabNotebook, NotebookStep, StepResult
+from repro.provenance.rerun import RerunReport, verify_deterministic
+
+__all__ = [
+    "ArtifactBundle",
+    "package_artifact",
+    "verify_artifact",
+    "EnvironmentSnapshot",
+    "capture_environment",
+    "ExperimentManifest",
+    "RunEntry",
+    "stable_hash",
+    "LabNotebook",
+    "NotebookStep",
+    "StepResult",
+    "RerunReport",
+    "verify_deterministic",
+]

@@ -1,0 +1,110 @@
+"""Artifact packaging and verification.
+
+Packages an experiment's files into a directory with a checksum manifest
+(``ARTIFACT.json``) so a reviewer can verify byte-level integrity — the
+"artifacts are code" lesson of the paper's artifact-evaluation project made
+operational.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["ArtifactBundle", "package_artifact", "verify_artifact"]
+
+MANIFEST_NAME = "ARTIFACT.json"
+
+
+@dataclass
+class ArtifactBundle:
+    """An in-memory artifact: named files plus descriptive metadata.
+
+    The paper's pilot study found authors treat documentation as separate
+    from the artifact proper, so the bundle distinguishes ``code`` files
+    from ``docs`` files and the badge rubric in :mod:`repro.ae` scores them
+    independently.
+    """
+
+    name: str
+    code: dict[str, bytes] = field(default_factory=dict)
+    docs: dict[str, bytes] = field(default_factory=dict)
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    def add_code(self, path: str, content: bytes | str) -> None:
+        self.code[path] = content.encode() if isinstance(content, str) else content
+
+    def add_doc(self, path: str, content: bytes | str) -> None:
+        self.docs[path] = content.encode() if isinstance(content, str) else content
+
+    def all_files(self) -> dict[str, bytes]:
+        """All files keyed by their role-prefixed path."""
+        merged = {f"code/{p}": c for p, c in self.code.items()}
+        merged.update({f"docs/{p}": c for p, c in self.docs.items()})
+        return merged
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def package_artifact(bundle: ArtifactBundle, out_dir: str | Path) -> Path:
+    """Write ``bundle`` under ``out_dir`` with a checksum manifest.
+
+    Returns the manifest path.  Refuses to overwrite an existing manifest —
+    artifacts are immutable once packaged.
+    """
+    root = Path(out_dir)
+    manifest_path = root / MANIFEST_NAME
+    if manifest_path.exists():
+        raise FileExistsError(f"artifact already packaged at {manifest_path}")
+    root.mkdir(parents=True, exist_ok=True)
+    checksums = {}
+    for rel, content in sorted(bundle.all_files().items()):
+        dest = root / rel
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        dest.write_bytes(content)
+        checksums[rel] = _sha256(content)
+    manifest_path.write_text(
+        json.dumps(
+            {
+                "name": bundle.name,
+                "metadata": bundle.metadata,
+                "checksums": checksums,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    )
+    return manifest_path
+
+
+def verify_artifact(artifact_dir: str | Path) -> list[str]:
+    """Verify a packaged artifact; return a list of problems (empty = ok).
+
+    Detects missing files, content drift (checksum mismatch), and stray
+    files present on disk but absent from the manifest.
+    """
+    root = Path(artifact_dir)
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.exists():
+        return [f"missing manifest {MANIFEST_NAME}"]
+    manifest = json.loads(manifest_path.read_text())
+    problems: list[str] = []
+    expected = manifest.get("checksums", {})
+    for rel, digest in sorted(expected.items()):
+        path = root / rel
+        if not path.exists():
+            problems.append(f"missing file: {rel}")
+        elif _sha256(path.read_bytes()) != digest:
+            problems.append(f"checksum mismatch: {rel}")
+    on_disk = {
+        str(p.relative_to(root))
+        for p in root.rglob("*")
+        if p.is_file() and p.name != MANIFEST_NAME
+    }
+    for stray in sorted(on_disk - set(expected)):
+        problems.append(f"unmanifested file: {stray}")
+    return problems

@@ -1,0 +1,63 @@
+"""Environment capture for experiment manifests."""
+
+from __future__ import annotations
+
+import platform
+import sys
+from dataclasses import dataclass
+from importlib import metadata
+
+__all__ = ["EnvironmentSnapshot", "capture_environment"]
+
+# Packages whose versions materially affect numerical results here.
+_TRACKED_PACKAGES = ("numpy", "scipy", "networkx", "pytest", "hypothesis")
+
+
+@dataclass(frozen=True)
+class EnvironmentSnapshot:
+    """Versions and platform facts relevant to reproducing a run."""
+
+    python_version: str
+    platform: str
+    machine: str
+    packages: tuple[tuple[str, str], ...]
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "python_version": self.python_version,
+            "platform": self.platform,
+            "machine": self.machine,
+            "packages": dict(self.packages),
+        }
+
+    def differs_from(self, other: "EnvironmentSnapshot") -> list[str]:
+        """Human-readable list of differences (empty when equivalent)."""
+        diffs: list[str] = []
+        if self.python_version != other.python_version:
+            diffs.append(
+                f"python: {self.python_version} vs {other.python_version}"
+            )
+        if self.platform != other.platform:
+            diffs.append(f"platform: {self.platform} vs {other.platform}")
+        mine, theirs = dict(self.packages), dict(other.packages)
+        for name in sorted(set(mine) | set(theirs)):
+            a, b = mine.get(name, "absent"), theirs.get(name, "absent")
+            if a != b:
+                diffs.append(f"{name}: {a} vs {b}")
+        return diffs
+
+
+def capture_environment() -> EnvironmentSnapshot:
+    """Snapshot the interpreter, platform, and tracked package versions."""
+    packages = []
+    for name in _TRACKED_PACKAGES:
+        try:
+            packages.append((name, metadata.version(name)))
+        except metadata.PackageNotFoundError:
+            packages.append((name, "absent"))
+    return EnvironmentSnapshot(
+        python_version=sys.version.split()[0],
+        platform=platform.platform(),
+        machine=platform.machine(),
+        packages=tuple(packages),
+    )

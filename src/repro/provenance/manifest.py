@@ -1,0 +1,180 @@
+"""Hash-chained experiment manifests.
+
+An :class:`ExperimentManifest` records each run's parameters, seed audit,
+and result digest, chaining entries like a ledger so post-hoc tampering with
+any earlier entry invalidates every later digest.  :func:`stable_hash`
+canonicalizes nested Python/NumPy values so semantically equal results hash
+equally across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["stable_hash", "RunEntry", "ExperimentManifest"]
+
+
+def _canonical(value: Any) -> Any:
+    """Convert a nested value to a JSON-stable canonical form."""
+    if isinstance(value, np.ndarray):
+        return {
+            "__ndarray__": True,
+            "dtype": str(value.dtype),
+            "shape": list(value.shape),
+            # Round to 12 significant digits so BLAS-order noise is ignored.
+            "data": [
+                float(f"{v:.12g}") if isinstance(v, float) else v
+                for v in np.asarray(value).ravel().tolist()
+            ],
+        }
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(f"{float(value):.12g}")
+    if isinstance(value, float):
+        return float(f"{value:.12g}")
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if hasattr(value, "as_dict"):
+        return _canonical(value.as_dict())
+    raise TypeError(f"cannot canonicalize value of type {type(value).__name__}")
+
+
+def stable_hash(value: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``value``."""
+    blob = json.dumps(_canonical(value), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunEntry:
+    """One recorded run, chained to its predecessor."""
+
+    index: int
+    name: str
+    params: dict[str, Any]
+    seed_audit: dict[str, int]
+    result_digest: str
+    prev_digest: str
+    entry_digest: str
+
+
+@dataclass
+class ExperimentManifest:
+    """An append-only, hash-chained record of experiment runs.
+
+    Examples
+    --------
+    >>> m = ExperimentManifest("demo")
+    >>> _ = m.record("trial", {"n": 4}, {}, result={"acc": 0.5})
+    >>> m.verify_chain()
+    True
+    """
+
+    experiment: str
+    entries: list[RunEntry] = field(default_factory=list)
+
+    GENESIS = "0" * 64
+
+    def record(
+        self,
+        name: str,
+        params: dict[str, Any],
+        seed_audit: dict[str, int],
+        *,
+        result: Any,
+    ) -> RunEntry:
+        """Append a run; returns the chained entry."""
+        prev = self.entries[-1].entry_digest if self.entries else self.GENESIS
+        result_digest = stable_hash(result)
+        entry_digest = stable_hash(
+            {
+                "experiment": self.experiment,
+                "index": len(self.entries),
+                "name": name,
+                "params": params,
+                "seed_audit": seed_audit,
+                "result_digest": result_digest,
+                "prev_digest": prev,
+            }
+        )
+        entry = RunEntry(
+            index=len(self.entries),
+            name=name,
+            params=dict(params),
+            seed_audit=dict(seed_audit),
+            result_digest=result_digest,
+            prev_digest=prev,
+            entry_digest=entry_digest,
+        )
+        self.entries.append(entry)
+        return entry
+
+    def verify_chain(self) -> bool:
+        """Recompute every digest; True iff the ledger is untampered."""
+        prev = self.GENESIS
+        for i, e in enumerate(self.entries):
+            expected = stable_hash(
+                {
+                    "experiment": self.experiment,
+                    "index": i,
+                    "name": e.name,
+                    "params": e.params,
+                    "seed_audit": e.seed_audit,
+                    "result_digest": e.result_digest,
+                    "prev_digest": prev,
+                }
+            )
+            if e.index != i or e.prev_digest != prev or e.entry_digest != expected:
+                return False
+            prev = e.entry_digest
+        return True
+
+    def to_json(self) -> str:
+        """Serialize the manifest (round-trips via :meth:`from_json`)."""
+        return json.dumps(
+            {
+                "experiment": self.experiment,
+                "entries": [
+                    {
+                        "index": e.index,
+                        "name": e.name,
+                        "params": _canonical(e.params),
+                        "seed_audit": e.seed_audit,
+                        "result_digest": e.result_digest,
+                        "prev_digest": e.prev_digest,
+                        "entry_digest": e.entry_digest,
+                    }
+                    for e in self.entries
+                ],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentManifest":
+        """Load a manifest serialized by :meth:`to_json`."""
+        data = json.loads(text)
+        manifest = cls(experiment=data["experiment"])
+        for raw in data["entries"]:
+            manifest.entries.append(
+                RunEntry(
+                    index=raw["index"],
+                    name=raw["name"],
+                    params=raw["params"],
+                    seed_audit={k: int(v) for k, v in raw["seed_audit"].items()},
+                    result_digest=raw["result_digest"],
+                    prev_digest=raw["prev_digest"],
+                    entry_digest=raw["entry_digest"],
+                )
+            )
+        return manifest

@@ -1,0 +1,131 @@
+"""A reproducible lab notebook.
+
+"Practices and habits that promote reproducibility — such as the use of
+Jupyter Notebook — must become ingrained into common practice."  A
+:class:`LabNotebook` is the library-level distillation of that practice:
+an ordered list of named steps (callables taking a seeded generator),
+executed top-to-bottom from one master seed, with every step's result
+digest recorded in a hash-chained manifest and the whole run renderable to
+markdown.  Re-running the notebook from the same seed must reproduce every
+digest — :meth:`verify_rerun` checks exactly that, turning "it works in my
+notebook" into a falsifiable claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.provenance.manifest import ExperimentManifest, stable_hash
+from repro.utils.rng import SeedSequenceLedger
+
+__all__ = ["NotebookStep", "StepResult", "LabNotebook"]
+
+StepFn = Callable[[np.random.Generator], Any]
+
+
+@dataclass(frozen=True)
+class NotebookStep:
+    """One named step: a description and a callable taking a Generator."""
+
+    name: str
+    description: str
+    fn: StepFn = field(compare=False)
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of one executed step."""
+
+    name: str
+    result: Any
+    digest: str
+
+
+class LabNotebook:
+    """An ordered, seeded, digest-audited sequence of experiment steps.
+
+    Examples
+    --------
+    >>> nb = LabNotebook("demo")
+    >>> nb.add("draw", "sample 3 normals", lambda rng: rng.normal(size=3).round(3).tolist())
+    >>> results = nb.run(seed=7)
+    >>> nb.verify_rerun(seed=7)
+    True
+    """
+
+    def __init__(self, title: str) -> None:
+        if not title:
+            raise ValueError("title must be non-empty")
+        self.title = title
+        self.steps: list[NotebookStep] = []
+        self._last_run: list[StepResult] | None = None
+        self._last_seed: int | None = None
+
+    def add(self, name: str, description: str, fn: StepFn) -> None:
+        """Append a step; names must be unique (they seed named RNG streams)."""
+        if any(step.name == name for step in self.steps):
+            raise ValueError(f"duplicate step name {name!r}")
+        self.steps.append(NotebookStep(name=name, description=description, fn=fn))
+
+    def run(self, seed: int = 0) -> list[StepResult]:
+        """Execute all steps top-to-bottom from one master seed.
+
+        Each step gets its own named child stream from a
+        :class:`~repro.utils.rng.SeedSequenceLedger`, so inserting a new
+        step never perturbs the randomness of steps before it.
+        """
+        if not self.steps:
+            raise ValueError("notebook has no steps")
+        ledger = SeedSequenceLedger(seed)
+        results = []
+        for step in self.steps:
+            value = step.fn(ledger.generator(step.name))
+            results.append(
+                StepResult(name=step.name, result=value, digest=stable_hash(value))
+            )
+        self._last_run = results
+        self._last_seed = seed
+        return results
+
+    def manifest(self) -> ExperimentManifest:
+        """Hash-chained manifest of the most recent run."""
+        if self._last_run is None or self._last_seed is None:
+            raise RuntimeError("run() the notebook before requesting a manifest")
+        manifest = ExperimentManifest(self.title)
+        for step, result in zip(self.steps, self._last_run):
+            manifest.record(
+                step.name,
+                {"description": step.description, "seed": self._last_seed},
+                {},
+                result=result.result,
+            )
+        return manifest
+
+    def verify_rerun(self, seed: int | None = None) -> bool:
+        """Re-execute and compare digests against the recorded run."""
+        if self._last_run is None:
+            raise RuntimeError("run() the notebook before verifying")
+        reference = self._last_run
+        rerun = self.run(self._last_seed if seed is None else seed)
+        ok = all(a.digest == b.digest for a, b in zip(reference, rerun))
+        self._last_run = reference  # keep the original as the record
+        return ok
+
+    def render_markdown(self) -> str:
+        """The run as a markdown document (title, steps, result digests)."""
+        if self._last_run is None:
+            raise RuntimeError("run() the notebook before rendering")
+        lines = [f"# {self.title}", "", f"Master seed: `{self._last_seed}`", ""]
+        for step, result in zip(self.steps, self._last_run):
+            lines.append(f"## {step.name}")
+            lines.append("")
+            lines.append(step.description)
+            lines.append("")
+            lines.append(f"```\n{result.result!r}\n```")
+            lines.append("")
+            lines.append(f"*digest `{result.digest[:16]}…`*")
+            lines.append("")
+        return "\n".join(lines)

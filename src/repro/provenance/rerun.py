@@ -1,0 +1,83 @@
+"""Deterministic-rerun verification.
+
+"A person must be able to take an existing scientific result ... test it,
+and see if they can reproduce the published claims."  The verifier runs an
+experiment twice from the same seed and compares canonical result digests;
+an optional tolerance mode compares numerically instead, for results that
+are deterministic only up to floating-point reassociation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.provenance.manifest import stable_hash
+
+__all__ = ["RerunReport", "verify_deterministic"]
+
+
+@dataclass(frozen=True)
+class RerunReport:
+    """Outcome of a rerun check."""
+
+    reproducible: bool
+    digest_first: str
+    digest_second: str
+    max_abs_difference: float
+
+    def __bool__(self) -> bool:  # truthiness == reproducibility
+        return self.reproducible
+
+
+def _max_difference(a: Any, b: Any) -> float:
+    """Largest absolute numeric difference between two nested results."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        if set(a) != set(b):
+            return float("inf")
+        return max((_max_difference(a[k], b[k]) for k in a), default=0.0)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        if len(a) != len(b):
+            return float("inf")
+        return max((_max_difference(x, y) for x, y in zip(a, b)), default=0.0)
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        a_arr, b_arr = np.asarray(a, dtype=float), np.asarray(b, dtype=float)
+        if a_arr.shape != b_arr.shape:
+            return float("inf")
+        return float(np.max(np.abs(a_arr - b_arr))) if a_arr.size else 0.0
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return abs(float(a) - float(b))
+    return 0.0 if a == b else float("inf")
+
+
+def verify_deterministic(
+    experiment: Callable[[int], Any],
+    *,
+    seed: int = 0,
+    tolerance: float = 0.0,
+) -> RerunReport:
+    """Run ``experiment(seed)`` twice and check the results agree.
+
+    Parameters
+    ----------
+    experiment:
+        A callable taking the seed and returning any canonicalizable result
+        (numbers, strings, dicts, lists, NumPy arrays).
+    tolerance:
+        0.0 demands bit-identical canonical digests; > 0.0 accepts numeric
+        drift up to that magnitude (for experiments whose reduction order is
+        platform-scheduled).
+    """
+    first = experiment(seed)
+    second = experiment(seed)
+    d1, d2 = stable_hash(first), stable_hash(second)
+    max_diff = _max_difference(first, second)
+    reproducible = d1 == d2 if tolerance == 0.0 else max_diff <= tolerance
+    return RerunReport(
+        reproducible=reproducible,
+        digest_first=d1,
+        digest_second=d2,
+        max_abs_difference=max_diff,
+    )

@@ -1,0 +1,36 @@
+"""Reinforcement-learning reliability studies (paper section 2.8).
+
+The project compared the *reliability* — not just the mean performance —
+of deep Q-networks whose Q-value estimator is a CNN family versus a vision
+-transformer family, across several Atari environments, observing "a
+slightly better sum of average rewards in the Frogger environment than in
+other environments".
+
+Substitutions: Gymnasium Atari becomes a suite of small gridworld
+environments with image observations (including a Frogger-like lane-
+crossing task); EfficientNet/Swin become a convolutional and an attention-
+based Q-network on :mod:`repro.nn`.  Reliability is measured the way the
+project framed it — performance that holds *with high probability* across
+independent training runs — in :mod:`repro.rl.reliability` (experiment E8).
+"""
+
+from repro.rl.agents import DQNAgent, DQNConfig, build_q_network, train_agent
+from repro.rl.envs import CatchEnv, CrossingEnv, GridEnv, SnackEnv, make_env
+from repro.rl.replay import ReplayBuffer, Transition
+from repro.rl.reliability import ReliabilityReport, reliability_study
+
+__all__ = [
+    "DQNAgent",
+    "DQNConfig",
+    "build_q_network",
+    "train_agent",
+    "CatchEnv",
+    "CrossingEnv",
+    "GridEnv",
+    "SnackEnv",
+    "make_env",
+    "ReplayBuffer",
+    "Transition",
+    "ReliabilityReport",
+    "reliability_study",
+]

@@ -1,0 +1,246 @@
+"""Deep Q-learning with swappable Q-value estimators.
+
+Standard DQN (Mnih et al. 2015): epsilon-greedy behaviour policy, uniform
+experience replay, and a periodically-synchronized target network.  The
+Q-value estimator is pluggable — ``"cnn"`` builds a small convolutional
+network (the EfficientNet stand-in), ``"attention"`` a single-block
+transformer over grid-cell tokens (the Swin stand-in) — which is exactly
+the axis the paper's project varied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import (
+    Adam,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAveragePool,
+    LayerNorm,
+    ReLU,
+    Sequential,
+    TransformerBlock,
+)
+from repro.rl.envs import GridEnv
+from repro.rl.replay import ReplayBuffer, Transition
+from repro.utils.rng import as_generator
+
+__all__ = ["DQNConfig", "DQNAgent", "build_q_network", "train_agent"]
+
+
+class _TokenReshape(Sequential):
+    """Adapter: image ``(B, H, W, C)`` <-> token sequence ``(B, H*W, C)``."""
+
+    def __init__(self) -> None:  # bypass Sequential's non-empty check
+        self.layers = []
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        b, h, w, c = x.shape
+        return x.reshape(b, h * w, c)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._shape is not None
+        return grad.reshape(self._shape)
+
+
+def build_q_network(
+    obs_shape: tuple[int, int, int],
+    n_actions: int,
+    family: str,
+    *,
+    width: int = 12,
+    seed: int = 0,
+) -> Sequential:
+    """Build a Q-value estimator of the requested family.
+
+    ``family="cnn"``: two conv blocks + dense head.
+    ``family="attention"``: per-cell embedding, one transformer block over
+    the H*W grid tokens, pooled to a dense head.
+    """
+    h, w, c = obs_shape
+    if family == "cnn":
+        return Sequential(
+            [
+                Conv2D(c, width, 3, seed=seed),
+                ReLU(),
+                Conv2D(width, width, 3, seed=seed + 1),
+                ReLU(),
+                Flatten(),
+                Dense(h * w * width, 2 * width, seed=seed + 2),
+                ReLU(),
+                Dense(2 * width, n_actions, seed=seed + 3),
+            ]
+        )
+    if family == "attention":
+        dim = max(8, (width // 4) * 4)  # even head split
+        return Sequential(
+            [
+                _TokenReshape(),
+                Dense(c, dim, seed=seed),
+                LayerNorm(dim),
+                TransformerBlock(dim, 2, seed=seed + 1),
+                GlobalAveragePool(),
+                Dense(dim, n_actions, seed=seed + 2),
+            ]
+        )
+    raise ValueError(f"family must be 'cnn' or 'attention', got {family!r}")
+
+
+@dataclass(frozen=True)
+class DQNConfig:
+    """DQN hyper-parameters (defaults sized for the gridworld suite)."""
+
+    episodes: int = 120
+    gamma: float = 0.95
+    lr: float = 1e-3
+    batch_size: int = 32
+    buffer_capacity: int = 4000
+    epsilon_start: float = 1.0
+    epsilon_end: float = 0.05
+    epsilon_decay_episodes: int = 80
+    target_sync_every: int = 100  # gradient steps
+    warmup_transitions: int = 100
+    updates_per_step: int = 1
+    double_dqn: bool = False  # decouple action selection from evaluation
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.gamma <= 1.0:
+            raise ValueError(f"gamma must lie in [0, 1], got {self.gamma}")
+        if self.episodes < 1:
+            raise ValueError(f"episodes must be >= 1, got {self.episodes}")
+        if not 0.0 <= self.epsilon_end <= self.epsilon_start <= 1.0:
+            raise ValueError("need 0 <= epsilon_end <= epsilon_start <= 1")
+
+
+class DQNAgent:
+    """DQN agent bound to one environment."""
+
+    def __init__(
+        self,
+        env: GridEnv,
+        family: str = "cnn",
+        config: DQNConfig | None = None,
+        *,
+        width: int = 12,
+        seed: int = 0,
+    ) -> None:
+        self.env = env
+        self.config = config or DQNConfig()
+        self.family = family
+        self._rng = as_generator(seed)
+        self.q = build_q_network(env.observation_shape, env.n_actions, family,
+                                 width=width, seed=seed)
+        self.target = build_q_network(env.observation_shape, env.n_actions, family,
+                                      width=width, seed=seed)
+        self._sync_target()
+        self.optimizer = Adam(self.q.parameters(), self.config.lr)
+        self.buffer = ReplayBuffer(
+            self.config.buffer_capacity, env.observation_shape,
+            seed=int(self._rng.integers(0, 2**31)),
+        )
+        self._grad_steps = 0
+
+    def _sync_target(self) -> None:
+        self.target.load_state_dict(self.q.state_dict())
+
+    def act(self, obs: np.ndarray, epsilon: float) -> int:
+        """Epsilon-greedy action for one observation."""
+        if self._rng.random() < epsilon:
+            return int(self._rng.integers(0, self.env.n_actions))
+        qvals = self.q.predict(obs[None])[0]
+        return int(np.argmax(qvals))
+
+    def _learn_step(self) -> float:
+        cfg = self.config
+        states, actions, rewards, next_states, dones = self.buffer.sample(
+            cfg.batch_size
+        )
+        if cfg.double_dqn:
+            # Double DQN (van Hasselt): the online net picks the action,
+            # the target net scores it — curbs maximization bias.
+            best_actions = self.q.predict(next_states).argmax(axis=1)
+            next_q = self.target.predict(next_states)[
+                np.arange(len(best_actions)), best_actions
+            ]
+        else:
+            next_q = self.target.predict(next_states).max(axis=1)
+        targets = rewards + cfg.gamma * next_q * (~dones)
+        self.q.train()
+        qvals = self.q.forward(states)
+        picked = qvals[np.arange(len(actions)), actions]
+        td = picked - targets
+        loss = float(np.mean(td**2))
+        dq = np.zeros_like(qvals)
+        dq[np.arange(len(actions)), actions] = 2.0 * td / len(actions)
+        self.optimizer.zero_grad()
+        self.q.backward(dq)
+        self.optimizer.clip_grad_norm(5.0)
+        self.optimizer.step()
+        self._grad_steps += 1
+        if self._grad_steps % cfg.target_sync_every == 0:
+            self._sync_target()
+        return loss
+
+    def epsilon_at(self, episode: int) -> float:
+        """Linear epsilon decay schedule."""
+        cfg = self.config
+        frac = min(1.0, episode / max(1, cfg.epsilon_decay_episodes))
+        return cfg.epsilon_start + frac * (cfg.epsilon_end - cfg.epsilon_start)
+
+    def train(self) -> list[float]:
+        """Run the training loop; returns per-episode returns."""
+        cfg = self.config
+        returns: list[float] = []
+        for episode in range(cfg.episodes):
+            obs = self.env.reset()
+            done = False
+            total = 0.0
+            eps = self.epsilon_at(episode)
+            while not done:
+                action = self.act(obs, eps)
+                next_obs, reward, done = self.env.step(action)
+                self.buffer.push(Transition(obs, action, reward, next_obs, done))
+                obs = next_obs
+                total += reward
+                if len(self.buffer) >= cfg.warmup_transitions:
+                    for _ in range(cfg.updates_per_step):
+                        self._learn_step()
+            returns.append(total)
+        return returns
+
+    def evaluate(self, n_episodes: int = 20) -> float:
+        """Greedy-policy mean return over ``n_episodes``."""
+        if n_episodes < 1:
+            raise ValueError(f"n_episodes must be >= 1, got {n_episodes}")
+        total = 0.0
+        for _ in range(n_episodes):
+            obs = self.env.reset()
+            done = False
+            while not done:
+                obs, reward, done = self.env.step(self.act(obs, 0.0))
+                total += reward
+        return total / n_episodes
+
+
+def train_agent(
+    env_name: str,
+    family: str,
+    *,
+    config: DQNConfig | None = None,
+    size: int = 6,
+    width: int = 12,
+    seed: int = 0,
+) -> tuple[DQNAgent, list[float]]:
+    """Convenience: build env + agent, train, return both."""
+    from repro.rl.envs import make_env
+
+    env = make_env(env_name, size=size, seed=seed + 7919)
+    agent = DQNAgent(env, family, config, width=width, seed=seed)
+    returns = agent.train()
+    return agent, returns

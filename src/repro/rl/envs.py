@@ -1,0 +1,244 @@
+"""Gridworld environments with image observations (the Atari substitute).
+
+All environments share the Gym-style interface: ``reset() -> obs`` and
+``step(action) -> (obs, reward, done)``, with observations as ``(H, W, C)``
+float arrays (one channel per entity type) so both convolutional and
+attention-based Q-networks consume them naturally.
+
+* :class:`CrossingEnv` — Frogger-like: climb from the bottom row to the top
+  while lanes of cars scroll horizontally.
+* :class:`CatchEnv` — move a paddle to catch a falling ball.
+* :class:`SnackEnv` — collect a pellet while a ghost random-walks toward
+  you.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["GridEnv", "CrossingEnv", "CatchEnv", "SnackEnv", "make_env"]
+
+
+class GridEnv:
+    """Base environment: size, channels, action meanings, RNG plumbing."""
+
+    #: number of discrete actions
+    n_actions: int = 3
+    #: action index -> horizontal/vertical move, environment-specific
+    name: str = "base"
+
+    def __init__(
+        self,
+        height: int,
+        width: int,
+        channels: int,
+        *,
+        max_steps: int = 40,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if height < 3 or width < 3:
+            raise ValueError("grid must be at least 3x3")
+        if max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1, got {max_steps}")
+        self.height = int(height)
+        self.width = int(width)
+        self.channels = int(channels)
+        self.max_steps = int(max_steps)
+        self._rng = as_generator(seed)
+        self._steps = 0
+
+    @property
+    def observation_shape(self) -> tuple[int, int, int]:
+        return (self.height, self.width, self.channels)
+
+    def reset(self) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self, action: int) -> tuple[np.ndarray, float, bool]:  # pragma: no cover
+        raise NotImplementedError
+
+    def _check_action(self, action: int) -> int:
+        if not 0 <= action < self.n_actions:
+            raise ValueError(f"action must lie in [0, {self.n_actions}), got {action}")
+        return int(action)
+
+
+class CrossingEnv(GridEnv):
+    """Frogger-like lane crossing.
+
+    The agent starts at the bottom center and must reach the top row.
+    Interior rows are traffic lanes, each with one car scrolling left or
+    right one cell per step.  Actions: 0 stay, 1 up, 2 left, 3 right.
+    Rewards: +1 for reaching the top, -1 for collision, -0.01 per step.
+
+    Channels: 0 = agent, 1 = cars.
+    """
+
+    n_actions = 4
+    name = "crossing"
+
+    def __init__(self, size: int = 6, *, max_steps: int = 40,
+                 seed: int | np.random.Generator | None = 0) -> None:
+        super().__init__(size, size, 2, max_steps=max_steps, seed=seed)
+        self._agent = (0, 0)
+        self._cars: list[list[int]] = []  # per lane: [row, col, direction]
+
+    def reset(self) -> np.ndarray:
+        self._steps = 0
+        self._agent = (self.height - 1, self.width // 2)
+        self._cars = []
+        for row in range(1, self.height - 1):
+            direction = 1 if row % 2 == 0 else -1
+            col = int(self._rng.integers(0, self.width))
+            self._cars.append([row, col, direction])
+        return self._observe()
+
+    def _observe(self) -> np.ndarray:
+        obs = np.zeros(self.observation_shape)
+        obs[self._agent[0], self._agent[1], 0] = 1.0
+        for row, col, _ in self._cars:
+            obs[row, col, 1] = 1.0
+        return obs
+
+    def step(self, action: int) -> tuple[np.ndarray, float, bool]:
+        action = self._check_action(action)
+        self._steps += 1
+        r, c = self._agent
+        if action == 1:
+            r = max(0, r - 1)
+        elif action == 2:
+            c = max(0, c - 1)
+        elif action == 3:
+            c = min(self.width - 1, c + 1)
+        self._agent = (r, c)
+        # Cars advance after the agent moves.
+        for car in self._cars:
+            car[1] = (car[1] + car[2]) % self.width
+        if any(car[0] == r and car[1] == c for car in self._cars):
+            return self._observe(), -1.0, True
+        if r == 0:
+            return self._observe(), 1.0, True
+        done = self._steps >= self.max_steps
+        return self._observe(), -0.01, done
+
+
+class CatchEnv(GridEnv):
+    """Catch the falling ball with a one-cell paddle on the bottom row.
+
+    Actions: 0 stay, 1 left, 2 right.  Reward +1 on catch, -1 on miss.
+    Channels: 0 = paddle, 1 = ball.
+    """
+
+    n_actions = 3
+    name = "catch"
+
+    def __init__(self, size: int = 6, *, max_steps: int = 40,
+                 seed: int | np.random.Generator | None = 0) -> None:
+        super().__init__(size, size, 2, max_steps=max_steps, seed=seed)
+        self._paddle = 0
+        self._ball = (0, 0)
+
+    def reset(self) -> np.ndarray:
+        self._steps = 0
+        self._paddle = self.width // 2
+        self._ball = (0, int(self._rng.integers(0, self.width)))
+        return self._observe()
+
+    def _observe(self) -> np.ndarray:
+        obs = np.zeros(self.observation_shape)
+        obs[self.height - 1, self._paddle, 0] = 1.0
+        obs[self._ball[0], self._ball[1], 1] = 1.0
+        return obs
+
+    def step(self, action: int) -> tuple[np.ndarray, float, bool]:
+        action = self._check_action(action)
+        self._steps += 1
+        if action == 1:
+            self._paddle = max(0, self._paddle - 1)
+        elif action == 2:
+            self._paddle = min(self.width - 1, self._paddle + 1)
+        br, bc = self._ball
+        self._ball = (br + 1, bc)
+        if self._ball[0] == self.height - 1:
+            reward = 1.0 if self._ball[1] == self._paddle else -1.0
+            return self._observe(), reward, True
+        return self._observe(), 0.0, self._steps >= self.max_steps
+
+
+class SnackEnv(GridEnv):
+    """Collect the pellet before the ghost catches you.
+
+    Actions: 0 up, 1 down, 2 left, 3 right.  The ghost takes a biased
+    random walk toward the agent.  Reward +1 for the pellet, -1 if caught,
+    -0.02 per step.  Channels: 0 = agent, 1 = pellet, 2 = ghost.
+    """
+
+    n_actions = 4
+    name = "snack"
+
+    def __init__(self, size: int = 6, *, max_steps: int = 40,
+                 seed: int | np.random.Generator | None = 0) -> None:
+        super().__init__(size, size, 3, max_steps=max_steps, seed=seed)
+        self._agent = (0, 0)
+        self._pellet = (0, 0)
+        self._ghost = (0, 0)
+
+    def reset(self) -> np.ndarray:
+        self._steps = 0
+        cells = [(r, c) for r in range(self.height) for c in range(self.width)]
+        picks = self._rng.choice(len(cells), size=3, replace=False)
+        self._agent, self._pellet, self._ghost = (cells[i] for i in picks)
+        return self._observe()
+
+    def _observe(self) -> np.ndarray:
+        obs = np.zeros(self.observation_shape)
+        obs[self._agent[0], self._agent[1], 0] = 1.0
+        obs[self._pellet[0], self._pellet[1], 1] = 1.0
+        obs[self._ghost[0], self._ghost[1], 2] = 1.0
+        return obs
+
+    def _move(self, pos: tuple[int, int], action: int) -> tuple[int, int]:
+        r, c = pos
+        if action == 0:
+            r = max(0, r - 1)
+        elif action == 1:
+            r = min(self.height - 1, r + 1)
+        elif action == 2:
+            c = max(0, c - 1)
+        else:
+            c = min(self.width - 1, c + 1)
+        return (r, c)
+
+    def step(self, action: int) -> tuple[np.ndarray, float, bool]:
+        action = self._check_action(action)
+        self._steps += 1
+        self._agent = self._move(self._agent, action)
+        if self._agent == self._pellet:
+            return self._observe(), 1.0, True
+        # Ghost: 60% step toward the agent, 40% random.
+        if self._rng.random() < 0.6:
+            dr = np.sign(self._agent[0] - self._ghost[0])
+            dc = np.sign(self._agent[1] - self._ghost[1])
+            if dr != 0 and (dc == 0 or self._rng.random() < 0.5):
+                ghost_action = 0 if dr < 0 else 1
+            else:
+                ghost_action = 2 if dc < 0 else 3
+        else:
+            ghost_action = int(self._rng.integers(0, 4))
+        self._ghost = self._move(self._ghost, ghost_action)
+        if self._ghost == self._agent:
+            return self._observe(), -1.0, True
+        return self._observe(), -0.02, self._steps >= self.max_steps
+
+
+_ENVS = {"crossing": CrossingEnv, "catch": CatchEnv, "snack": SnackEnv}
+
+
+def make_env(name: str, *, size: int = 6,
+             seed: int | np.random.Generator | None = 0) -> GridEnv:
+    """Environment factory by name (``crossing`` / ``catch`` / ``snack``)."""
+    if name not in _ENVS:
+        raise ValueError(f"unknown env {name!r}; choose from {sorted(_ENVS)}")
+    return _ENVS[name](size=size, seed=seed)

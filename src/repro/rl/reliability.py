@@ -1,0 +1,97 @@
+"""Reliability metrics: performance that holds with high probability.
+
+"RL agents ... often do so unreliably, i.e. they may not exhibit acceptable
+performance with high probability."  The study therefore trains several
+independent seeds per (environment, estimator family) cell and reports,
+besides the mean of average rewards, distributional reliability numbers:
+the fraction of seeds exceeding an acceptability threshold and the lower
+quartile of final performance (a CVaR-flavoured tail statistic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rl.agents import DQNConfig, train_agent
+
+__all__ = ["ReliabilityReport", "reliability_study"]
+
+
+@dataclass(frozen=True)
+class ReliabilityReport:
+    """Cross-seed performance summary for one (env, family) cell."""
+
+    env: str
+    family: str
+    per_seed_returns: tuple[float, ...]
+    threshold: float
+
+    @property
+    def mean_return(self) -> float:
+        return float(np.mean(self.per_seed_returns))
+
+    @property
+    def reliability(self) -> float:
+        """Fraction of seeds whose greedy return beats the threshold."""
+        arr = np.asarray(self.per_seed_returns)
+        return float((arr >= self.threshold).mean())
+
+    @property
+    def lower_quartile(self) -> float:
+        """25th percentile of final performance — the unlucky-seed view."""
+        return float(np.percentile(self.per_seed_returns, 25))
+
+    def as_dict(self) -> dict[str, float | str]:
+        return {
+            "env": self.env,
+            "family": self.family,
+            "mean_return": self.mean_return,
+            "reliability": self.reliability,
+            "lower_quartile": self.lower_quartile,
+        }
+
+
+def reliability_study(
+    env_names: list[str],
+    families: list[str],
+    *,
+    n_seeds: int = 3,
+    threshold: float = 0.0,
+    config: DQNConfig | None = None,
+    size: int = 6,
+    width: int = 12,
+    eval_episodes: int = 20,
+    base_seed: int = 0,
+) -> list[ReliabilityReport]:
+    """Train every (env, family, seed) cell and summarize reliability.
+
+    Returns one report per (env, family) pair in input order — the table of
+    experiment E8.
+    """
+    if n_seeds < 1:
+        raise ValueError(f"n_seeds must be >= 1, got {n_seeds}")
+    reports: list[ReliabilityReport] = []
+    for env_name in env_names:
+        for family in families:
+            finals: list[float] = []
+            for s in range(n_seeds):
+                agent, _ = train_agent(
+                    env_name,
+                    family,
+                    config=config,
+                    size=size,
+                    width=width,
+                    seed=base_seed + 131 * s,
+                )
+                finals.append(agent.evaluate(eval_episodes))
+            reports.append(
+                ReliabilityReport(
+                    env=env_name,
+                    family=family,
+                    per_seed_returns=tuple(finals),
+                    threshold=threshold,
+                )
+            )
+    return reports

@@ -1,0 +1,81 @@
+"""Experience replay buffer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["Transition", "ReplayBuffer"]
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One (s, a, r, s', done) tuple."""
+
+    state: np.ndarray
+    action: int
+    reward: float
+    next_state: np.ndarray
+    done: bool
+
+
+class ReplayBuffer:
+    """Fixed-capacity ring buffer with uniform sampling.
+
+    Storage is preallocated NumPy arrays (no per-transition Python objects
+    on the hot path); sampling returns stacked batches ready for the
+    Q-network.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        obs_shape: tuple[int, ...],
+        *,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._states = np.zeros((capacity, *obs_shape))
+        self._actions = np.zeros(capacity, dtype=int)
+        self._rewards = np.zeros(capacity)
+        self._next_states = np.zeros((capacity, *obs_shape))
+        self._dones = np.zeros(capacity, dtype=bool)
+        self._rng = as_generator(seed)
+        self._size = 0
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, t: Transition) -> None:
+        """Append a transition, evicting the oldest when full."""
+        i = self._cursor
+        self._states[i] = t.state
+        self._actions[i] = t.action
+        self._rewards[i] = t.reward
+        self._next_states[i] = t.next_state
+        self._dones[i] = t.done
+        self._cursor = (self._cursor + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(
+        self, batch_size: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Uniform batch of ``(states, actions, rewards, next_states, dones)``."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty buffer")
+        idx = self._rng.integers(0, self._size, size=batch_size)
+        return (
+            self._states[idx],
+            self._actions[idx],
+            self._rewards[idx],
+            self._next_states[idx],
+            self._dones[idx],
+        )

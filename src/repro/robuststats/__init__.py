@@ -1,0 +1,37 @@
+"""Robust high-dimensional statistics (paper section 2.10).
+
+The project reproduced "recent algorithmic improvements for high-
+dimensional robust statistics" — robust mean estimation under epsilon-
+contamination — moving proof-of-concept MATLAB code to Python, with the
+computational bottleneck in linear algebra (SVD) and repeated randomized
+trials.
+
+Implemented estimators: the (non-robust) sample mean, the coordinate-wise
+median, the geometric median (Weiszfeld), per-coordinate trimmed mean, and
+the spectral *filter* algorithm (iteratively remove points that load on a
+suspiciously large top principal direction).  Experiment E10 sweeps the
+dimension at fixed contamination and shows the filter's error staying
+near-dimension-free while the sample mean's grows like eps * sqrt(d).
+"""
+
+from repro.robuststats.contamination import ContaminationModel, contaminated_gaussian
+from repro.robuststats.estimators import (
+    coordinate_median,
+    coordinate_trimmed_mean,
+    filter_mean,
+    geometric_median,
+    sample_mean,
+)
+from repro.robuststats.study import DimensionSweepResult, dimension_sweep
+
+__all__ = [
+    "ContaminationModel",
+    "contaminated_gaussian",
+    "coordinate_median",
+    "coordinate_trimmed_mean",
+    "filter_mean",
+    "geometric_median",
+    "sample_mean",
+    "DimensionSweepResult",
+    "dimension_sweep",
+]

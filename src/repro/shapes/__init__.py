@@ -1,0 +1,28 @@
+"""Statistical shape atlases (paper section 2.11).
+
+A from-scratch ShapeWorks substitute: synthetic 3-D anatomy generators (a
+spherical family with exactly one mode of variation, and a left-atrium-like
+ellipsoid-with-appendage family with three), particle-based correspondence
+optimization (surface attraction + inter-particle repulsion + ensemble
+correspondence), generalized Procrustes alignment, and PCA modes of
+variation with compactness statistics.  Experiment E11 computes the atlas
+for both anatomies and runs the paper's particle-count ablation.
+"""
+
+from repro.shapes.ablation import AblationRow, particle_count_ablation
+from repro.shapes.correspondence import ParticleSystem, optimize_particles
+from repro.shapes.generate import ShapeSample, atrium_like_family, sphere_family
+from repro.shapes.pca import ShapeModel, build_shape_model, procrustes_align
+
+__all__ = [
+    "AblationRow",
+    "particle_count_ablation",
+    "ParticleSystem",
+    "optimize_particles",
+    "ShapeSample",
+    "atrium_like_family",
+    "sphere_family",
+    "ShapeModel",
+    "build_shape_model",
+    "procrustes_align",
+]

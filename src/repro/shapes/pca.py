@@ -1,0 +1,109 @@
+"""Procrustes alignment and PCA modes of variation.
+
+The shape model is PCA over the ``(S, 3M)`` particle matrix: eigenmodes of
+anatomy variation, explained-variance ratios, and the *compactness* curve
+(cumulative explained variance vs mode count) ShapeWorks reports.  The SVD
+is thin (``full_matrices=False``), per the optimization lesson.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import linalg as sla
+
+from repro.shapes.correspondence import ParticleSystem
+from repro.utils.validation import check_positive
+
+__all__ = ["procrustes_align", "ShapeModel", "build_shape_model"]
+
+
+def procrustes_align(particles: np.ndarray, *, max_iters: int = 10) -> np.ndarray:
+    """Generalized Procrustes alignment of ``(S, M, 3)`` particle sets.
+
+    Removes translation (centroid) and rotation (Kabsch to the evolving
+    mean shape); scale is retained because size is a real anatomical mode.
+    """
+    p = np.asarray(particles, dtype=float).copy()
+    if p.ndim != 3 or p.shape[2] != 3:
+        raise ValueError(f"particles must be (S, M, 3), got {p.shape}")
+    p -= p.mean(axis=1, keepdims=True)
+    mean = p[0].copy()
+    for _ in range(max_iters):
+        for s in range(p.shape[0]):
+            # Kabsch: optimal rotation of subject s onto the mean.
+            h = p[s].T @ mean
+            u, _, vt = sla.svd(h, full_matrices=False)
+            d = np.sign(np.linalg.det(u @ vt))
+            rot = u @ np.diag([1.0, 1.0, d]) @ vt
+            p[s] = p[s] @ rot
+        new_mean = p.mean(axis=0)
+        if np.allclose(new_mean, mean, atol=1e-10):
+            break
+        mean = new_mean
+    return p
+
+
+@dataclass(frozen=True)
+class ShapeModel:
+    """A PCA statistical shape model."""
+
+    mean_shape: np.ndarray          # (3M,)
+    modes: np.ndarray               # (K, 3M) orthonormal rows
+    variances: np.ndarray           # (K,) eigenvalues (descending)
+
+    @property
+    def explained_ratio(self) -> np.ndarray:
+        total = self.variances.sum()
+        if total <= 0:
+            return np.zeros_like(self.variances)
+        return self.variances / total
+
+    def compactness(self, k: int) -> float:
+        """Cumulative explained variance of the first ``k`` modes."""
+        check_positive("k", k)
+        k = min(k, len(self.variances))
+        return float(self.explained_ratio[:k].sum())
+
+    def dominant_modes(self, threshold: float = 0.90) -> int:
+        """Smallest number of modes explaining ``threshold`` of variance."""
+        cumulative = np.cumsum(self.explained_ratio)
+        return int(np.searchsorted(cumulative, threshold) + 1)
+
+    def synthesize(self, coefficients: np.ndarray) -> np.ndarray:
+        """Shape at the given mode coefficients (in std-dev units)."""
+        coefficients = np.asarray(coefficients, dtype=float)
+        k = len(coefficients)
+        if k > len(self.variances):
+            raise ValueError(f"at most {len(self.variances)} coefficients allowed")
+        offset = (coefficients * np.sqrt(self.variances[:k])) @ self.modes[:k]
+        return self.mean_shape + offset
+
+    def reconstruct(self, shape: np.ndarray, k: int) -> np.ndarray:
+        """Project a flattened shape onto the first ``k`` modes and back."""
+        check_positive("k", k)
+        k = min(k, len(self.variances))
+        centered = np.asarray(shape, dtype=float) - self.mean_shape
+        coeff = self.modes[:k] @ centered
+        return self.mean_shape + coeff @ self.modes[:k]
+
+
+def build_shape_model(system: ParticleSystem, *, align: bool = True) -> ShapeModel:
+    """PCA over the particle system's flattened shape matrix."""
+    particles = system.particles
+    if align:
+        particles = procrustes_align(particles)
+    flat = particles.reshape(particles.shape[0], -1)
+    mean = flat.mean(axis=0)
+    centered = flat - mean
+    # Thin SVD: S-1 informative modes at most.
+    _, s, vt = sla.svd(centered, full_matrices=False)
+    n = flat.shape[0]
+    variances = (s**2) / max(n - 1, 1)
+    keep = min(n - 1, vt.shape[0])
+    return ShapeModel(
+        mean_shape=mean,
+        modes=vt[:keep],
+        variances=variances[:keep],
+    )

@@ -1,0 +1,115 @@
+"""Trajectory classification and the controlled-experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["KNNTrajectoryClassifier", "CrossValReport", "cross_validate"]
+
+
+class KNNTrajectoryClassifier:
+    """k-nearest-neighbour classifier over precomputed feature vectors.
+
+    Distance-weighted voting with Euclidean distances; deterministic given
+    its inputs (ties broken toward the smaller class index).
+    """
+
+    def __init__(self, k: int = 5) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = int(k)
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._n_classes = 0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNTrajectoryClassifier":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        if len(x) != len(y) or len(x) == 0:
+            raise ValueError("x and y must be non-empty with equal length")
+        if self.k > len(x):
+            raise ValueError(f"k={self.k} exceeds training size {len(x)}")
+        self._x, self._y = x, y
+        self._n_classes = int(y.max()) + 1
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._x is None or self._y is None:
+            raise RuntimeError("classifier not fitted")
+        x = np.asarray(x, dtype=float)
+        # Full (B, N) distance matrix; fine at study scale.
+        d2 = ((x[:, None, :] - self._x[None, :, :]) ** 2).sum(axis=2)
+        nearest = np.argpartition(d2, self.k - 1, axis=1)[:, : self.k]
+        votes = np.zeros((len(x), self._n_classes))
+        weights = 1.0 / (np.sqrt(np.take_along_axis(d2, nearest, axis=1)) + 1e-9)
+        labels = self._y[nearest]
+        for c in range(self._n_classes):
+            votes[:, c] = np.where(labels == c, weights, 0.0).sum(axis=1)
+        return votes.argmax(axis=1)
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(x) == np.asarray(y)).mean())
+
+
+@dataclass(frozen=True)
+class CrossValReport:
+    """Stratified k-fold accuracy summary."""
+
+    fold_accuracies: tuple[float, ...]
+    confusion: np.ndarray  # (C, C) rows = true, cols = predicted
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean(self.fold_accuracies))
+
+    @property
+    def std_accuracy(self) -> float:
+        return (
+            float(np.std(self.fold_accuracies, ddof=1))
+            if len(self.fold_accuracies) > 1
+            else 0.0
+        )
+
+    def pair_confusion(self, a: int, b: int) -> float:
+        """Fraction of class-``a`` samples predicted as class ``b``."""
+        row = self.confusion[a]
+        total = row.sum()
+        return float(row[b] / total) if total else 0.0
+
+
+def cross_validate(
+    features: np.ndarray,
+    labels: np.ndarray,
+    *,
+    n_folds: int = 5,
+    k: int = 5,
+    seed: int | np.random.Generator | None = 0,
+) -> CrossValReport:
+    """Stratified k-fold cross-validation of the kNN classifier."""
+    features = np.asarray(features, dtype=float)
+    labels = np.asarray(labels)
+    if n_folds < 2:
+        raise ValueError(f"n_folds must be >= 2, got {n_folds}")
+    rng = as_generator(seed)
+    n_classes = int(labels.max()) + 1
+    # Stratify: deal each class's shuffled indices round-robin to folds.
+    folds: list[list[int]] = [[] for _ in range(n_folds)]
+    for c in range(n_classes):
+        idx = np.nonzero(labels == c)[0]
+        rng.shuffle(idx)
+        for j, sample in enumerate(idx):
+            folds[j % n_folds].append(int(sample))
+    confusion = np.zeros((n_classes, n_classes), dtype=int)
+    accuracies = []
+    for f in range(n_folds):
+        test_idx = np.array(folds[f])
+        train_idx = np.array([i for g in range(n_folds) if g != f for i in folds[g]])
+        clf = KNNTrajectoryClassifier(k=k).fit(features[train_idx], labels[train_idx])
+        pred = clf.predict(features[test_idx])
+        accuracies.append(float((pred == labels[test_idx]).mean()))
+        np.add.at(confusion, (labels[test_idx], pred), 1)
+    return CrossValReport(fold_accuracies=tuple(accuracies), confusion=confusion)

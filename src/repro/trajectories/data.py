@@ -1,0 +1,179 @@
+"""Synthetic GPS trajectories with points of interest.
+
+The unit square stands in for a city.  A :class:`POIMap` scatters points of
+interest of ``n_categories`` kinds; trajectory classes are (route, POI
+preference) pairs.  Crucially for the controlled experiment, classes may
+*share* a route and differ only in which POI category they dwell at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+__all__ = ["POIMap", "Trajectory", "TrajectoryDataset", "make_dataset"]
+
+
+@dataclass(frozen=True)
+class POIMap:
+    """Points of interest: positions ``(P, 2)`` and integer categories ``(P,)``."""
+
+    positions: np.ndarray
+    categories: np.ndarray
+
+    def __post_init__(self) -> None:
+        pos = np.asarray(self.positions, dtype=float)
+        cat = np.asarray(self.categories)
+        if pos.ndim != 2 or pos.shape[1] != 2 or pos.shape[0] != cat.shape[0]:
+            raise ValueError("positions must be (P, 2) matching categories (P,)")
+        object.__setattr__(self, "positions", pos)
+        object.__setattr__(self, "categories", cat)
+
+    @property
+    def n_categories(self) -> int:
+        return int(self.categories.max()) + 1 if self.categories.size else 0
+
+    def of_category(self, category: int) -> np.ndarray:
+        """Positions of all POIs of one category."""
+        return self.positions[self.categories == category]
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """One GPS track: waypoints ``(T, 2)`` and its class label."""
+
+    points: np.ndarray
+    label: int
+
+    def __post_init__(self) -> None:
+        pts = np.asarray(self.points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2 or pts.shape[0] < 2:
+            raise ValueError(f"points must be (T>=2, 2), got {pts.shape}")
+        object.__setattr__(self, "points", pts)
+
+
+@dataclass(frozen=True)
+class TrajectoryDataset:
+    """Trajectories, their POI map, and class descriptions."""
+
+    trajectories: list[Trajectory]
+    pois: POIMap
+    class_names: list[str]
+
+    @property
+    def labels(self) -> np.ndarray:
+        return np.array([t.label for t in self.trajectories])
+
+    def __len__(self) -> int:
+        return len(self.trajectories)
+
+
+def _route(start: np.ndarray, end: np.ndarray, curvature: float, n: int) -> np.ndarray:
+    """A quadratic Bezier route from start to end bowed by ``curvature``."""
+    t = np.linspace(0.0, 1.0, n)[:, None]
+    mid = (start + end) / 2.0
+    normal = np.array([-(end - start)[1], (end - start)[0]])
+    control = mid + curvature * normal
+    return (1 - t) ** 2 * start + 2 * (1 - t) * t * control + t**2 * end
+
+
+def make_dataset(
+    n_per_class: int = 40,
+    n_points: int = 60,
+    *,
+    n_pois: int = 80,
+    n_categories: int = 4,
+    jitter: float = 0.015,
+    dwell_points: int = 8,
+    dwell_radius: float = 0.05,
+    seed: int | np.random.Generator | None = 0,
+) -> TrajectoryDataset:
+    """Build the controlled three-class dataset of experiment E4.
+
+    Classes:
+
+    0. ``riverside_cafes`` — riverside route, dwells at category-0 POIs.
+    1. ``riverside_museums`` — the *same* riverside route, dwells at
+       category-1 POIs (separable from class 0 only semantically).
+    2. ``crosstown`` — a geometrically distinct route (shape suffices).
+
+    Dwelling inserts ``dwell_points`` extra samples near the closest POI of
+    the preferred category at a few spots along the route.
+    """
+    check_positive("jitter", jitter)
+    check_positive("dwell_radius", dwell_radius)
+    if n_categories < 2:
+        raise ValueError(f"n_categories must be >= 2, got {n_categories}")
+    rng = as_generator(seed)
+    riverside = (np.array([0.05, 0.2]), np.array([0.95, 0.4]), 0.25)
+    crosstown = (np.array([0.1, 0.9]), np.array([0.9, 0.05]), -0.2)
+    # Background POIs scattered citywide, plus route-side POIs of categories
+    # 0 (cafes) and 1 (museums) placed *on* the shared riverside route so
+    # dwelling at either leaves the trajectory's shape unchanged.
+    background = rng.uniform(0.05, 0.95, size=(n_pois, 2))
+    background_cat = rng.integers(0, n_categories, size=n_pois)
+    route_pts = _route(*riverside, 200)
+    n_side = 6
+    side_idx = rng.choice(200, size=2 * n_side, replace=False)
+    side_pos = route_pts[side_idx] + rng.normal(0.0, 0.005, size=(2 * n_side, 2))
+    side_cat = np.array([0] * n_side + [1] * n_side)
+    pois = POIMap(
+        positions=np.concatenate([background, side_pos]),
+        categories=np.concatenate([background_cat, side_cat]),
+    )
+    class_specs = [
+        ("riverside_cafes", riverside, 0),
+        ("riverside_museums", riverside, 1),
+        ("crosstown", crosstown, 2 % n_categories),
+    ]
+    # Route-side POIs per category, used as dwell targets for classes 0/1.
+    route_side = {0: side_pos[:n_side], 1: side_pos[n_side:]}
+    trajectories: list[Trajectory] = []
+    for label, (name, (start, end, curvature), pref) in enumerate(class_specs):
+        if pref in route_side:
+            targets = route_side[pref]
+        else:
+            targets = pois.of_category(pref)
+            if len(targets) == 0:
+                raise ValueError(f"no POIs of category {pref}; increase n_pois")
+        for _ in range(n_per_class):
+            base = _route(start, end, curvature + rng.normal(0, 0.02), n_points)
+            pts = base + rng.normal(0.0, jitter, size=base.shape)
+            # Dwell at a few preferred POIs: insert a tight point cloud at
+            # the POI location right after the nearest route point.
+            if pref in route_side:
+                chosen = rng.choice(
+                    len(targets), size=min(3, len(targets)), replace=False
+                )
+            else:
+                # Citywide preference: dwell at the POIs nearest the route,
+                # so no class ever teleports far off its path.
+                d_route = np.min(
+                    np.linalg.norm(targets[:, None, :] - pts[None, :, :], axis=2),
+                    axis=1,
+                )
+                chosen = np.argsort(d_route)[:3]
+            inserted: dict[int, np.ndarray] = {}
+            for poi in targets[chosen]:
+                nearest = int(np.argmin(np.linalg.norm(pts - poi, axis=1)))
+                cloud = poi + rng.normal(
+                    0.0, dwell_radius / 3.0, size=(dwell_points, 2)
+                )
+                inserted[nearest] = cloud
+            out = []
+            for i in range(n_points):
+                out.append(pts[i : i + 1])
+                if i in inserted:
+                    out.append(inserted[i])
+            trajectories.append(Trajectory(points=np.concatenate(out), label=label))
+    order = rng.permutation(len(trajectories))
+    trajectories = [trajectories[i] for i in order]
+    return TrajectoryDataset(
+        trajectories=trajectories,
+        pois=pois,
+        class_names=[spec[0] for spec in class_specs],
+    )

@@ -1,0 +1,46 @@
+"""Machine unlearning substrate (paper section 2.3).
+
+Goal: make a trained model behave "as if it had never been trained on
+certain data" — here, an entire class — without paying for full retraining.
+Three approaches are provided:
+
+* :func:`retrain_from_scratch` — the gold-standard baseline the paper says
+  is the only prior option;
+* :func:`scrub_unlearn` — the paper project's style of technique: brief
+  fine-tuning that pushes the forgotten class's outputs toward uniform
+  while rehearsing the retained classes;
+* :class:`SISAEnsemble` — sharded-ensemble (SISA) exact unlearning, which
+  bounds the retraining cost to the shards containing the forgotten data.
+
+Experiment E3 compares forget-class accuracy, retain-class accuracy, and
+gradient-update cost across the three.
+"""
+
+from repro.unlearning.data import make_class_blobs
+from repro.unlearning.eval import UnlearningReport, assess_unlearning
+from repro.unlearning.membership import (
+    MembershipReport,
+    example_losses,
+    membership_inference_auc,
+)
+from repro.unlearning.methods import (
+    build_classifier,
+    retrain_from_scratch,
+    scrub_unlearn,
+    train_classifier,
+)
+from repro.unlearning.sisa import SISAEnsemble
+
+__all__ = [
+    "make_class_blobs",
+    "UnlearningReport",
+    "assess_unlearning",
+    "MembershipReport",
+    "example_losses",
+    "membership_inference_auc",
+    "build_classifier",
+    "retrain_from_scratch",
+    "scrub_unlearn",
+    "train_classifier",
+    "SISAEnsemble",
+]

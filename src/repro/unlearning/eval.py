@@ -1,0 +1,87 @@
+"""Unlearning quality assessment.
+
+The paper's claim: "our initial experiments demonstrate comparable
+performance to models that were not required to unlearn".  The report
+quantifies that with three numbers: accuracy on retained classes (should
+match the retrained-from-scratch reference), accuracy on the forgotten class
+(should fall to chance — the model must not retain usable information), and
+the gradient-update cost of obtaining the unlearned model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["UnlearningReport", "assess_unlearning"]
+
+
+@dataclass(frozen=True)
+class UnlearningReport:
+    """Outcome of one unlearning method on a held-out set."""
+
+    method: str
+    retain_accuracy: float
+    forget_accuracy: float
+    chance_level: float
+    gradient_updates: int
+
+    @property
+    def forgotten(self) -> bool:
+        """Forgetting succeeded if forget-class accuracy is near chance.
+
+        "Near" = within 2x chance — with the forgotten class's logits pushed
+        to uniform, the argmax lands on it about 1/C of the time.
+        """
+        return self.forget_accuracy <= 2.0 * self.chance_level
+
+    def as_dict(self) -> dict[str, float | str | bool]:
+        return {
+            "method": self.method,
+            "retain_accuracy": self.retain_accuracy,
+            "forget_accuracy": self.forget_accuracy,
+            "chance_level": self.chance_level,
+            "gradient_updates": self.gradient_updates,
+            "forgotten": self.forgotten,
+        }
+
+
+def assess_unlearning(
+    method: str,
+    predict: Callable[[np.ndarray], np.ndarray],
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    forget_class: int,
+    n_classes: int,
+    *,
+    gradient_updates: int,
+) -> UnlearningReport:
+    """Evaluate a predictor's retain/forget split on held-out data.
+
+    Parameters
+    ----------
+    predict:
+        Maps inputs to integer class predictions (model or ensemble).
+    forget_class:
+        The class that was unlearned.
+    gradient_updates:
+        Cost of producing the unlearned model, for the E3 cost column.
+    """
+    y_test = np.asarray(y_test)
+    forget_mask = y_test == forget_class
+    if not forget_mask.any() or forget_mask.all():
+        raise ValueError("test set must contain both forget and retain classes")
+    predictions = np.asarray(predict(x_test))
+    retain_acc = float(
+        (predictions[~forget_mask] == y_test[~forget_mask]).mean()
+    )
+    forget_acc = float((predictions[forget_mask] == forget_class).mean())
+    return UnlearningReport(
+        method=method,
+        retain_accuracy=retain_acc,
+        forget_accuracy=forget_acc,
+        chance_level=1.0 / n_classes,
+        gradient_updates=int(gradient_updates),
+    )

@@ -1,0 +1,107 @@
+"""Membership-inference evaluation of unlearning.
+
+Accuracy on the forgotten class says *what the model outputs*; the sharper
+question — "behave as if it had never been trained on certain data" — is
+whether an attacker can still *tell* that the forgotten examples were once
+training data.  The standard black-box probe is the loss-threshold attack
+(Yeom et al.): members tend to have lower loss than non-members, so the
+attacker thresholds per-example loss.  We report the attack's AUC:
+
+* AUC ≈ 0.5 — forgotten examples are indistinguishable from never-seen
+  examples: unlearning succeeded in the strong sense;
+* AUC >> 0.5 — the model still leaks membership of the "forgotten" data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import Sequential
+from repro.nn.losses import log_softmax
+
+__all__ = ["MembershipReport", "example_losses", "membership_inference_auc"]
+
+
+def example_losses(model: Sequential, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Per-example cross-entropy losses under ``model`` (eval mode)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y)
+    if len(x) != len(y) or len(x) == 0:
+        raise ValueError("x and y must be non-empty with equal length")
+    logits = model.predict(x)
+    logp = log_softmax(logits, axis=1)
+    return -logp[np.arange(len(y)), y]
+
+
+def _auc(scores_pos: np.ndarray, scores_neg: np.ndarray) -> float:
+    """AUC of 'positive scores exceed negative scores' (Mann-Whitney)."""
+    pos = np.asarray(scores_pos, dtype=float)
+    neg = np.asarray(scores_neg, dtype=float)
+    if pos.size == 0 or neg.size == 0:
+        raise ValueError("need both positive and negative scores")
+    # Rank-based computation: ties get half credit.
+    combined = np.concatenate([pos, neg])
+    order = np.argsort(combined, kind="mergesort")
+    ranks = np.empty_like(order, dtype=float)
+    ranks[order] = np.arange(1, combined.size + 1)
+    # Average ranks over ties.
+    sorted_vals = combined[order]
+    i = 0
+    while i < combined.size:
+        j = i
+        while j + 1 < combined.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        if j > i:
+            mean_rank = ranks[order[i : j + 1]].mean()
+            ranks[order[i : j + 1]] = mean_rank
+        i = j + 1
+    rank_sum_pos = ranks[: pos.size].sum()
+    u = rank_sum_pos - pos.size * (pos.size + 1) / 2.0
+    return float(u / (pos.size * neg.size))
+
+
+@dataclass(frozen=True)
+class MembershipReport:
+    """Outcome of the loss-threshold membership-inference attack."""
+
+    attack_auc: float
+    member_mean_loss: float
+    nonmember_mean_loss: float
+
+    @property
+    def leaks_membership(self) -> bool:
+        """True when the attacker does meaningfully better than chance."""
+        return self.attack_auc > 0.6
+
+
+def membership_inference_auc(
+    model: Sequential,
+    x_members: np.ndarray,
+    y_members: np.ndarray,
+    x_nonmembers: np.ndarray,
+    y_nonmembers: np.ndarray,
+) -> MembershipReport:
+    """Run the loss-threshold attack against ``model``.
+
+    Parameters
+    ----------
+    x_members, y_members:
+        Examples that were (once) in the training set — e.g. the forgotten
+        class's training rows.
+    x_nonmembers, y_nonmembers:
+        Fresh examples from the same distribution the model never saw.
+
+    The attack scores each example by *negative* loss (members are
+    predicted more confidently); the returned AUC is the probability a
+    random member outranks a random non-member.
+    """
+    member_losses = example_losses(model, x_members, y_members)
+    nonmember_losses = example_losses(model, x_nonmembers, y_nonmembers)
+    auc = _auc(-member_losses, -nonmember_losses)
+    return MembershipReport(
+        attack_auc=auc,
+        member_mean_loss=float(member_losses.mean()),
+        nonmember_mean_loss=float(nonmember_losses.mean()),
+    )

@@ -1,0 +1,40 @@
+"""Shared utilities: seeded RNG management, validation, tables, statistics.
+
+These helpers are deliberately small and dependency-free so every substrate
+in :mod:`repro` can rely on them without import cycles.
+"""
+
+from repro.utils.rng import SeedSequenceLedger, as_generator, spawn_child
+from repro.utils.stats import (
+    confidence_interval,
+    describe,
+    likert_mean,
+    likert_mode,
+    trimmed_mean,
+)
+from repro.utils.tables import Table, format_float
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+__all__ = [
+    "SeedSequenceLedger",
+    "as_generator",
+    "spawn_child",
+    "confidence_interval",
+    "describe",
+    "likert_mean",
+    "likert_mode",
+    "trimmed_mean",
+    "Table",
+    "format_float",
+    "check_finite",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+    "check_shape",
+]

@@ -1,0 +1,105 @@
+"""Small-sample summary statistics used by the survey analysis and benches.
+
+The paper reports Likert-scale means rounded to one decimal and modes over
+nine or ten respondents, so the helpers here are exact, vectorized, and make
+their tie-breaking explicit (ties in :func:`likert_mode` resolve to the
+smallest value, matching how a spreadsheet MODE over integer codes behaves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.utils.validation import check_in_range
+
+__all__ = [
+    "likert_mean",
+    "likert_mode",
+    "trimmed_mean",
+    "confidence_interval",
+    "describe",
+    "Summary",
+]
+
+
+def likert_mean(responses: np.ndarray, *, decimals: int = 1) -> float:
+    """Mean of Likert responses, rounded the way the paper reports them."""
+    arr = np.asarray(responses, dtype=float)
+    if arr.size == 0:
+        raise ValueError("responses must be non-empty")
+    return float(np.round(arr.mean(), decimals))
+
+
+def likert_mode(responses: np.ndarray) -> int:
+    """Modal Likert response; ties break toward the smaller value."""
+    arr = np.asarray(responses)
+    if arr.size == 0:
+        raise ValueError("responses must be non-empty")
+    values, counts = np.unique(arr, return_counts=True)
+    return int(values[np.argmax(counts)])
+
+
+def trimmed_mean(x: np.ndarray, proportion: float = 0.1) -> float:
+    """Symmetric trimmed mean, robust to a small number of outliers."""
+    check_in_range("proportion", proportion, 0.0, 0.5, inclusive=False)
+    return float(sps.trim_mean(np.asarray(x, dtype=float), proportion))
+
+
+def confidence_interval(
+    x: np.ndarray, level: float = 0.95
+) -> tuple[float, float]:
+    """Two-sided t confidence interval for the mean of ``x``.
+
+    Degenerate inputs (n == 1 or zero variance) return a zero-width interval
+    at the mean rather than NaNs so report tables stay printable.
+    """
+    check_in_range("level", level, 0.0, 1.0, inclusive=False)
+    arr = np.asarray(x, dtype=float)
+    if arr.size == 0:
+        raise ValueError("x must be non-empty")
+    mean = float(arr.mean())
+    if arr.size == 1 or float(arr.std(ddof=1)) == 0.0:
+        return (mean, mean)
+    sem = float(arr.std(ddof=1) / np.sqrt(arr.size))
+    half = float(sps.t.ppf(0.5 + level / 2.0, df=arr.size - 1)) * sem
+    return (mean - half, mean + half)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "median": self.median,
+            "max": self.maximum,
+        }
+
+
+def describe(x: np.ndarray) -> Summary:
+    """Summarize a one-dimensional sample."""
+    arr = np.asarray(x, dtype=float).ravel()
+    if arr.size == 0:
+        raise ValueError("x must be non-empty")
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        maximum=float(arr.max()),
+    )

@@ -1,0 +1,70 @@
+"""Plain-text table rendering for reports and benchmark output.
+
+Every benchmark in this repository prints the paper's published rows next to
+the regenerated ones; :class:`Table` is the single renderer they share, so
+the output format is uniform across experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Table", "format_float"]
+
+
+def format_float(value: Any, decimals: int = 2) -> str:
+    """Format a cell: floats to fixed decimals, ints verbatim, rest via str."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{decimals}f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A minimal left-aligned text table.
+
+    Examples
+    --------
+    >>> t = Table(["skill", "boost"], title="Confidence")
+    >>> t.add_row(["poster", 1.6])
+    >>> print(t.render())
+    Confidence
+    skill  | boost
+    -------+------
+    poster | 1.60
+    """
+
+    columns: list[str]
+    title: str = ""
+    decimals: int = 2
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, values: list[Any]) -> None:
+        """Append one row; length must match the column count."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([format_float(v, self.decimals) for v in values])
+
+    def render(self) -> str:
+        """Render the table as a string (no trailing newline)."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def fmt(cells: list[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt(self.columns))
+        lines.append("-+-".join("-" * w for w in widths))
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience alias
+        return self.render()

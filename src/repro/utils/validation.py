@@ -1,0 +1,82 @@
+"""Argument validation helpers shared by all substrates.
+
+Each helper raises :class:`ValueError` (or :class:`TypeError` where a type is
+wrong) with a message that names the offending argument, so failures deep in
+a simulation point straight at the caller's mistake.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_in_range",
+    "check_probability",
+    "check_shape",
+    "check_finite",
+]
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (strictly, by default)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate that ``low <= value <= high`` (or strict when not inclusive)."""
+    ok = low <= value <= high if inclusive else low < value < high
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must lie in {bracket[0]}{low}, {high}{bracket[1]}, got {value!r}"
+        )
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` is a probability in [0, 1]."""
+    return check_in_range(name, value, 0.0, 1.0)
+
+
+def check_shape(name: str, array: np.ndarray, shape: Sequence[int | None]) -> np.ndarray:
+    """Validate ``array.shape`` against ``shape`` (``None`` = any size).
+
+    Examples
+    --------
+    >>> check_shape("x", np.zeros((3, 2)), (None, 2)).shape
+    (3, 2)
+    """
+    arr = np.asarray(array)
+    if arr.ndim != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions, got shape {arr.shape}"
+        )
+    for axis, (actual, expected) in enumerate(zip(arr.shape, shape)):
+        if expected is not None and actual != expected:
+            raise ValueError(
+                f"{name} axis {axis} must have size {expected}, got shape {arr.shape}"
+            )
+    return arr
+
+
+def check_finite(name: str, array: np.ndarray) -> np.ndarray:
+    """Validate that every element of ``array`` is finite."""
+    arr = np.asarray(array, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        n_bad = int(np.size(arr) - np.isfinite(arr).sum())
+        raise ValueError(f"{name} contains {n_bad} non-finite values")
+    return arr

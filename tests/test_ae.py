@@ -1,0 +1,248 @@
+"""Tests for the artifact-evaluation substrate (section 2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.ae import (
+    ArtifactProfile,
+    Badge,
+    DiaryStudy,
+    InterviewProtocol,
+    Reviewer,
+    award_badges,
+    evaluate_artifact,
+    run_pilot_sessions,
+    synthesize_artifacts,
+)
+from repro.ae.review import _success_probability
+
+
+def artifact(**kw):
+    defaults = dict(
+        name="a",
+        code_quality=0.8,
+        doc_quality=0.5,
+        env_automation=0.5,
+        hours_invested=10.0,
+        data_available=True,
+    )
+    defaults.update(kw)
+    return ArtifactProfile(**defaults)
+
+
+def reviewer(**kw):
+    defaults = dict(name="r", hours_budget=10.0, expertise=0.5, infrastructure=0.8)
+    defaults.update(kw)
+    return Reviewer(**defaults)
+
+
+class TestArtifactModel:
+    def test_population_size(self):
+        assert len(synthesize_artifacts(20, seed=0)) == 20
+
+    def test_doc_code_weakly_correlated(self):
+        arts = synthesize_artifacts(400, doc_code_correlation=0.25, seed=1)
+        code = np.array([a.code_quality for a in arts])
+        docs = np.array([a.doc_quality for a in arts])
+        corr = np.corrcoef(code, docs)[0, 1]
+        assert 0.0 < corr < 0.6  # "artifacts are code": axes mostly independent
+
+    def test_rejects_bad_quality(self):
+        with pytest.raises(ValueError):
+            artifact(code_quality=1.5)
+
+    def test_rejects_negative_hours(self):
+        with pytest.raises(ValueError):
+            artifact(hours_invested=-1.0)
+
+
+class TestSuccessModel:
+    def test_docs_substitute_for_expertise(self):
+        novice = reviewer(expertise=0.1)
+        well_documented = artifact(doc_quality=0.95)
+        poorly_documented = artifact(doc_quality=0.1)
+        assert _success_probability(well_documented, novice) > _success_probability(
+            poorly_documented, novice
+        )
+
+    def test_expert_tolerates_poor_docs(self):
+        poor_docs = artifact(doc_quality=0.1)
+        assert _success_probability(poor_docs, reviewer(expertise=0.95)) > (
+            _success_probability(poor_docs, reviewer(expertise=0.1))
+        )
+
+    def test_missing_data_caps_success(self):
+        assert _success_probability(
+            artifact(data_available=False), reviewer()
+        ) < _success_probability(artifact(), reviewer())
+
+
+class TestEvaluation:
+    def test_outcome_badge_ordering(self):
+        out = evaluate_artifact(artifact(code_quality=0.99, doc_quality=0.99,
+                                         env_automation=0.9),
+                                reviewer(hours_budget=100.0), seed=0)
+        assert out.badge.value >= Badge.AVAILABLE.value
+
+    def test_friction_events_reported(self):
+        out = evaluate_artifact(
+            artifact(doc_quality=0.1, env_automation=0.1, data_available=False),
+            reviewer(infrastructure=0.2),
+            seed=0,
+        )
+        assert set(out.friction_events) == {
+            "sparse instructions",
+            "manual environment setup",
+            "data not included",
+            "insufficient hardware",
+        }
+
+    def test_reproduced_requires_data(self):
+        out = evaluate_artifact(artifact(data_available=False), reviewer(), seed=1)
+        assert not out.reproduced
+
+    def test_hours_spent_bounded_by_budget(self):
+        out = evaluate_artifact(artifact(), reviewer(hours_budget=2.0), seed=2)
+        assert out.hours_spent <= 2.0
+
+    def test_good_artifacts_evaluate_better_in_aggregate(self):
+        rng_seeds = range(40)
+        good = artifact(code_quality=0.95, doc_quality=0.9, env_automation=0.9)
+        bad = artifact(code_quality=0.2, doc_quality=0.1, env_automation=0.1,
+                       data_available=False)
+        good_wins = sum(
+            evaluate_artifact(good, reviewer(), seed=s).got_running for s in rng_seeds
+        )
+        bad_wins = sum(
+            evaluate_artifact(bad, reviewer(), seed=s).got_running for s in rng_seeds
+        )
+        assert good_wins > bad_wins + 10
+
+    def test_award_badges_takes_best(self):
+        outs = [
+            evaluate_artifact(artifact(), reviewer(name=f"r{i}"), seed=i)
+            for i in range(6)
+        ]
+        badges = award_badges(outs)
+        best = max(o.badge.value for o in outs)
+        assert badges["a"].value == best
+
+
+class TestInstruments:
+    def test_default_instruments_have_items(self):
+        assert len(DiaryStudy().items) == 5
+        assert len(InterviewProtocol().items) == 6
+
+    def test_pilot_improves_validity(self):
+        diary = DiaryStudy()
+        before = diary.validity
+        feedback = run_pilot_sessions(diary, n_sessions=4, seed=0)
+        assert diary.validity > before
+        assert len(feedback) == 4
+
+    def test_validity_nondecreasing_within_sessions(self):
+        protocol = InterviewProtocol()
+        feedback = run_pilot_sessions(protocol, n_sessions=4, seed=1)
+        for fb in feedback:
+            assert fb.validity_after >= fb.validity_before - 1e-12
+
+    def test_revisions_are_tracked(self):
+        diary = DiaryStudy()
+        run_pilot_sessions(diary, n_sessions=4, seed=2)
+        assert diary.total_revisions > 0
+        assert any("(rev" in text for text in diary.item_texts())
+
+    def test_clear_items_not_revised(self):
+        diary = DiaryStudy(initial_clarity=0.99)
+        run_pilot_sessions(diary, n_sessions=2, clarity_threshold=0.5,
+                           rating_noise=0.01, seed=3)
+        assert diary.total_revisions == 0
+
+    def test_rejects_zero_sessions(self):
+        with pytest.raises(ValueError):
+            run_pilot_sessions(DiaryStudy(), n_sessions=0)
+
+
+class TestAgreement:
+    def test_kappa_perfect(self):
+        import numpy as np
+        from repro.ae import cohens_kappa
+
+        a = np.array([1, 2, 3, 1, 2])
+        assert cohens_kappa(a, a.copy()) == 1.0
+
+    def test_kappa_chance_level_near_zero(self):
+        import numpy as np
+        from repro.ae import cohens_kappa
+
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 3, size=5000)
+        b = rng.integers(0, 3, size=5000)
+        assert abs(cohens_kappa(a, b)) < 0.05
+
+    def test_kappa_systematic_disagreement_negative(self):
+        import numpy as np
+        from repro.ae import cohens_kappa
+
+        a = np.array([0, 1] * 50)
+        b = np.array([1, 0] * 50)
+        assert cohens_kappa(a, b) < 0
+
+    def test_kappa_validates_input(self):
+        import numpy as np
+        from repro.ae import cohens_kappa
+
+        with pytest.raises(ValueError):
+            cohens_kappa(np.array([1, 2]), np.array([1]))
+
+    def test_panel_agreement_report(self):
+        from repro.ae import panel_agreement, synthesize_artifacts
+
+        artifacts = synthesize_artifacts(40, seed=5)
+        report = panel_agreement(
+            artifacts,
+            reviewer(name="a", expertise=0.8, infrastructure=0.9),
+            reviewer(name="b", expertise=0.8, infrastructure=0.9),
+            seed=1,
+        )
+        assert report.n_artifacts == 40
+        assert 0.0 <= report.percent_agreement <= 1.0
+        assert -1.0 <= report.kappa <= 1.0
+        assert sum(report.badge_counts_a.values()) == 40
+
+    def test_capable_panel_beats_chance_where_weak_panel_cannot(self):
+        """Kappa, not raw agreement, is the right reliability lens.
+
+        A reviewer who can run nothing rubber-stamps AVAILABLE for every
+        artifact; their raw agreement with a capable reviewer can look
+        high, but the chance-corrected kappa is exactly 0.  Two capable
+        reviewers agree beyond chance (kappa > 0 on average), though the
+        evaluation process is noisy — itself a known finding about
+        artifact evaluation.
+        """
+        import numpy as np
+        from repro.ae import panel_agreement, synthesize_artifacts
+
+        artifacts = synthesize_artifacts(120, seed=6)
+        strong = dict(expertise=0.9, infrastructure=0.9, hours_budget=20.0)
+        weak = dict(expertise=0.1, infrastructure=0.1, hours_budget=1.0)
+        twins_k, mism_k = [], []
+        for seed in range(4):
+            twins_k.append(
+                panel_agreement(
+                    artifacts,
+                    reviewer(name="a", **strong),
+                    reviewer(name="b", **strong),
+                    seed=seed,
+                ).kappa
+            )
+            mism_k.append(
+                panel_agreement(
+                    artifacts,
+                    reviewer(name="a", **strong),
+                    reviewer(name="c", **weak),
+                    seed=seed,
+                ).kappa
+            )
+        assert np.mean(twins_k) > np.mean(mism_k)
+        assert np.mean(mism_k) == pytest.approx(0.0, abs=0.05)

@@ -1,0 +1,361 @@
+"""Tests for the FIFO/backfill scheduler, workload, policies, and metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    ClusterSimulator,
+    Job,
+    SchedulerPolicy,
+    evaluate_schedule,
+    generate_workload,
+    naive_deadline_submission,
+    staged_batch_submission,
+    uniform_submission,
+)
+from repro.cluster.jobs import JobState
+from repro.cluster.workload import POSTER_DEADLINE_H, default_reu_projects
+
+
+def J(jid, gpus, dur, submit, deadline=1e9, project="p"):
+    return Job(jid, project, gpus, dur, submit, deadline)
+
+
+class TestFIFO:
+    def test_serial_when_pool_exhausted(self):
+        sim = ClusterSimulator(2)
+        recs = sim.run([J(0, 2, 10.0, 0.0), J(1, 1, 5.0, 0.0)])
+        assert recs[0].start_time == 0.0
+        assert recs[1].start_time == 10.0
+
+    def test_parallel_when_fits(self):
+        sim = ClusterSimulator(3)
+        recs = sim.run([J(0, 2, 10.0, 0.0), J(1, 1, 5.0, 0.0)])
+        assert recs[1].start_time == 0.0
+
+    def test_fifo_head_blocks_queue(self):
+        # Head job needs 2 GPUs (unavailable); a 1-GPU job behind it must
+        # wait under FIFO even though it would fit.
+        sim = ClusterSimulator(2, policy=SchedulerPolicy.FIFO)
+        recs = sim.run(
+            [J(0, 1, 10.0, 0.0), J(1, 2, 5.0, 1.0), J(2, 1, 1.0, 2.0)]
+        )
+        assert recs[2].start_time >= recs[1].end_time
+
+    def test_all_jobs_complete(self):
+        sim = ClusterSimulator(2)
+        recs = sim.run([J(i, 1, 2.0, float(i)) for i in range(10)])
+        assert all(r.state is JobState.COMPLETED for r in recs)
+
+    def test_job_wider_than_pool_rejected(self):
+        sim = ClusterSimulator(2)
+        with pytest.raises(ValueError, match="requests"):
+            sim.run([J(0, 3, 1.0, 0.0)])
+
+    def test_duplicate_ids_rejected(self):
+        sim = ClusterSimulator(2)
+        with pytest.raises(ValueError, match="duplicate"):
+            sim.run([J(0, 1, 1.0, 0.0), J(0, 1, 1.0, 0.0)])
+
+    def test_makespan(self):
+        sim = ClusterSimulator(1)
+        sim.run([J(0, 1, 3.0, 0.0), J(1, 1, 4.0, 0.0)])
+        assert sim.makespan == 7.0
+
+
+class TestBackfill:
+    def test_small_job_backfills_into_gap(self):
+        # Head (job 1) needs the full pool and must wait for job 0; job 2 is
+        # short enough to finish before job 0 frees the pool.
+        sim = ClusterSimulator(2, policy=SchedulerPolicy.BACKFILL)
+        recs = sim.run(
+            [J(0, 1, 10.0, 0.0), J(1, 2, 5.0, 1.0), J(2, 1, 2.0, 2.0)]
+        )
+        assert recs[2].start_time == 2.0  # backfilled immediately
+        assert recs[1].start_time == 10.0  # head start unharmed
+
+    def test_backfill_never_delays_head(self):
+        sim_fifo = ClusterSimulator(2, policy=SchedulerPolicy.FIFO)
+        sim_bf = ClusterSimulator(2, policy=SchedulerPolicy.BACKFILL)
+        jobs = [
+            J(0, 1, 10.0, 0.0),
+            J(1, 2, 5.0, 1.0),
+            J(2, 1, 9.0, 2.0),  # too long to finish before shadow time
+        ]
+        head_fifo = sim_fifo.run(list(jobs))[1].start_time
+        head_bf = sim_bf.run(list(jobs))[1].start_time
+        assert head_bf == head_fifo
+
+    def test_backfill_reduces_mean_wait(self):
+        jobs = [J(0, 3, 20.0, 0.0), J(1, 4, 10.0, 0.0)] + [
+            J(i, 1, 1.0, 0.5) for i in range(2, 12)
+        ]
+        m_fifo = evaluate_schedule(ClusterSimulator(4).run(list(jobs)))
+        m_bf = evaluate_schedule(
+            ClusterSimulator(4, policy=SchedulerPolicy.BACKFILL).run(list(jobs))
+        )
+        assert m_bf.mean_wait < m_fifo.mean_wait
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(1, 4),                  # gpus
+                st.floats(0.5, 20.0),               # duration
+                st.floats(0.0, 50.0),               # submit
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_no_overallocation_and_completion(self, raw):
+        """Backfill never over-allocates and always completes every job."""
+        jobs = [
+            Job(i, "p", g, d, s, 1e9) for i, (g, d, s) in enumerate(raw)
+        ]
+        sim = ClusterSimulator(4, policy=SchedulerPolicy.BACKFILL)
+        recs = sim.run(jobs)  # GPUPool raises internally on over-allocation
+        assert all(r.state is JobState.COMPLETED for r in recs)
+        # No job starts before submission.
+        assert all(r.start_time >= r.job.submit_time - 1e-9 for r in recs)
+
+
+class TestWorkloadAndPolicies:
+    def test_default_projects_count(self):
+        assert len(default_reu_projects()) == 11
+
+    def test_workload_ids_unique_and_sorted(self):
+        jobs = generate_workload(seed=0)
+        ids = [j.job_id for j in jobs]
+        assert len(set(ids)) == len(ids)
+        submits = [j.submit_time for j in jobs]
+        assert submits == sorted(submits)
+
+    def test_naive_submissions_cluster_near_deadline(self):
+        projects = default_reu_projects()
+        times = naive_deadline_submission(projects, seed=0)
+        for spec in projects:
+            for t in times[spec.name]:
+                assert t >= POSTER_DEADLINE_H - spec.final_hours - 12.0 - 1e-9
+
+    def test_staged_batches_are_separated(self):
+        projects = default_reu_projects()
+        times = staged_batch_submission(projects, n_batches=3, batch_gap_hours=48.0)
+        finish_targets = {
+            spec.name: times[spec.name][0] + spec.final_hours for spec in projects
+        }
+        # At least 3 distinct completion targets (one per batch).
+        assert len({round(v / 48.0) for v in finish_targets.values()}) >= 3
+
+    def test_staged_policy_is_deterministic(self):
+        projects = default_reu_projects()
+        assert staged_batch_submission(projects) == staged_batch_submission(projects)
+
+    def test_uniform_within_window(self):
+        projects = default_reu_projects()
+        times = uniform_submission(projects, window_hours=100.0, seed=1)
+        for spec in projects:
+            latest = POSTER_DEADLINE_H - spec.final_hours
+            for t in times[spec.name]:
+                assert latest - 100.0 - 1e-9 <= t <= latest + 1e-9
+
+    def test_policy_length_mismatch_rejected(self):
+        projects = default_reu_projects()
+        times = {projects[0].name: [0.0]}  # wrong count
+        if projects[0].n_final != 1:
+            with pytest.raises(ValueError, match="submit times"):
+                generate_workload(projects, submit_times=times, seed=0)
+
+
+class TestContentionFinding:
+    """The headline R1 result: staging fixes the end-of-program crunch."""
+
+    def test_staged_beats_naive_on_lateness(self):
+        projects = default_reu_projects()
+        naive = generate_workload(
+            projects, submit_times=naive_deadline_submission(projects, seed=1), seed=42
+        )
+        staged = generate_workload(
+            projects, submit_times=staged_batch_submission(projects), seed=42
+        )
+        m_naive = evaluate_schedule(
+            ClusterSimulator(6, policy=SchedulerPolicy.BACKFILL).run(naive)
+        )
+        m_staged = evaluate_schedule(
+            ClusterSimulator(6, policy=SchedulerPolicy.BACKFILL).run(staged)
+        )
+        assert m_naive.missed_deadlines > 0
+        assert m_staged.missed_deadlines == 0
+        assert m_staged.mean_wait_final_week < m_naive.mean_wait_final_week
+
+    def test_metrics_require_completion(self):
+        from repro.cluster.jobs import JobRecord
+
+        rec = JobRecord(job=J(0, 1, 1.0, 0.0))
+        with pytest.raises(ValueError, match="not completed"):
+            evaluate_schedule([rec])
+
+    def test_metrics_fields(self):
+        sim = ClusterSimulator(2)
+        recs = sim.run([J(0, 1, 2.0, 0.0, deadline=1.0)])
+        m = evaluate_schedule(recs)
+        assert m.missed_deadlines == 1
+        assert m.total_lateness == pytest.approx(1.0)
+        assert m.makespan == 2.0
+
+
+class TestEDF:
+    def test_earliest_deadline_runs_first(self):
+        sim = ClusterSimulator(1, policy=SchedulerPolicy.EDF)
+        jobs = [
+            Job(0, "late", 1, 5.0, 0.0, deadline=100.0),
+            Job(1, "urgent", 1, 5.0, 0.1, deadline=10.0),
+            Job(2, "mid", 1, 5.0, 0.2, deadline=50.0),
+        ]
+        recs = sim.run(jobs)
+        # Job 0 starts immediately (pool free); 1 then preempts the queue
+        # order over 2 by deadline.
+        assert recs[1].start_time < recs[2].start_time
+
+    def test_edf_reduces_lateness_vs_fifo(self):
+        # A long lenient-deadline job submitted just before several urgent ones.
+        jobs = [Job(0, "lenient", 2, 30.0, 0.0, deadline=500.0)] + [
+            Job(i, f"urgent{i}", 1, 5.0, 0.1 + i * 0.01, deadline=12.0 + 5 * i)
+            for i in range(1, 6)
+        ]
+        fifo = evaluate_schedule(
+            ClusterSimulator(2, policy=SchedulerPolicy.FIFO).run(list(jobs))
+        )
+        edf = evaluate_schedule(
+            ClusterSimulator(2, policy=SchedulerPolicy.EDF).run(list(jobs))
+        )
+        assert edf.total_lateness <= fifo.total_lateness
+
+    def test_stable_among_equal_deadlines(self):
+        sim = ClusterSimulator(1, policy=SchedulerPolicy.EDF)
+        jobs = [
+            Job(0, "a", 1, 1.0, 0.0, deadline=10.0),
+            Job(1, "b", 1, 1.0, 0.1, deadline=10.0),
+            Job(2, "c", 1, 1.0, 0.2, deadline=10.0),
+        ]
+        recs = sim.run(jobs)
+        starts = [r.start_time for r in recs]
+        assert starts == sorted(starts)
+
+    def test_edf_alone_does_not_fix_the_crunch(self):
+        """Deadline-aware scheduling cannot conjure capacity (A2 extended)."""
+        projects = default_reu_projects()
+        times = naive_deadline_submission(projects, seed=1)
+        jobs = generate_workload(projects, submit_times=times, seed=42)
+        m = evaluate_schedule(
+            ClusterSimulator(6, policy=SchedulerPolicy.EDF).run(jobs)
+        )
+        assert m.missed_deadlines > 0
+
+
+class TestFairShare:
+    def test_light_user_cuts_ahead_of_heavy_backlog(self):
+        sim = ClusterSimulator(1, policy=SchedulerPolicy.FAIRSHARE)
+        jobs = (
+            [Job(0, "heavy", 1, 10.0, 0.0, 1e9)]
+            + [Job(i, "heavy", 1, 10.0, 0.1, 1e9) for i in (1, 2)]
+            + [Job(3, "light", 1, 1.0, 0.2, 1e9)]
+        )
+        recs = sim.run(jobs)
+        # After heavy's first job commits 10 GPU-hours, the light project's
+        # job outranks heavy's remaining backlog.
+        assert recs[3].start_time < recs[1].start_time or recs[3].start_time < recs[2].start_time
+
+    def test_usage_accounting(self):
+        sim = ClusterSimulator(2, policy=SchedulerPolicy.FAIRSHARE)
+        sim.run([Job(0, "a", 2, 3.0, 0.0, 1e9), Job(1, "b", 1, 2.0, 0.0, 1e9)])
+        usage = sim.project_usage()
+        assert usage["a"] == pytest.approx(6.0)
+        assert usage["b"] == pytest.approx(2.0)
+
+    def test_fairshare_narrows_wait_disparity(self):
+        """Per-project max wait spread shrinks vs FIFO under a hog."""
+        def workload():
+            jobs = [Job(i, "hog", 2, 8.0, 0.0 + i * 0.01, 1e9) for i in range(5)]
+            jobs += [
+                Job(10 + i, f"small{i}", 1, 1.0, 0.5, 1e9) for i in range(4)
+            ]
+            return jobs
+
+        def max_wait_by_project(policy):
+            sim = ClusterSimulator(2, policy=policy)
+            recs = sim.run(workload())
+            waits: dict[str, float] = {}
+            for r in recs:
+                waits[r.job.project] = max(waits.get(r.job.project, 0.0), r.wait_time)
+            smalls = [v for k, v in waits.items() if k.startswith("small")]
+            return max(smalls)
+
+        assert max_wait_by_project(SchedulerPolicy.FAIRSHARE) < max_wait_by_project(
+            SchedulerPolicy.FIFO
+        )
+
+    def test_all_jobs_still_complete(self):
+        sim = ClusterSimulator(3, policy=SchedulerPolicy.FAIRSHARE)
+        recs = sim.run([Job(i, f"p{i % 3}", 1 + i % 2, 2.0, float(i), 1e9) for i in range(12)])
+        assert all(r.state is JobState.COMPLETED for r in recs)
+
+
+class TestTraceFormat:
+    def test_round_trip(self, tmp_path):
+        from repro.cluster import dump_trace, load_trace
+
+        jobs = generate_workload(seed=0)
+        path = dump_trace(jobs, tmp_path / "season.trace", comment="season 2023")
+        restored = load_trace(path)
+        assert restored == sorted(jobs, key=lambda j: j.job_id)
+
+    def test_float_precision_exact(self):
+        from repro.cluster import dumps_trace, loads_trace
+
+        job = Job(0, "p", 1, 1.0 / 3.0, 2.0 / 7.0, 1e9)
+        (restored,) = loads_trace(dumps_trace([job]))
+        assert restored.duration == job.duration  # repr round-trips floats
+        assert restored.submit_time == job.submit_time
+
+    def test_replay_reproduces_schedule(self):
+        from repro.cluster import dumps_trace, loads_trace
+
+        jobs = generate_workload(seed=3)
+        replayed = loads_trace(dumps_trace(jobs))
+        a = evaluate_schedule(
+            ClusterSimulator(6, policy=SchedulerPolicy.BACKFILL).run(list(jobs))
+        )
+        b = evaluate_schedule(
+            ClusterSimulator(6, policy=SchedulerPolicy.BACKFILL).run(replayed)
+        )
+        assert a.mean_wait == b.mean_wait
+        assert a.makespan == b.makespan
+
+    def test_comments_preserved_ignored(self):
+        from repro.cluster import dumps_trace, loads_trace
+
+        text = dumps_trace([Job(0, "p", 1, 1.0, 0.0, 10.0)], comment="two\nlines")
+        assert "; two" in text and "; lines" in text
+        assert len(loads_trace(text)) == 1
+
+    def test_missing_header_rejected(self):
+        from repro.cluster import loads_trace
+
+        with pytest.raises(ValueError, match="header"):
+            loads_trace("0 p 1 1.0 0.0 10.0\n")
+
+    def test_malformed_line_rejected(self):
+        from repro.cluster import dumps_trace, loads_trace
+
+        text = dumps_trace([Job(0, "p", 1, 1.0, 0.0, 10.0)]) + "1 q 2\n"
+        with pytest.raises(ValueError, match="6 fields"):
+            loads_trace(text)
+
+    def test_whitespace_project_rejected(self):
+        from repro.cluster import dumps_trace
+
+        with pytest.raises(ValueError, match="whitespace"):
+            dumps_trace([Job(0, "bad name", 1, 1.0, 0.0, 10.0)])

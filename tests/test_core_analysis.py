@@ -1,0 +1,161 @@
+"""Tests for the survey analysis: regenerated Tables 1-3 vs the paper."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConstantGainModel,
+    NARRATIVE,
+    REUProgram,
+    TABLE1_GOALS,
+    TABLE2_CONFIDENCE,
+    TABLE3_KNOWLEDGE,
+    narrative_stats,
+    render_season_report,
+    table1,
+    table2,
+    table3,
+)
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return REUProgram().run_season(seed=42)
+
+
+def _mean_over_seeds(metric, n_seeds=6):
+    values = []
+    for seed in range(n_seeds):
+        values.append(metric(REUProgram().run_season(seed=seed)))
+    return np.mean(values, axis=0)
+
+
+class TestTable1:
+    def test_rows_cover_taxonomy(self, outcome):
+        rows = table1(outcome)
+        assert [r.goal for r in rows] == list(TABLE1_GOALS)
+        assert all(r.respondents == 9 for r in rows)
+
+    def test_counts_within_respondents(self, outcome):
+        for r in table1(outcome):
+            assert 0 <= r.accomplished <= r.respondents
+
+    def test_counts_track_paper_in_expectation(self):
+        counts = _mean_over_seeds(
+            lambda o: np.array([r.accomplished for r in table1(o)])
+        )
+        paper = np.array(list(TABLE1_GOALS.values()), dtype=float)
+        assert np.abs(counts - paper).mean() < 1.5
+
+    def test_all_nine_goals_include_the_paper_five(self, outcome):
+        ours_all = {r.goal for r in table1(outcome) if r.accomplished == 9}
+        paper_all = {g for g, c in TABLE1_GOALS.items() if c == 9}
+        assert paper_all <= ours_all
+
+
+class TestTable2:
+    def test_skill_order(self, outcome):
+        assert [r.skill for r in table2(outcome)] == list(TABLE2_CONFIDENCE)
+
+    def test_apriori_means_near_paper(self):
+        means = _mean_over_seeds(
+            lambda o: np.array([r.apriori_mean for r in table2(o)])
+        )
+        paper = np.array([v[0] for v in TABLE2_CONFIDENCE.values()])
+        assert np.abs(means - paper).max() < 0.5
+
+    def test_boosts_correlate_with_paper(self):
+        boosts = _mean_over_seeds(lambda o: np.array([r.boost for r in table2(o)]))
+        paper = np.array([v[1] for v in TABLE2_CONFIDENCE.values()])
+        corr = np.corrcoef(boosts, paper)[0, 1]
+        assert corr > 0.6
+
+    def test_inverse_prior_boost_relationship(self):
+        """The paper's key finding, reproduced from regenerated surveys."""
+        boosts = _mean_over_seeds(lambda o: np.array([r.boost for r in table2(o)]))
+        priors = np.array([v[0] for v in TABLE2_CONFIDENCE.values()])
+        assert np.corrcoef(priors, boosts)[0, 1] < -0.5
+
+    def test_constant_gain_ablation_breaks_the_relationship(self):
+        """A1 ablation: constant-gain learning cannot reproduce Table 2."""
+        boosts = []
+        for seed in range(6):
+            program = REUProgram(model=ConstantGainModel())
+            o = program.run_season(seed=seed)
+            boosts.append([r.boost for r in table2(o)])
+        boosts = np.mean(boosts, axis=0)
+        paper = np.array([v[1] for v in TABLE2_CONFIDENCE.values()])
+        # Constant gain retains a *spurious* inverse prior-boost slope (the
+        # 5-point Likert ceiling compresses gains for high-prior skills),
+        # but its regenerated boosts no longer agree with the paper's: the
+        # correlation collapses and the mean absolute error triples.
+        assert np.corrcoef(paper, boosts)[0, 1] < 0.5
+        assert np.abs(boosts - paper).mean() > 0.15
+
+
+class TestTable3:
+    def test_area_order(self, outcome):
+        assert [r.area for r in table3(outcome)] == list(TABLE3_KNOWLEDGE)
+
+    def test_trust_and_repro_are_biggest_gains(self):
+        incr = _mean_over_seeds(lambda o: np.array([r.increase for r in table3(o)]))
+        areas = list(TABLE3_KNOWLEDGE)
+        top_two = set(np.array(areas)[np.argsort(incr)[-2:]])
+        assert top_two == {
+            "trust_in_computational_research",
+            "reproducibility_of_research",
+        }
+
+    def test_increases_near_paper(self):
+        incr = _mean_over_seeds(lambda o: np.array([r.increase for r in table3(o)]))
+        paper = np.array([v[1] for v in TABLE3_KNOWLEDGE.values()])
+        assert np.abs(incr - paper).max() < 0.5
+
+
+class TestNarrative:
+    def test_counts(self, outcome):
+        stats = narrative_stats(outcome)
+        assert stats.n_applicants == NARRATIVE["applicants"]
+        assert stats.apriori_responses == NARRATIVE["a_priori_responses"]
+        assert stats.posthoc_responses == NARRATIVE["post_hoc_responses"]
+        assert stats.complete_posthoc_responses == 9
+
+    def test_phd_intent_rises(self):
+        pre, post = _mean_over_seeds(
+            lambda o: np.array(
+                [
+                    narrative_stats(o).phd_intent_apriori_mean,
+                    narrative_stats(o).phd_intent_posthoc_mean,
+                ]
+            )
+        )
+        assert post > pre
+        assert abs(pre - NARRATIVE["phd_intent_apriori_mean"]) < 0.4
+        assert abs(post - NARRATIVE["phd_intent_posthoc_mean"]) < 0.4
+
+    def test_recommender_statistics(self, outcome):
+        stats = narrative_stats(outcome)
+        assert 2 <= stats.recommenders_reu_mode <= 3
+        lo, hi = stats.recommenders_reu_range
+        assert 2 <= lo <= hi <= 4
+
+    def test_at_least_five_goals_by_all(self, outcome):
+        assert narrative_stats(outcome).goals_accomplished_by_all >= 5
+
+    def test_top5_includes_poster_and_presenting(self):
+        hits = 0
+        for seed in range(6):
+            stats = narrative_stats(REUProgram().run_season(seed=seed))
+            top = {name for name, _ in stats.top5_confidence_gains}
+            hits += "preparing_scientific_poster" in top
+        assert hits >= 4  # the paper's #1 gain shows up reliably
+
+
+class TestReport:
+    def test_report_renders_all_sections(self, outcome):
+        text = render_season_report(outcome)
+        assert "Table 1" in text
+        assert "Table 2" in text
+        assert "Table 3" in text
+        assert "Narrative statistics" in text
+        assert "preparing_scientific_poster" in text

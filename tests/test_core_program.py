@@ -1,0 +1,183 @@
+"""Tests for the core program model: applicants, cohort, learning, goals."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConstantGainModel,
+    ExperienceModel,
+    GOALS,
+    ProgramConfig,
+    REUProgram,
+    SKILLS,
+    KNOWLEDGE_AREAS,
+    TABLE1_GOALS,
+    TABLE2_CONFIDENCE,
+    Timeline,
+    goal_names,
+    make_applicant_pool,
+    make_cohort,
+    select_offers,
+)
+
+
+class TestApplicants:
+    def test_pool_size(self):
+        assert len(make_applicant_pool(85, seed=0)) == 85
+
+    def test_selection_count(self):
+        pool = make_applicant_pool(85, seed=0)
+        assert len(select_offers(pool, 10, seed=1)) == 10
+
+    def test_selection_slants_hold(self):
+        """Offers are enriched in the paper's emphasized axes."""
+        pool = make_applicant_pool(400, seed=2)
+        offers = select_offers(pool, 40, seed=3)
+        pool_div = np.mean([a.underrepresented for a in pool])
+        offer_div = np.mean([a.underrepresented for a in offers])
+        pool_nonres = np.mean([not a.research_institution for a in pool])
+        offer_nonres = np.mean([not a.research_institution for a in offers])
+        assert offer_div > pool_div
+        assert offer_nonres > pool_nonres
+
+    def test_selection_rejects_too_many_offers(self):
+        pool = make_applicant_pool(5, seed=0)
+        with pytest.raises(ValueError):
+            select_offers(pool, 6)
+
+    def test_years_spread(self):
+        pool = make_applicant_pool(200, seed=4)
+        years = np.array([a.year for a in pool])
+        assert 0.3 < (years == 2).mean() < 0.7
+
+
+class TestCohort:
+    def test_cohort_size_and_locals(self):
+        cohort = make_cohort(15, seed=0)
+        assert len(cohort) == 15
+        assert sum(s.local for s in cohort) == 5
+
+    def test_traits_in_likert_band(self):
+        for s in make_cohort(15, seed=1):
+            assert np.all((s.confidence >= 1) & (s.confidence <= 5))
+            assert np.all((s.knowledge >= 1) & (s.knowledge <= 5))
+            assert 1 <= s.phd_intent <= 5
+
+    def test_two_goals_each_from_taxonomy(self):
+        names = set(goal_names())
+        for s in make_cohort(15, seed=2):
+            assert len(set(s.goals)) == 2
+            assert set(s.goals) <= names
+
+    def test_prior_confidence_tracks_paper_centers(self):
+        cohorts = [make_cohort(15, seed=s) for s in range(8)]
+        conf = np.concatenate([[st.confidence for st in c] for c in cohorts])
+        centers = np.array([TABLE2_CONFIDENCE[s][0] for s in SKILLS])
+        np.testing.assert_allclose(conf.mean(axis=0), centers, atol=0.35)
+
+
+class TestGoalsTaxonomy:
+    def test_nineteen_goals(self):
+        assert len(GOALS) == 19
+        assert len(set(goal_names())) == 19
+
+    def test_cohort_wide_matches_table1_nines(self):
+        for g in GOALS:
+            assert g.cohort_wide == (TABLE1_GOALS[g.name] == 9)
+
+    def test_titles_nonempty(self):
+        assert all(g.title for g in GOALS)
+
+
+class TestExperienceModel:
+    def test_gains_anticorrelate_with_priors(self):
+        """The paper's central regularity is structural in the model."""
+        model = ExperienceModel(noise=0.0)
+        rng = np.random.default_rng(0)
+        student = make_cohort(2, seed=0)[0]
+        after = model.apply(student, seed=rng)
+        gains = after.confidence - student.confidence
+        corr = np.corrcoef(student.confidence, gains)[0, 1]
+        assert corr < -0.2
+
+    def test_constant_gain_model_flat(self):
+        model = ConstantGainModel(noise=0.0)
+        student = make_cohort(2, seed=0)[0]
+        after = model.apply(student, seed=1)
+        gains = after.confidence - student.confidence
+        assert gains.std() < 0.15  # same gain everywhere (up to clipping)
+
+    def test_phd_intent_shift_positive_in_expectation(self):
+        model = ExperienceModel()
+        shifts = []
+        for seed in range(30):
+            s = make_cohort(3, seed=seed)[0]
+            shifts.append(model.apply(s, seed=seed).phd_intent - s.phd_intent)
+        assert np.mean(shifts) > 0.1
+
+    def test_reu_recommenders_in_paper_range(self):
+        model = ExperienceModel()
+        for seed in range(20):
+            s = make_cohort(3, seed=seed)[1]
+            after = model.apply(s, seed=seed)
+            assert 2 <= after.recommenders_reu <= 4
+
+    def test_exposure_calibration_reproduces_boosts(self):
+        """With priors at the paper means, expected gains equal the boosts."""
+        model = ExperienceModel(noise=0.0)
+        exposure = model.confidence_exposure()
+        centers = np.array([TABLE2_CONFIDENCE[s][0] for s in SKILLS])
+        boosts = np.array([TABLE2_CONFIDENCE[s][1] for s in SKILLS])
+        np.testing.assert_allclose(exposure * (5.0 - centers), boosts, atol=1e-12)
+
+
+class TestProgramConfig:
+    def test_defaults_match_paper(self):
+        cfg = ProgramConfig()
+        assert cfg.n_applicants == 85
+        assert cfg.n_offers == 10
+        assert cfg.cohort_size == 15
+        assert cfg.timeline.total_weeks == 10
+
+    def test_timeline_validation(self):
+        with pytest.raises(ValueError):
+            Timeline(lecture_weeks=0)
+
+    def test_invalid_offers_rejected(self):
+        with pytest.raises(ValueError):
+            ProgramConfig(n_applicants=5, n_offers=6)
+
+
+class TestSeason:
+    def test_run_season_deterministic(self):
+        a = REUProgram().run_season(seed=5)
+        b = REUProgram().run_season(seed=5)
+        assert a.accomplished == b.accomplished
+        np.testing.assert_array_equal(
+            np.array([r.confidence for r in a.posthoc]),
+            np.array([r.confidence for r in b.posthoc]),
+        )
+
+    def test_response_counts_match_paper(self):
+        outcome = REUProgram().run_season(seed=0)
+        assert len(outcome.apriori) == 15
+        assert len(outcome.posthoc) == 10
+        assert sum(r.complete for r in outcome.posthoc) == 9
+
+    def test_cohort_wide_goals_always_accomplished(self):
+        outcome = REUProgram().run_season(seed=1)
+        forced = {g.name for g in GOALS if g.cohort_wide}
+        for done in outcome.accomplished.values():
+            assert forced <= done
+
+    def test_seed_audit_records_streams(self):
+        outcome = REUProgram().run_season(seed=2)
+        assert {"applicants", "cohort", "apriori", "experience", "goals",
+                "posthoc", "selection"} <= set(outcome.seed_audit)
+
+    def test_partial_respondent_has_no_goal_section(self):
+        outcome = REUProgram().run_season(seed=3)
+        partial = [r for r in outcome.posthoc if not r.complete]
+        assert len(partial) == 1
+        assert partial[0].goals_accomplished == frozenset()
+        assert partial[0].recommenders_reu is None

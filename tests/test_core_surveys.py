@@ -1,0 +1,109 @@
+"""Tests for the survey measurement and collection layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cohort import KNOWLEDGE_AREAS, SKILLS, make_cohort
+from repro.core.surveys import (
+    AttritionPlan,
+    SurveyResponse,
+    collect_apriori,
+    collect_posthoc,
+    measure_likert,
+)
+
+
+class TestMeasureLikert:
+    def test_output_is_integer_likert(self):
+        rng = np.random.default_rng(0)
+        out = measure_likert(np.array([1.2, 3.7, 4.9]), rng)
+        assert out.dtype.kind == "i"
+        assert np.all((out >= 1) & (out <= 5))
+
+    def test_zero_noise_rounds(self):
+        rng = np.random.default_rng(0)
+        out = measure_likert(np.array([2.4, 2.6]), rng, response_noise=1e-12)
+        np.testing.assert_array_equal(out, [2, 3])
+
+    def test_clipping_at_scale_ends(self):
+        rng = np.random.default_rng(0)
+        out = measure_likert(np.array([0.2, 6.0]), rng, response_noise=1e-12)
+        np.testing.assert_array_equal(out, [1, 5])
+
+    @given(st.floats(1.0, 5.0), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_scalar_latents_stay_in_band(self, latent, seed):
+        rng = np.random.default_rng(seed)
+        value = int(measure_likert(latent, rng))
+        assert 1 <= value <= 5
+
+
+class TestAttritionPlan:
+    def test_default_matches_paper_counts(self):
+        plan = AttritionPlan()
+        rng = np.random.default_rng(0)
+        idx, complete = plan.select(15, rng)
+        assert len(idx) == 10
+        assert complete.sum() == 9
+
+    def test_selection_without_replacement(self):
+        plan = AttritionPlan()
+        rng = np.random.default_rng(1)
+        idx, _ = plan.select(15, rng)
+        assert len(set(idx.tolist())) == len(idx)
+
+    def test_validates_rates(self):
+        with pytest.raises(ValueError):
+            AttritionPlan(posthoc_rate=1.2)
+
+    @given(st.integers(5, 40), st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_property_counts_consistent(self, n, seed):
+        plan = AttritionPlan()
+        rng = np.random.default_rng(seed)
+        idx, complete = plan.select(n, rng)
+        assert len(idx) == len(complete) == int(round(plan.posthoc_rate * n))
+        assert idx.max(initial=0) < n
+
+
+class TestCollection:
+    @pytest.fixture(scope="class")
+    def cohort(self):
+        return make_cohort(15, seed=0)
+
+    def test_apriori_covers_everyone(self, cohort):
+        responses = collect_apriori(cohort, seed=1)
+        assert len(responses) == 15
+        for r in responses:
+            assert r.confidence.shape == (len(SKILLS),)
+            assert r.knowledge.shape == (len(KNOWLEDGE_AREAS),)
+            assert r.complete
+
+    def test_posthoc_partial_handling(self, cohort):
+        accomplished = {s.student_id: frozenset({"collaborate_with_peers"}) for s in cohort}
+        responses = collect_posthoc(cohort, accomplished, seed=2)
+        partial = [r for r in responses if not r.complete]
+        assert len(partial) == 1
+        assert partial[0].recommenders_reu is None
+        full = [r for r in responses if r.complete]
+        assert all(r.goals_accomplished for r in full)
+
+    def test_measurement_noise_changes_responses(self, cohort):
+        a = collect_apriori(cohort, seed=3)
+        b = collect_apriori(cohort, seed=4)
+        conf_a = np.array([r.confidence for r in a])
+        conf_b = np.array([r.confidence for r in b])
+        assert not np.array_equal(conf_a, conf_b)  # test-retest noise
+        # ... but measurements agree on average (same latent cohort).
+        assert abs(conf_a.mean() - conf_b.mean()) < 0.25
+
+    def test_response_validation(self):
+        with pytest.raises(ValueError, match="confidence"):
+            SurveyResponse(
+                confidence=np.zeros(3, dtype=int),
+                knowledge=np.zeros(len(KNOWLEDGE_AREAS), dtype=int),
+                phd_intent=3,
+                goals_set=("a", "b"),
+            )

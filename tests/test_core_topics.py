@@ -1,0 +1,184 @@
+"""Tests for the year-two curriculum planning and survey-incentive models."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AttritionPlan,
+    InterestProfile,
+    REUProgram,
+    ProgramConfig,
+    all_attend_policy,
+    evaluate_curriculum,
+    narrowed_policy,
+    sample_interest_profiles,
+    targeted_policy,
+)
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return sample_interest_profiles(15, seed=0)
+
+
+class TestInterestProfiles:
+    def test_count_and_bounds(self, profiles):
+        assert len(profiles) == 15
+        for p in profiles:
+            assert p.interests.min() >= 0.0
+            assert p.interests.max() == pytest.approx(1.0)  # favourite = 1
+
+    def test_interests_are_spiky(self, profiles):
+        """Each student has a clear favourite subset, as the paper observed."""
+        for p in profiles:
+            assert p.interests.min() < 0.5
+
+    def test_top_topics_descending(self, profiles):
+        top = profiles[0].top_topics(3)
+        vals = profiles[0].interests[top]
+        assert list(vals) == sorted(vals, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InterestProfile(0, np.array([0.5, 1.5]))
+
+
+class TestPolicies:
+    def test_all_attend_full_breadth(self, profiles):
+        out = evaluate_curriculum(profiles, all_attend_policy(profiles))
+        assert out.breadth == 1.0
+        assert out.instructor_load == profiles[0].interests.size
+
+    def test_targeting_raises_enthusiasm(self, profiles):
+        base = evaluate_curriculum(profiles, all_attend_policy(profiles))
+        targeted = evaluate_curriculum(profiles, targeted_policy(profiles))
+        assert targeted.mean_enthusiasm > base.mean_enthusiasm
+        assert targeted.ignored_fraction < base.ignored_fraction
+        # ... at the cost of breadth (the paper's cohort-building concern).
+        assert targeted.breadth < base.breadth
+
+    def test_narrowing_cuts_instructor_load(self, profiles):
+        base = evaluate_curriculum(profiles, all_attend_policy(profiles))
+        narrowed = evaluate_curriculum(profiles, narrowed_policy(profiles, n_topics_kept=5))
+        assert narrowed.instructor_load < base.instructor_load
+        assert narrowed.mean_enthusiasm >= base.mean_enthusiasm
+
+    def test_attendance_consistent_with_offering(self, profiles):
+        policy = narrowed_policy(profiles, n_topics_kept=4)
+        not_offered = np.setdiff1d(
+            np.arange(profiles[0].interests.size), policy.offered
+        )
+        assert not policy.attendance[:, not_offered].any()
+
+    def test_policy_validation(self, profiles):
+        n = profiles[0].interests.size
+        from repro.core import CurriculumPolicy
+
+        with pytest.raises(ValueError, match="not offered"):
+            CurriculumPolicy(
+                name="bad",
+                offered=np.array([0]),
+                attendance=np.ones((15, n), dtype=bool),
+            )
+
+    def test_narrowed_bounds(self, profiles):
+        with pytest.raises(ValueError):
+            narrowed_policy(profiles, n_topics_kept=0)
+
+
+class TestSurveyIncentives:
+    def test_before_departure_full_response(self):
+        plan = AttritionPlan.before_departure()
+        config = ProgramConfig(attrition=plan)
+        outcome = REUProgram(config).run_season(seed=0)
+        assert len(outcome.posthoc) == 14
+        assert all(r.complete for r in outcome.posthoc)
+
+    def test_incentive_monotone_in_strength(self):
+        weak = AttritionPlan.incentivized(0.2)
+        strong = AttritionPlan.incentivized(0.8)
+        assert strong.posthoc_rate > weak.posthoc_rate > AttritionPlan().posthoc_rate
+        assert strong.partial_rate < weak.partial_rate
+
+    def test_full_incentive_eliminates_partials(self):
+        plan = AttritionPlan.incentivized(1.0)
+        assert plan.posthoc_rate == pytest.approx(1.0)
+        assert plan.partial_rate == 0.0
+
+    def test_more_respondents_tighten_estimates(self):
+        """The methodological payoff: variance of Table 2 boosts shrinks."""
+        from repro.core import table2
+
+        def boost_spread(plan, n_seeds=8):
+            per_seed = []
+            for seed in range(n_seeds):
+                config = ProgramConfig(attrition=plan)
+                o = REUProgram(config).run_season(seed=seed)
+                per_seed.append([r.boost for r in table2(o)])
+            return float(np.std(np.array(per_seed), axis=0).mean())
+
+        spread_year1 = boost_spread(AttritionPlan())
+        spread_full = boost_spread(AttritionPlan.before_departure())
+        assert spread_full < spread_year1 * 1.05  # never meaningfully worse
+
+
+class TestMultiYear:
+    def _plans(self):
+        from repro.core import YearPlan
+
+        return [
+            YearPlan("year1", curriculum="all_attend", attrition=AttritionPlan()),
+            YearPlan(
+                "year2",
+                curriculum="targeted",
+                attrition=AttritionPlan.before_departure(),
+            ),
+        ]
+
+    def test_two_years_run(self):
+        from repro.core import run_years
+
+        outcomes = run_years(self._plans(), base_seed=0)
+        assert [o.plan.name for o in outcomes] == ["year1", "year2"]
+        for o in outcomes:
+            assert 0.0 <= o.mean_enthusiasm <= 1.0
+            assert o.complete_responses >= 1
+
+    def test_year_two_improvements_compose(self):
+        from repro.core import run_years
+
+        year1, year2 = run_years(self._plans(), base_seed=0)
+        assert year2.mean_enthusiasm > year1.mean_enthusiasm
+        assert year2.ignored_fraction < year1.ignored_fraction
+        assert year2.complete_responses > year1.complete_responses
+
+    def test_engagement_feeds_gains(self):
+        """Averaged over seeds, the engaged year gains at least as much."""
+        import numpy as np
+        from repro.core import run_years
+
+        diffs = []
+        for seed in range(5):
+            y1, y2 = run_years(self._plans(), base_seed=seed)
+            diffs.append(y2.mean_confidence_boost - y1.mean_confidence_boost)
+        assert np.mean(diffs) > -0.02
+
+    def test_deterministic(self):
+        from repro.core import run_years
+
+        a = run_years(self._plans(), base_seed=3)
+        b = run_years(self._plans(), base_seed=3)
+        assert a[0].mean_confidence_boost == b[0].mean_confidence_boost
+        assert a[1].complete_responses == b[1].complete_responses
+
+    def test_invalid_curriculum_rejected(self):
+        from repro.core import YearPlan
+
+        with pytest.raises(ValueError):
+            YearPlan("bad", curriculum="osmosis")
+
+    def test_empty_plans_rejected(self):
+        from repro.core import run_years
+
+        with pytest.raises(ValueError):
+            run_years([])

@@ -1,0 +1,180 @@
+"""Tests for the object-detection substrate (section 2.6)."""
+
+import numpy as np
+import pytest
+
+from repro.detect import (
+    CELL,
+    evaluate_detector,
+    extract_frames,
+    make_field_strip,
+    predict_cells,
+    train_detector,
+)
+from repro.detect.data import LETTUCE, WEED
+from repro.detect.model import build_grid_detector
+
+
+@pytest.fixture(scope="module")
+def strip():
+    return make_field_strip(total_width=1024, weed_rate=0.5, seed=0)
+
+
+class TestFieldStrip:
+    def test_dimensions(self, strip):
+        assert strip.image.shape == (32, 1024, 3)
+        assert strip.cell_labels.shape == (8, 256)
+
+    def test_pixels_in_unit_range(self, strip):
+        assert strip.image.min() >= 0.0
+        assert strip.image.max() <= 1.0
+
+    def test_contains_both_classes(self, strip):
+        assert np.any(strip.cell_labels == LETTUCE)
+        assert np.any(strip.cell_labels == WEED)
+
+    def test_lettuce_near_centerline(self, strip):
+        rows = np.nonzero((strip.cell_labels == LETTUCE).any(axis=1))[0]
+        assert np.all(np.abs(rows - 4) <= 2)
+
+    def test_rejects_non_cell_multiple(self):
+        with pytest.raises(ValueError):
+            make_field_strip(total_width=130)
+
+    def test_deterministic(self):
+        a = make_field_strip(total_width=256, seed=3)
+        b = make_field_strip(total_width=256, seed=3)
+        np.testing.assert_array_equal(a.image, b.image)
+
+
+class TestFrameExtraction:
+    def test_overlapping_frames(self, strip):
+        ds = extract_frames(strip, 24, 32, stride=4)
+        assert len(ds) == 24
+        assert ds.frames.shape == (24, 32, 32, 3)
+        assert ds.overlap_fraction == pytest.approx(1.0 - 4 / 32)
+
+    def test_deaugmented_frames_no_overlap(self, strip):
+        ds = extract_frames(strip, 24, 32, stride=32)
+        assert ds.overlap_fraction == 0.0
+
+    def test_frames_match_strip_content(self, strip):
+        ds = extract_frames(strip, 3, 32, stride=32, start=64)
+        np.testing.assert_array_equal(ds.frames[0], strip.image[:, 64:96])
+        np.testing.assert_array_equal(
+            ds.cell_labels[0], strip.cell_labels[:, 16:24]
+        )
+
+    def test_too_short_strip_rejected(self, strip):
+        with pytest.raises(ValueError, match="need"):
+            extract_frames(strip, 100, 32, stride=32)
+
+    def test_non_cell_stride_rejected(self, strip):
+        with pytest.raises(ValueError):
+            extract_frames(strip, 4, 32, stride=3)
+
+
+class TestDetector:
+    def test_output_grid_alignment(self):
+        model = build_grid_detector(width=4, seed=0)
+        frames = np.zeros((2, 32, 32, 3))
+        pred = predict_cells(model, frames)
+        assert pred.shape == (2, 32 // CELL, 32 // CELL)
+
+    def test_training_improves_over_untrained(self, strip):
+        ds = extract_frames(strip, 12, 32, stride=32)
+        untrained = build_grid_detector(width=8, seed=1)
+        rep_untrained = evaluate_detector(untrained, ds)
+        trained = train_detector(ds, epochs=20, width=8, seed=1)
+        rep_trained = evaluate_detector(trained, ds)
+        assert rep_trained.object_macro_f1 > rep_untrained.object_macro_f1
+
+    def test_report_fields_consistent(self, strip):
+        ds = extract_frames(strip, 6, 32, stride=32)
+        model = train_detector(ds, epochs=5, width=6, seed=2)
+        rep = evaluate_detector(model, ds)
+        assert 0.0 <= rep.cell_accuracy <= 1.0
+        for p, r, f in zip(rep.precision, rep.recall, rep.f1):
+            assert 0.0 <= p <= 1.0 and 0.0 <= r <= 1.0
+            if p + r > 0:
+                assert f == pytest.approx(2 * p * r / (p + r))
+
+    def test_rejects_zero_epochs(self, strip):
+        ds = extract_frames(strip, 2, 32, stride=32)
+        with pytest.raises(ValueError):
+            train_detector(ds, epochs=0)
+
+
+class TestGeneralizationFinding:
+    """E6: the deaugmented-trained model generalizes at least as well."""
+
+    def test_deaugmented_generalizes_better(self, strip):
+        val_strip = make_field_strip(total_width=512, weed_rate=0.5, seed=99)
+        val = extract_frames(val_strip, 15, 32, stride=32)
+        orig = extract_frames(strip, 24, 32, stride=4)
+        deaug = extract_frames(strip, 24, 32, stride=32)
+        f1 = {}
+        for name, ds in (("orig", orig), ("deaug", deaug)):
+            model = train_detector(ds, epochs=40, seed=1)
+            f1[name] = evaluate_detector(model, val).object_macro_f1
+        assert f1["deaug"] >= f1["orig"] - 0.02
+
+    def test_deaugmented_covers_more_field(self, strip):
+        orig = extract_frames(strip, 24, 32, stride=4)
+        deaug = extract_frames(strip, 24, 32, stride=32)
+        span = lambda ds: ds.offsets.max() + 32 - ds.offsets.min()  # noqa: E731
+        assert span(deaug) > span(orig) * 5
+
+
+class TestObjectLevelMetrics:
+    def test_grid_to_objects_centroids(self):
+        from repro.detect import grid_to_objects
+
+        grid = np.zeros((8, 8), dtype=int)
+        grid[2, 2] = 1
+        grid[2, 3] = 1           # one 2-cell lettuce
+        grid[6, 6] = 1           # one 1-cell lettuce
+        centers = grid_to_objects(grid, 1)
+        assert centers.shape == (2, 2)
+        assert any(np.allclose(c, [2.0, 2.5]) for c in centers)
+
+    def test_match_objects_exact(self):
+        from repro.detect import match_objects
+
+        truth = np.array([[1.0, 1.0], [5.0, 5.0]])
+        tp, fp, fn = match_objects(truth.copy(), truth)
+        assert (tp, fp, fn) == (2, 0, 0)
+
+    def test_match_objects_tolerance(self):
+        from repro.detect import match_objects
+
+        pred = np.array([[1.0, 1.0]])
+        truth = np.array([[1.0, 4.0]])
+        assert match_objects(pred, truth, tolerance=1.5) == (0, 1, 1)
+        assert match_objects(pred, truth, tolerance=4.0) == (1, 0, 0)
+
+    def test_match_one_to_one(self):
+        from repro.detect import match_objects
+
+        # Two predictions near one truth: only one may match.
+        pred = np.array([[1.0, 1.0], [1.2, 1.0]])
+        truth = np.array([[1.1, 1.0]])
+        tp, fp, fn = match_objects(pred, truth, tolerance=1.0)
+        assert (tp, fp, fn) == (1, 1, 0)
+
+    def test_empty_cases(self):
+        from repro.detect import match_objects
+
+        assert match_objects(np.zeros((0, 2)), np.zeros((0, 2))) == (0, 0, 0)
+        assert match_objects(np.array([[1.0, 1.0]]), np.zeros((0, 2))) == (0, 1, 0)
+
+    def test_trained_detector_object_report(self, strip):
+        from repro.detect import evaluate_objects
+
+        ds = extract_frames(strip, 16, 32, stride=32)
+        model = train_detector(ds, epochs=40, seed=1)
+        report = evaluate_objects(model, ds)
+        assert report.class_names == ("lettuce", "weed")
+        # A detector fit on its own frames finds most lettuce plants.
+        assert report.recall(0) > 0.6
+        assert 0.0 <= report.macro_f1 <= 1.0

@@ -1,0 +1,93 @@
+"""Tests for attention, positional encoding, and transformer blocks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MultiHeadSelfAttention,
+    PositionalEncoding,
+    TransformerBlock,
+    check_gradients,
+)
+
+RNG = np.random.default_rng(2)
+
+
+class TestPositionalEncoding:
+    def test_additive(self):
+        pe = PositionalEncoding(8, max_len=16)
+        x = np.zeros((1, 5, 8))
+        out = pe(x)
+        np.testing.assert_allclose(out[0], pe.table[:5])
+
+    def test_distinct_positions(self):
+        pe = PositionalEncoding(8, max_len=32)
+        assert not np.allclose(pe.table[0], pe.table[1])
+
+    def test_rejects_odd_dim(self):
+        with pytest.raises(ValueError):
+            PositionalEncoding(7)
+
+    def test_rejects_overlong_sequence(self):
+        pe = PositionalEncoding(4, max_len=4)
+        with pytest.raises(ValueError):
+            pe(np.zeros((1, 5, 4)))
+
+    def test_backward_identity(self):
+        pe = PositionalEncoding(4)
+        g = RNG.normal(size=(2, 3, 4))
+        np.testing.assert_array_equal(pe.backward(g), g)
+
+
+class TestMultiHeadSelfAttention:
+    def test_output_shape(self):
+        attn = MultiHeadSelfAttention(8, 2, seed=0)
+        assert attn(RNG.normal(size=(2, 5, 8))).shape == (2, 5, 8)
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(8, 3)
+
+    def test_gradients(self):
+        errs = check_gradients(
+            MultiHeadSelfAttention(8, 2, seed=1), RNG.normal(size=(2, 4, 8))
+        )
+        assert max(errs.values()) < 1e-5
+
+    def test_permutation_equivariance(self):
+        # Self-attention without positions is permutation-equivariant.
+        attn = MultiHeadSelfAttention(8, 2, seed=0)
+        x = RNG.normal(size=(1, 6, 8))
+        perm = np.array([3, 1, 5, 0, 4, 2])
+        out = attn(x)
+        out_perm = attn(x[:, perm])
+        np.testing.assert_allclose(out[:, perm], out_perm, atol=1e-10)
+
+    def test_attention_rows_normalized(self):
+        attn = MultiHeadSelfAttention(8, 2, seed=0)
+        attn(RNG.normal(size=(1, 5, 8)))
+        assert attn._cache is not None
+        weights = attn._cache[3]
+        np.testing.assert_allclose(weights.sum(axis=-1), 1.0, atol=1e-12)
+
+
+class TestTransformerBlock:
+    def test_output_shape(self):
+        block = TransformerBlock(8, 2, seed=0)
+        assert block(RNG.normal(size=(2, 4, 8))).shape == (2, 4, 8)
+
+    def test_gradients(self):
+        errs = check_gradients(
+            TransformerBlock(8, 2, seed=3), RNG.normal(size=(2, 3, 8))
+        )
+        assert max(errs.values()) < 1e-4
+
+    def test_parameter_count_positive(self):
+        assert TransformerBlock(8, 2).n_parameters > 0
+
+    def test_train_eval_propagates(self):
+        block = TransformerBlock(8, 2)
+        block.eval()
+        assert not block.ln1.training
+        block.train()
+        assert block.fc1.training

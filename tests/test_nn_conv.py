@@ -1,0 +1,151 @@
+"""Tests for convolution/pooling layers, including numeric-reference checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Conv1D,
+    Conv2D,
+    GELU,
+    GlobalAveragePool,
+    GlobalMaxPool,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    check_gradients,
+)
+
+RNG = np.random.default_rng(1)
+
+
+def naive_conv1d(x, w, b, stride):
+    """Reference O(B*T*K) implementation (valid padding)."""
+    batch, t, cin = x.shape
+    k, _, cout = w.shape
+    t_out = (t - k) // stride + 1
+    out = np.zeros((batch, t_out, cout))
+    for n in range(batch):
+        for i in range(t_out):
+            patch = x[n, i * stride : i * stride + k]  # (k, cin)
+            out[n, i] = np.einsum("kc,kco->o", patch, w) + b
+    return out
+
+
+class TestConv1D:
+    def test_matches_naive_valid(self):
+        layer = Conv1D(3, 4, 5, padding="valid", seed=0)
+        x = RNG.normal(size=(2, 11, 3))
+        expected = naive_conv1d(x, layer.weight.value, layer.bias.value, 1)
+        np.testing.assert_allclose(layer(x), expected, atol=1e-10)
+
+    def test_matches_naive_strided(self):
+        layer = Conv1D(2, 3, 3, stride=2, padding="valid", seed=0)
+        x = RNG.normal(size=(2, 10, 2))
+        expected = naive_conv1d(x, layer.weight.value, layer.bias.value, 2)
+        np.testing.assert_allclose(layer(x), expected, atol=1e-10)
+
+    def test_same_padding_output_length(self):
+        layer = Conv1D(2, 3, 3, padding="same", seed=0)
+        assert layer(RNG.normal(size=(1, 9, 2))).shape == (1, 9, 3)
+
+    def test_same_padding_with_stride(self):
+        layer = Conv1D(2, 3, 3, stride=2, padding="same", seed=0)
+        assert layer(RNG.normal(size=(1, 9, 2))).shape == (1, 5, 3)
+
+    @pytest.mark.parametrize("stride,padding", [(1, "same"), (2, "valid")])
+    def test_gradients(self, stride, padding):
+        layer = Conv1D(2, 3, 3, stride=stride, padding=padding, seed=0)
+        errs = check_gradients(layer, RNG.normal(size=(2, 8, 2)))
+        assert max(errs.values()) < 1e-5
+
+    def test_rejects_bad_input_shape(self):
+        with pytest.raises(ValueError):
+            Conv1D(2, 3, 3)(np.zeros((1, 9, 5)))
+
+
+class TestConv2D:
+    def test_shape_same_padding(self):
+        layer = Conv2D(3, 8, 3, seed=0)
+        assert layer(RNG.normal(size=(2, 6, 6, 3))).shape == (2, 6, 6, 8)
+
+    def test_shape_valid_padding(self):
+        layer = Conv2D(3, 8, 3, padding="valid", seed=0)
+        assert layer(RNG.normal(size=(2, 6, 6, 3))).shape == (2, 4, 4, 8)
+
+    def test_matches_scipy_reference(self):
+        from scipy.signal import correlate2d
+
+        layer = Conv2D(1, 1, 3, padding="valid", seed=0)
+        x = RNG.normal(size=(1, 7, 7, 1))
+        ours = layer(x)[0, :, :, 0]
+        ref = correlate2d(x[0, :, :, 0], layer.weight.value[:, :, 0, 0], mode="valid")
+        np.testing.assert_allclose(ours, ref + layer.bias.value[0], atol=1e-10)
+
+    @pytest.mark.parametrize("stride,padding", [(1, "same"), (2, "valid")])
+    def test_gradients(self, stride, padding):
+        layer = Conv2D(2, 2, 3, stride=stride, padding=padding, seed=0)
+        errs = check_gradients(layer, RNG.normal(size=(2, 6, 6, 2)))
+        assert max(errs.values()) < 1e-5
+
+
+class TestPooling:
+    def test_maxpool_selects_maximum(self):
+        layer = MaxPool2D(2)
+        x = np.arange(16.0).reshape(1, 4, 4, 1)
+        out = layer(x)
+        np.testing.assert_array_equal(out[0, :, :, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_gradients(self):
+        errs = check_gradients(MaxPool2D(2), RNG.normal(size=(2, 4, 4, 3)))
+        assert max(errs.values()) < 1e-6
+
+    def test_maxpool_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            MaxPool2D(3)(np.zeros((1, 4, 4, 1)))
+
+    def test_global_average(self):
+        out = GlobalAveragePool()(np.ones((2, 3, 3, 4)) * 2.0)
+        np.testing.assert_allclose(out, 2.0)
+        assert out.shape == (2, 4)
+
+    def test_global_average_gradients(self):
+        errs = check_gradients(GlobalAveragePool(), RNG.normal(size=(2, 3, 3, 2)))
+        assert max(errs.values()) < 1e-6
+
+    def test_global_max_value(self):
+        x = RNG.normal(size=(3, 5, 2))
+        out = GlobalMaxPool()(x)
+        np.testing.assert_allclose(out, x.max(axis=1))
+
+    def test_global_max_gradients(self):
+        errs = check_gradients(GlobalMaxPool(), RNG.normal(size=(3, 6, 2)))
+        assert max(errs.values()) < 1e-6
+
+    def test_global_max_4d(self):
+        x = RNG.normal(size=(2, 3, 4, 5))
+        out = GlobalMaxPool()(x)
+        np.testing.assert_allclose(out, x.reshape(2, 12, 5).max(axis=1))
+
+
+class TestActivations:
+    @pytest.mark.parametrize("cls", [ReLU, Sigmoid, Tanh, GELU])
+    def test_gradients(self, cls):
+        errs = check_gradients(cls(), RNG.normal(size=(4, 5)))
+        assert max(errs.values()) < 1e-5
+
+    def test_relu_zeroes_negatives(self):
+        out = ReLU()(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_array_equal(out, [0.0, 0.0, 2.0])
+
+    def test_sigmoid_bounds_and_extremes(self):
+        out = Sigmoid()(np.array([-800.0, 0.0, 800.0]))
+        assert np.all((out >= 0) & (out <= 1))
+        assert out[1] == pytest.approx(0.5)
+        assert np.isfinite(out).all()
+
+    def test_gelu_matches_known_values(self):
+        # GELU(0) = 0; GELU(large) ~ identity
+        out = GELU()(np.array([0.0, 10.0]))
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(10.0, rel=1e-4)

@@ -1,0 +1,224 @@
+"""Tests for repro.nn layers: shapes, gradients, modes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dense,
+    Dropout,
+    ReLU,
+    Embedding,
+    Flatten,
+    LayerNorm,
+    check_gradients,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestDense:
+    def test_output_shape(self):
+        layer = Dense(4, 7, seed=0)
+        assert layer(RNG.normal(size=(5, 4))).shape == (5, 7)
+
+    def test_3d_input_shape(self):
+        layer = Dense(4, 7, seed=0)
+        assert layer(RNG.normal(size=(2, 3, 4))).shape == (2, 3, 7)
+
+    def test_gradients_match_numeric(self):
+        errs = check_gradients(Dense(3, 5, seed=1), RNG.normal(size=(4, 3)))
+        assert max(errs.values()) < 1e-6
+
+    def test_gradients_3d_input(self):
+        errs = check_gradients(Dense(3, 2, seed=1), RNG.normal(size=(2, 4, 3)))
+        assert max(errs.values()) < 1e-6
+
+    def test_no_bias_variant(self):
+        layer = Dense(3, 2, bias=False, seed=0)
+        assert len(layer.parameters()) == 1
+        errs = check_gradients(layer, RNG.normal(size=(4, 3)))
+        assert max(errs.values()) < 1e-6
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ValueError, match="last dim"):
+            Dense(4, 2, seed=0)(np.zeros((3, 5)))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Dense(2, 2, seed=0).backward(np.zeros((1, 2)))
+
+    def test_grad_accumulates_across_backwards(self):
+        layer = Dense(2, 2, seed=0)
+        x = RNG.normal(size=(3, 2))
+        layer.forward(x)
+        layer.backward(np.ones((3, 2)))
+        g1 = layer.weight.grad.copy()
+        layer.forward(x)
+        layer.backward(np.ones((3, 2)))
+        np.testing.assert_allclose(layer.weight.grad, 2 * g1)
+
+
+class TestFlatten:
+    def test_round_trip(self):
+        layer = Flatten()
+        x = RNG.normal(size=(2, 3, 4))
+        out = layer.forward(x)
+        assert out.shape == (2, 12)
+        back = layer.backward(out)
+        assert back.shape == x.shape
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.5, seed=0)
+        layer.eval()
+        x = RNG.normal(size=(4, 4))
+        np.testing.assert_array_equal(layer.forward(x), x)
+
+    def test_training_scales_survivors(self):
+        layer = Dropout(0.5, seed=0)
+        layer.train()
+        x = np.ones((2000,))
+        out = layer.forward(x)
+        survivors = out[out > 0]
+        assert np.allclose(survivors, 2.0)  # inverted dropout scaling
+        assert 0.35 < (out > 0).mean() < 0.65
+
+    def test_rejects_rate_one(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_backward_applies_same_mask(self):
+        layer = Dropout(0.5, seed=1)
+        layer.train()
+        x = np.ones((100,))
+        out = layer.forward(x)
+        grad = layer.backward(np.ones(100))
+        np.testing.assert_array_equal(grad == 0, out == 0)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        layer = Embedding(10, 4, seed=0)
+        ids = np.array([[1, 2], [3, 4]])
+        assert layer(ids).shape == (2, 2, 4)
+
+    def test_rejects_float_ids(self):
+        with pytest.raises(TypeError):
+            Embedding(10, 4)(np.zeros((1, 2)))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Embedding(4, 2)(np.array([[5]]))
+
+    def test_duplicate_ids_accumulate_grad(self):
+        layer = Embedding(5, 3, seed=0)
+        ids = np.array([[1, 1]])
+        layer.forward(ids)
+        layer.backward(np.ones((1, 2, 3)))
+        np.testing.assert_allclose(layer.weight.grad[1], 2.0)
+        np.testing.assert_allclose(layer.weight.grad[2], 0.0)
+
+    def test_parameter_gradients_numeric(self):
+        errs = check_gradients(
+            Embedding(6, 3, seed=2), RNG.integers(0, 6, size=(2, 4))
+        )
+        assert max(errs.values()) < 1e-6
+
+
+class TestLayerNorm:
+    def test_output_normalized(self):
+        layer = LayerNorm(8)
+        out = layer(RNG.normal(2.0, 3.0, size=(5, 8)))
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gradients(self):
+        errs = check_gradients(LayerNorm(6), RNG.normal(size=(3, 6)))
+        assert max(errs.values()) < 1e-5
+
+    def test_gradients_3d(self):
+        errs = check_gradients(LayerNorm(4), RNG.normal(size=(2, 3, 4)))
+        assert max(errs.values()) < 1e-5
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            LayerNorm(4)(np.zeros((2, 5)))
+
+
+class TestBatchNorm:
+    def test_train_output_normalized_per_channel(self):
+        from repro.nn import BatchNorm
+
+        layer = BatchNorm(3)
+        x = RNG.normal(5.0, 2.0, size=(64, 3))
+        out = layer(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_gradients_train_mode(self):
+        from repro.nn import BatchNorm
+
+        layer = BatchNorm(4)
+        errs = check_gradients(layer, RNG.normal(size=(6, 4)))
+        assert max(errs.values()) < 1e-5
+
+    def test_gradients_4d_input(self):
+        from repro.nn import BatchNorm
+
+        layer = BatchNorm(2)
+        errs = check_gradients(layer, RNG.normal(size=(3, 4, 4, 2)))
+        assert max(errs.values()) < 1e-5
+
+    def test_eval_uses_running_statistics(self):
+        from repro.nn import BatchNorm
+
+        layer = BatchNorm(2, momentum=0.0)  # running stats = last batch
+        x = RNG.normal(3.0, 2.0, size=(128, 2))
+        layer.train()
+        layer(x)
+        layer.eval()
+        # A single eval sample is normalized by the dataset statistics.
+        out = layer(x[:1])
+        expected = (x[:1] - x.mean(axis=0)) / np.sqrt(x.var(axis=0) + layer.eps)
+        np.testing.assert_allclose(out, expected, atol=1e-8)
+
+    def test_eval_mode_gradients(self):
+        from repro.nn import BatchNorm
+
+        layer = BatchNorm(3)
+        layer.train()
+        layer(RNG.normal(size=(32, 3)))  # populate running stats
+        layer.eval()
+        errs = check_gradients(layer, RNG.normal(size=(5, 3)))
+        assert max(errs.values()) < 1e-5
+
+    def test_running_stats_converge(self):
+        from repro.nn import BatchNorm
+
+        layer = BatchNorm(1, momentum=0.5)
+        for _ in range(60):
+            layer(RNG.normal(4.0, 1.0, size=(256, 1)))
+        assert abs(layer.running_mean[0] - 4.0) < 0.2
+
+    def test_rejects_wrong_width(self):
+        from repro.nn import BatchNorm
+
+        with pytest.raises(ValueError):
+            BatchNorm(4)(np.zeros((2, 5)))
+
+    def test_trains_inside_network(self):
+        from repro.nn import Adam, BatchNorm, Sequential, TrainConfig, fit
+        from repro.nn import evaluate_accuracy
+
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 4)) * 10 + 5  # badly scaled inputs
+        w = rng.normal(size=4)
+        y = (x @ w > (x @ w).mean()).astype(int)
+        model = Sequential(
+            [BatchNorm(4), Dense(4, 16, seed=0), ReLU(), Dense(16, 2, seed=1)]
+        )
+        from repro.nn import ReLU as _R  # noqa: F401
+
+        fit(model, Adam(model.parameters(), 0.01), x, y, TrainConfig(epochs=25, seed=0))
+        assert evaluate_accuracy(model, x, y) > 0.9

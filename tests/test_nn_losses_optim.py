@@ -1,0 +1,141 @@
+"""Tests for losses and optimizers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nn import SGD, Adam, mse_loss, softmax, softmax_cross_entropy
+from repro.nn.gradcheck import numeric_gradient
+from repro.nn.layers import Parameter
+from repro.nn.losses import log_softmax
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        p = softmax(np.random.default_rng(0).normal(size=(4, 6)))
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_stable_under_large_logits(self):
+        p = softmax(np.array([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(p, 0.5)
+
+    def test_log_softmax_consistency(self):
+        x = np.random.default_rng(1).normal(size=(3, 5))
+        np.testing.assert_allclose(np.exp(log_softmax(x)), softmax(x), atol=1e-12)
+
+    @given(st.integers(2, 6), st.integers(1, 5))
+    def test_invariant_to_shift(self, c, b):
+        rng = np.random.default_rng(b * 10 + c)
+        x = rng.normal(size=(b, c))
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0), atol=1e-9)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[20.0, 0.0], [0.0, 20.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(3)
+        logits = rng.normal(size=(4, 3))
+        labels = np.array([0, 2, 1, 1])
+        _, analytic = softmax_cross_entropy(logits, labels)
+        numeric = numeric_gradient(
+            lambda z: softmax_cross_entropy(z, labels)[0], logits.copy()
+        )
+        np.testing.assert_allclose(analytic, numeric, atol=1e-7)
+
+    def test_uniform_logits_loss_is_log_c(self):
+        loss, _ = softmax_cross_entropy(np.zeros((2, 4)), np.array([1, 3]))
+        assert loss == pytest.approx(np.log(4))
+
+    def test_rejects_label_out_of_range(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((1, 2)), np.array([2]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((2, 3)), np.array([0]))
+
+
+class TestMSE:
+    def test_zero_at_match(self):
+        x = np.ones((2, 3))
+        loss, grad = mse_loss(x, x)
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, 0.0)
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(4)
+        pred = rng.normal(size=(3, 2))
+        target = rng.normal(size=(3, 2))
+        _, analytic = mse_loss(pred, target)
+        numeric = numeric_gradient(lambda p: mse_loss(p, target)[0], pred.copy())
+        np.testing.assert_allclose(analytic, numeric, atol=1e-7)
+
+
+def _quadratic_param():
+    return Parameter("w", np.array([5.0, -3.0]))
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda p: SGD([p], lr=0.1),
+            lambda p: SGD([p], lr=0.05, momentum=0.9),
+            lambda p: Adam([p], lr=0.2),
+        ],
+    )
+    def test_minimizes_quadratic(self, make):
+        p = _quadratic_param()
+        opt = make(p)
+        for _ in range(200):
+            opt.zero_grad()
+            p.grad += 2.0 * p.value  # d/dw ||w||^2
+            opt.step()
+        assert np.linalg.norm(p.value) < 1e-2
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter("w", np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        opt.step()  # gradient zero; decay still shrinks
+        assert p.value[0] < 1.0
+
+    def test_clip_grad_norm(self):
+        p = Parameter("w", np.zeros(4))
+        opt = SGD([p], lr=0.1)
+        p.grad += np.full(4, 10.0)
+        pre_norm = opt.clip_grad_norm(1.0)
+        assert pre_norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_clip_noop_when_under_limit(self):
+        p = Parameter("w", np.zeros(2))
+        opt = SGD([p], lr=0.1)
+        p.grad += np.array([0.3, 0.4])
+        opt.clip_grad_norm(10.0)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+    def test_adam_bias_correction_first_step(self):
+        # After one step with constant gradient g, Adam moves ~lr in -sign(g).
+        p = Parameter("w", np.array([0.0]))
+        opt = Adam([p], lr=0.1)
+        p.grad += np.array([3.0])
+        opt.step()
+        assert p.value[0] == pytest.approx(-0.1, rel=1e-4)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            Adam([_quadratic_param()], lr=0.0)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([_quadratic_param()], lr=0.1, momentum=1.0)

@@ -1,0 +1,167 @@
+"""Property-based tests (hypothesis) over the nn substrate's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    Conv1D,
+    Conv2D,
+    Dense,
+    LayerNorm,
+    ReLU,
+    Sequential,
+    check_gradients,
+    softmax,
+    softmax_cross_entropy,
+)
+
+dims = st.integers(1, 6)
+small_dims = st.integers(2, 5)
+
+
+class TestDenseProperties:
+    @given(batch=dims, fin=dims, fout=dims, seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_linearity(self, batch, fin, fout, seed):
+        """Dense without bias is linear: f(ax + by) = a f(x) + b f(y)."""
+        layer = Dense(fin, fout, bias=False, seed=seed)
+        rng = np.random.default_rng(seed)
+        x, y = rng.normal(size=(batch, fin)), rng.normal(size=(batch, fin))
+        a, b = 2.5, -1.25
+        np.testing.assert_allclose(
+            layer(a * x + b * y), a * layer(x) + b * layer(y), atol=1e-9
+        )
+
+    @given(batch=dims, fin=small_dims, fout=small_dims, seed=st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_gradients_random_shapes(self, batch, fin, fout, seed):
+        rng = np.random.default_rng(seed)
+        errs = check_gradients(
+            Dense(fin, fout, seed=seed), rng.normal(size=(batch, fin))
+        )
+        assert max(errs.values()) < 1e-5
+
+
+class TestConvProperties:
+    @given(
+        t=st.integers(5, 20),
+        cin=st.integers(1, 3),
+        cout=st.integers(1, 3),
+        k=st.integers(1, 5),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_conv1d_valid_output_length(self, t, cin, cout, k, seed):
+        if k > t:
+            k = t
+        layer = Conv1D(cin, cout, k, padding="valid", seed=seed)
+        x = np.random.default_rng(seed).normal(size=(2, t, cin))
+        assert layer(x).shape == (2, t - k + 1, cout)
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_conv2d_translation_equivariance(self, seed):
+        """'same'-padded conv commutes with interior translations."""
+        layer = Conv2D(1, 2, 3, padding="valid", seed=seed)
+        rng = np.random.default_rng(seed)
+        x = np.zeros((1, 10, 10, 1))
+        x[0, 3:6, 3:6, 0] = rng.normal(size=(3, 3))
+        shifted = np.roll(x, (2, 1), axis=(1, 2))
+        out = layer(x)
+        out_shifted = layer(shifted)
+        np.testing.assert_allclose(
+            np.roll(out, (2, 1), axis=(1, 2))[0, 4:7, 4:7],
+            out_shifted[0, 4:7, 4:7],
+            atol=1e-10,
+        )
+
+
+class TestNormalizationProperties:
+    @given(
+        batch=dims,
+        width=st.integers(2, 8),
+        scale=st.floats(0.5, 100.0),
+        shift=st.floats(-50.0, 50.0),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_layernorm_affine_invariance(self, batch, width, scale, shift, seed):
+        """LayerNorm output is invariant to input scale and shift.
+
+        Invariance is exact only with eps = 0; the default eps = 1e-5
+        perturbs small-variance rows, hence the tolerance.
+        """
+        from hypothesis import assume
+
+        layer = LayerNorm(width)
+        x = np.random.default_rng(seed).normal(size=(batch, width))
+        # Near-constant rows are eps-dominated; the property holds only for
+        # rows with real variance.
+        assume(float(x.std(axis=-1).min()) > 0.2)
+        base = layer(x)
+        transformed = layer(scale * x + shift)
+        np.testing.assert_allclose(base, transformed, atol=5e-3)
+
+
+class TestSoftmaxProperties:
+    @given(batch=dims, classes=st.integers(2, 8), seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_probability_simplex(self, batch, classes, seed):
+        logits = np.random.default_rng(seed).normal(size=(batch, classes)) * 10
+        p = softmax(logits)
+        assert np.all(p >= 0)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-12)
+
+    @given(batch=dims, classes=st.integers(2, 6), seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_cross_entropy_gradient_rows_sum_to_zero(self, batch, classes, seed):
+        """d loss / d logits sums to zero per row (softmax shift symmetry)."""
+        rng = np.random.default_rng(seed)
+        logits = rng.normal(size=(batch, classes))
+        labels = rng.integers(0, classes, size=batch)
+        loss, grad = softmax_cross_entropy(logits, labels)
+        assert loss >= 0.0
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+    @given(batch=dims, classes=st.integers(2, 6), seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_loss_lower_bounded_by_confidence(self, batch, classes, seed):
+        """Loss >= -log(max prob) averaged — predicting labels helps."""
+        rng = np.random.default_rng(seed)
+        logits = rng.normal(size=(batch, classes))
+        labels = logits.argmax(axis=1)
+        loss_right, _ = softmax_cross_entropy(logits, labels)
+        wrong = (labels + 1) % classes
+        loss_wrong, _ = softmax_cross_entropy(logits, wrong)
+        assert loss_right <= loss_wrong + 1e-12
+
+
+class TestSequentialProperties:
+    @given(
+        widths=st.lists(st.integers(1, 6), min_size=2, max_size=4),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_state_dict_round_trip_random_architectures(self, widths, seed):
+        def build(s):
+            layers = []
+            for i in range(len(widths) - 1):
+                layers.append(Dense(widths[i], widths[i + 1], seed=s + i))
+                layers.append(ReLU())
+            return Sequential(layers)
+
+        a, b = build(seed), build(seed + 1000)
+        b.load_state_dict(a.state_dict())
+        x = np.random.default_rng(seed).normal(size=(3, widths[0]))
+        np.testing.assert_allclose(a(x), b(x))
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_backward_shape_matches_input(self, seed):
+        model = Sequential([Dense(4, 6, seed=seed), ReLU(), Dense(6, 2, seed=seed + 1)])
+        x = np.random.default_rng(seed).normal(size=(5, 4))
+        out = model.forward(x)
+        grad = model.backward(np.ones_like(out))
+        assert grad.shape == x.shape

@@ -1,0 +1,250 @@
+"""Tests for the particle-filter substrate (section 2.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.particlefilter import (
+    ConcertSchedule,
+    EpanechnikovWeighting,
+    GaussianWeighting,
+    ParticleFilter,
+    Performance,
+    TriangularWeighting,
+    make_schedule,
+    track,
+)
+
+
+class TestSchedule:
+    def test_boundaries_partition(self):
+        s = make_schedule(5, seed=0)
+        assert s.boundaries[0] == 0.0
+        assert s.boundaries[-1] == pytest.approx(s.total_duration)
+        assert np.all(np.diff(s.boundaries) > 0)
+
+    def test_event_at_vectorized(self):
+        s = ConcertSchedule(
+            durations=np.array([10.0, 20.0]), features=np.eye(2)
+        )
+        np.testing.assert_array_equal(
+            s.event_at(np.array([0.0, 9.99, 10.0, 29.0])), [0, 0, 1, 1]
+        )
+
+    def test_event_at_clips(self):
+        s = ConcertSchedule(durations=np.array([10.0]), features=np.ones((1, 3)))
+        assert s.event_at(-5.0) == 0
+        assert s.event_at(500.0) == 0
+
+    def test_features_at(self):
+        s = ConcertSchedule(
+            durations=np.array([10.0, 10.0]),
+            features=np.array([[1.0, 0.0], [0.0, 1.0]]),
+        )
+        np.testing.assert_array_equal(s.features_at(15.0), [0.0, 1.0])
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            ConcertSchedule(durations=np.array([1.0, -1.0]), features=np.eye(2))
+
+    def test_generated_features_unit_norm(self):
+        s = make_schedule(8, seed=1)
+        np.testing.assert_allclose(
+            np.linalg.norm(s.features, axis=1), 1.0, atol=1e-12
+        )
+
+
+class TestPerformance:
+    def test_simulation_covers_schedule(self):
+        s = make_schedule(6, seed=0)
+        pos, obs = Performance(s, seed=1).simulate()
+        assert pos[0] == 0.0
+        assert pos[-1] < s.total_duration
+        assert obs.shape == (len(pos), s.features.shape[1])
+
+    def test_deterministic_given_seed(self):
+        s = make_schedule(6, seed=0)
+        a = Performance(s, seed=5).simulate()
+        b = Performance(s, seed=5).simulate()
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_tempo_bounds_validated(self):
+        s = make_schedule(4, seed=0)
+        with pytest.raises(ValueError):
+            Performance(s, tempo_bounds=(1.5, 0.5))
+
+
+class TestWeighting:
+    @pytest.mark.parametrize(
+        "kernel",
+        [GaussianWeighting(0.5), TriangularWeighting(1.5), EpanechnikovWeighting(1.5)],
+    )
+    def test_positive_and_decreasing(self, kernel):
+        d = np.array([0.0, 0.5, 1.0, 2.0])
+        w = kernel(d)
+        assert np.all(w > 0)
+        assert np.all(np.diff(w) <= 0)
+
+    @pytest.mark.parametrize(
+        "kernel",
+        [GaussianWeighting(0.5), TriangularWeighting(1.5), EpanechnikovWeighting(1.5)],
+    )
+    def test_maximum_at_zero(self, kernel):
+        assert kernel(np.array([0.0]))[0] >= kernel(np.array([0.3]))[0]
+
+    def test_fast_kernels_compact_support(self):
+        d = np.array([5.0])
+        floor = 1e-250
+        assert TriangularWeighting(1.5)(d)[0] < floor
+        assert EpanechnikovWeighting(1.5)(d)[0] < floor
+
+    @given(st.floats(0.1, 3.0), st.integers(1, 100))
+    @settings(max_examples=25)
+    def test_kernels_rank_particles_consistently(self, scale, n):
+        """Fast and Gaussian kernels agree on particle ranking inside support."""
+        rng = np.random.default_rng(n)
+        d = rng.uniform(0.0, 1.4, size=20) * scale
+        d = np.clip(d, 0.0, 1.45)  # inside triangular support (cutoff 1.5)
+        g = GaussianWeighting(0.5)(d)
+        t = TriangularWeighting(1.5)(d)
+        assert np.array_equal(np.argsort(g), np.argsort(t))
+
+
+class TestParticleFilter:
+    def test_weights_stay_normalized(self):
+        s = make_schedule(6, seed=0)
+        pos, obs = Performance(s, seed=1).simulate()
+        pf = ParticleFilter(s, 128, seed=2)
+        for o in obs[:20]:
+            pf.predict()
+            pf.update(o)
+            assert pf.weights.sum() == pytest.approx(1.0)
+            assert np.all(pf.weights >= 0)
+
+    def test_ess_bounds(self):
+        s = make_schedule(6, seed=0)
+        pf = ParticleFilter(s, 64, seed=0)
+        ess = pf.effective_sample_size()
+        assert 1.0 <= ess <= 64.0
+
+    def test_resampling_triggered(self):
+        s = make_schedule(8, seed=0)
+        pos, obs = Performance(s, seed=3).simulate()
+        res = track(s, pos, obs, n_particles=128, seed=4)
+        assert res.n_resamples > 0
+
+    def test_tracking_beats_dead_reckoning_noise(self):
+        s = make_schedule(10, seed=0)
+        pos, obs = Performance(s, seed=5, tempo_volatility=0.05).simulate()
+        res = track(s, pos, obs, n_particles=512, seed=6)
+        # Constant-tempo dead reckoning error for reference.
+        dead = np.abs(np.arange(len(pos)) * 1.0 - pos)
+        assert res.mean_abs_error < dead.mean() + 1.0
+
+    def test_fast_weighting_accuracy_close_to_gaussian(self):
+        s = make_schedule(10, seed=1)
+        pos, obs = Performance(s, seed=2).simulate()
+        g = track(s, pos, obs, n_particles=256, weighting=GaussianWeighting(0.5), seed=3)
+        f = track(s, pos, obs, n_particles=256, weighting=TriangularWeighting(1.5), seed=3)
+        assert f.mean_abs_error <= g.mean_abs_error * 2.0 + 1.0
+
+    def test_fast_weighting_is_faster_per_eval(self):
+        import time
+
+        d = np.abs(np.random.default_rng(0).normal(size=100_000))
+        g, t = GaussianWeighting(0.5), TriangularWeighting(1.5)
+
+        def time_kernel(k, trials=5, reps=20):
+            best = float("inf")
+            for _ in range(trials):
+                start = time.perf_counter()
+                for _ in range(reps):
+                    k(d)
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        time_kernel(g, trials=1)  # warmup
+        # Best-of-trials with a tolerance: the fast kernel must not lose.
+        assert time_kernel(t) < time_kernel(g) * 1.05
+
+    def test_estimate_within_schedule(self):
+        s = make_schedule(6, seed=0)
+        pos, obs = Performance(s, seed=7).simulate()
+        res = track(s, pos, obs, n_particles=128, seed=8)
+        assert np.all(res.estimates >= 0)
+        assert np.all(res.estimates <= s.total_duration)
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ValueError):
+            ParticleFilter(make_schedule(4, seed=0), n_particles=1)
+
+    def test_track_rejects_length_mismatch(self):
+        s = make_schedule(4, seed=0)
+        with pytest.raises(ValueError):
+            track(s, np.zeros(3), np.zeros((4, s.features.shape[1])))
+
+    def test_degenerate_update_recovers(self):
+        s = make_schedule(4, seed=0)
+        pf = ParticleFilter(s, 32, weighting=TriangularWeighting(0.01), seed=0)
+        # Absurd observation far from all features -> all weights ~floor.
+        pf.update(np.full(s.features.shape[1], 100.0))
+        assert np.isfinite(pf.weights).all()
+        assert pf.weights.sum() == pytest.approx(1.0)
+
+
+class TestOnsetMetrics:
+    @pytest.fixture(scope="class")
+    def run(self):
+        schedule = make_schedule(10, seed=1)
+        pos, obs = Performance(schedule, seed=2).simulate()
+        result = track(schedule, pos, obs, n_particles=512, seed=3)
+        return schedule, result
+
+    def test_event_onsets_monotone_where_reached(self, run):
+        from repro.particlefilter import event_onsets
+
+        schedule, result = run
+        onsets = event_onsets(result.true_positions, schedule)
+        reached = onsets[~np.isnan(onsets)]
+        assert list(reached) == sorted(reached)
+        assert reached[0] == 0.0  # tracking starts in event 0
+
+    def test_onset_report_errors_reasonable(self, run):
+        from repro.particlefilter import onset_report
+
+        schedule, result = run
+        report = onset_report(result, schedule)
+        assert report.reached.sum() >= schedule.n_events - 1
+        assert report.mean_onset_error < 5.0  # within a few seconds
+        assert report.worst_onset_error >= report.mean_onset_error
+
+    def test_onset_of_perfect_track_is_zero_error(self, run):
+        from repro.particlefilter import OnsetReport, event_onsets
+
+        schedule, result = run
+        onsets = event_onsets(result.true_positions, schedule)
+        report = OnsetReport(true_onsets=onsets, estimated_onsets=onsets.copy())
+        assert report.mean_onset_error == 0.0
+
+    def test_filter_health_fields(self, run):
+        from repro.particlefilter import filter_health
+
+        _, result = run
+        health = filter_health(result, 512)
+        assert 0.0 < health.min_ess_fraction <= health.mean_ess_fraction <= 1.0
+        assert 0.0 <= health.resample_rate <= 1.0
+
+    def test_well_tuned_filter_not_degenerate(self, run):
+        from repro.particlefilter import filter_health
+
+        _, result = run
+        assert not filter_health(result, 512).degenerate
+
+    def test_empty_positions_rejected(self, run):
+        from repro.particlefilter import event_onsets
+
+        schedule, _ = run
+        with pytest.raises(ValueError):
+            event_onsets(np.array([]), schedule)

@@ -1,0 +1,179 @@
+"""Tests for the statistical-shape-modeling substrate (section 2.11)."""
+
+import numpy as np
+import pytest
+
+from repro.shapes import (
+    ParticleSystem,
+    atrium_like_family,
+    build_shape_model,
+    optimize_particles,
+    particle_count_ablation,
+    procrustes_align,
+    sphere_family,
+)
+from repro.shapes.correspondence import farthest_point_sample
+from repro.shapes.generate import unit_sphere_points
+
+
+@pytest.fixture(scope="module")
+def spheres():
+    return sphere_family(n_subjects=10, n_points=300, seed=0)
+
+
+@pytest.fixture(scope="module")
+def atria():
+    return atrium_like_family(n_subjects=10, n_points=300, seed=1)
+
+
+class TestGenerators:
+    def test_sphere_points_near_radius(self, spheres):
+        for s in spheres[:3]:
+            radii = np.linalg.norm(s.points, axis=1)
+            assert np.std(radii) < 0.05
+            assert abs(radii.mean() - s.latent[0]) < 0.05
+
+    def test_unit_sphere_points_on_sphere(self):
+        u = unit_sphere_points(200, seed=0)
+        np.testing.assert_allclose(np.linalg.norm(u, axis=1), 1.0, atol=1e-12)
+
+    def test_unit_sphere_quasi_uniform(self):
+        u = unit_sphere_points(500, seed=1)
+        # Mean should be near the origin for a uniform covering.
+        assert np.linalg.norm(u.mean(axis=0)) < 0.1
+
+    def test_atrium_axes_vary(self, atria):
+        latents = np.array([s.latent for s in atria])
+        assert latents.shape == (10, 3)
+        assert np.all(latents.std(axis=0) > 0.02)
+
+    def test_appendage_bump_present(self, atria):
+        # Max radius exceeds max axis length thanks to the bump.
+        s = atria[0]
+        assert np.linalg.norm(s.points, axis=1).max() > s.latent.max() + 0.05
+
+    def test_rejects_single_subject(self):
+        with pytest.raises(ValueError):
+            sphere_family(n_subjects=1)
+
+
+class TestCorrespondence:
+    def test_farthest_point_sample_spreads(self):
+        pts = unit_sphere_points(400, seed=0)
+        sample = farthest_point_sample(pts, 16, seed=1)
+        d2 = np.sum((sample[:, None] - sample[None]) ** 2, axis=2)
+        np.fill_diagonal(d2, np.inf)
+        assert np.sqrt(d2.min()) > 0.3  # well separated on the unit sphere
+
+    def test_particles_shape(self, spheres):
+        system = optimize_particles(spheres, n_particles=32, iterations=5, seed=0)
+        assert system.particles.shape == (10, 32, 3)
+
+    def test_particles_on_surface(self, spheres):
+        system = optimize_particles(spheres, n_particles=32, iterations=5, seed=0)
+        for s, shape in enumerate(spheres):
+            d = np.min(
+                np.linalg.norm(
+                    system.particles[s][:, None] - shape.points[None], axis=2
+                ),
+                axis=1,
+            )
+            assert d.max() < 1e-9  # projected onto the cloud
+
+    def test_mean_spacing_decreases_with_more_particles(self, spheres):
+        few = optimize_particles(spheres, n_particles=16, iterations=5, seed=0)
+        many = optimize_particles(spheres, n_particles=64, iterations=5, seed=0)
+        assert many.mean_spacing() < few.mean_spacing()
+
+    def test_rejects_single_shape(self, spheres):
+        with pytest.raises(ValueError):
+            optimize_particles(spheres[:1], n_particles=8)
+
+    def test_particle_system_validation(self):
+        with pytest.raises(ValueError):
+            ParticleSystem(particles=np.zeros((3, 8, 2)))
+
+
+class TestProcrustes:
+    def test_removes_rotation(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=(20, 3))
+        theta = 0.7
+        rot = np.array(
+            [
+                [np.cos(theta), -np.sin(theta), 0],
+                [np.sin(theta), np.cos(theta), 0],
+                [0, 0, 1],
+            ]
+        )
+        stack = np.stack([base, base @ rot.T])
+        aligned = procrustes_align(stack)
+        assert np.linalg.norm(aligned[0] - aligned[1]) < 1e-6
+
+    def test_removes_translation(self):
+        rng = np.random.default_rng(1)
+        base = rng.normal(size=(15, 3))
+        stack = np.stack([base, base + 5.0])
+        aligned = procrustes_align(stack)
+        assert np.linalg.norm(aligned[0] - aligned[1]) < 1e-6
+
+    def test_keeps_scale(self):
+        rng = np.random.default_rng(2)
+        base = rng.normal(size=(15, 3))
+        stack = np.stack([base, 2.0 * base])
+        aligned = procrustes_align(stack)
+        ratio = np.linalg.norm(aligned[1]) / np.linalg.norm(aligned[0])
+        assert ratio == pytest.approx(2.0, rel=1e-6)
+
+
+class TestShapeModel:
+    def test_sphere_family_one_dominant_mode(self, spheres):
+        system = optimize_particles(spheres, n_particles=48, iterations=10, seed=2)
+        model = build_shape_model(system)
+        assert model.explained_ratio[0] > 0.6
+        assert model.dominant_modes(0.80) <= 2
+
+    def test_atrium_family_needs_more_modes(self, spheres, atria):
+        sys_s = optimize_particles(spheres, n_particles=48, iterations=10, seed=2)
+        sys_a = optimize_particles(atria, n_particles=48, iterations=10, seed=2)
+        m_s = build_shape_model(sys_s)
+        m_a = build_shape_model(sys_a)
+        assert m_a.dominant_modes(0.90) > m_s.dominant_modes(0.90)
+
+    def test_explained_ratio_sums_to_one(self, spheres):
+        system = optimize_particles(spheres, n_particles=24, iterations=5, seed=3)
+        model = build_shape_model(system)
+        assert model.explained_ratio.sum() == pytest.approx(1.0)
+
+    def test_synthesize_mean_is_mean(self, spheres):
+        system = optimize_particles(spheres, n_particles=24, iterations=5, seed=3)
+        model = build_shape_model(system)
+        np.testing.assert_allclose(model.synthesize(np.zeros(1)), model.mean_shape)
+
+    def test_reconstruct_with_all_modes_is_identity(self, spheres):
+        system = optimize_particles(spheres, n_particles=24, iterations=5, seed=3)
+        model = build_shape_model(system, align=False)
+        flat = system.flattened()[0]
+        rec = model.reconstruct(flat, k=len(model.variances))
+        np.testing.assert_allclose(rec, flat, atol=1e-8)
+
+    def test_reconstruction_improves_with_modes(self, atria):
+        system = optimize_particles(atria, n_particles=24, iterations=5, seed=4)
+        model = build_shape_model(system, align=False)
+        flat = system.flattened()[2]
+        err1 = np.linalg.norm(model.reconstruct(flat, 1) - flat)
+        err5 = np.linalg.norm(model.reconstruct(flat, 5) - flat)
+        assert err5 <= err1 + 1e-12
+
+
+class TestAblation:
+    def test_mode_structure_stable_across_particle_counts(self, spheres):
+        rows = particle_count_ablation(spheres, [16, 48], iterations=8, seed=0)
+        assert len(rows) == 2
+        for row in rows:
+            assert row.mode1_ratio > 0.6  # one true mode at every density
+        assert rows[1].mean_spacing < rows[0].mean_spacing
+
+    def test_rejects_tiny_counts(self, spheres):
+        with pytest.raises(ValueError):
+            particle_count_ablation(spheres, [2])

@@ -1,0 +1,256 @@
+"""Tests for the trajectory-classification substrate (section 2.4)."""
+
+import numpy as np
+import pytest
+
+from repro.trajectories import (
+    KNNTrajectoryClassifier,
+    POIMap,
+    Trajectory,
+    combined_features,
+    cross_validate,
+    landmark_features,
+    make_dataset,
+    semantic_features,
+)
+from repro.trajectories.features import make_landmarks
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_dataset(n_per_class=30, seed=0)
+
+
+@pytest.fixture(scope="module")
+def landmarks():
+    return make_landmarks(24, seed=1)
+
+
+class TestData:
+    def test_three_classes_balanced(self, dataset):
+        counts = np.bincount(dataset.labels)
+        assert counts.tolist() == [30, 30, 30]
+        assert dataset.class_names == [
+            "riverside_cafes",
+            "riverside_museums",
+            "crosstown",
+        ]
+
+    def test_trajectories_in_unit_square_ish(self, dataset):
+        for t in dataset.trajectories[:10]:
+            assert t.points.min() > -0.2
+            assert t.points.max() < 1.2
+
+    def test_shared_route_classes_overlap_spatially(self, dataset):
+        """Classes 0 and 1 follow the same route: their centroids agree."""
+        def centroid(label):
+            pts = np.concatenate(
+                [t.points for t in dataset.trajectories if t.label == label]
+            )
+            return pts.mean(axis=0)
+
+        same_route = np.linalg.norm(centroid(0) - centroid(1))
+        cross_route = np.linalg.norm(centroid(0) - centroid(2))
+        assert same_route < 0.05
+        assert same_route < cross_route / 2
+
+    def test_trajectory_validation(self):
+        with pytest.raises(ValueError):
+            Trajectory(points=np.zeros((1, 2)), label=0)
+
+    def test_poimap_categories(self, dataset):
+        assert dataset.pois.n_categories >= 3
+        assert len(dataset.pois.of_category(0)) > 0
+
+
+class TestFeatures:
+    def test_landmark_features_shape(self, dataset, landmarks):
+        f = landmark_features(dataset.trajectories[:5], landmarks)
+        assert f.shape == (5, 24)
+        assert np.all(f >= 0)
+
+    def test_landmark_feature_is_min_distance(self, landmarks):
+        traj = Trajectory(points=np.array([[0.5, 0.5], [0.6, 0.5]]), label=0)
+        f = landmark_features([traj], landmarks)[0]
+        expected = np.min(
+            np.linalg.norm(traj.points[:, None] - landmarks[None], axis=2), axis=0
+        )
+        np.testing.assert_allclose(f, expected)
+
+    def test_semantic_features_in_unit_range(self, dataset):
+        f = semantic_features(dataset.trajectories[:5], dataset.pois)
+        assert np.all((f >= 0) & (f <= 1))
+
+    def test_semantic_separates_same_route_classes(self, dataset):
+        f = semantic_features(dataset.trajectories, dataset.pois)
+        y = dataset.labels
+        cafe_col, museum_col = 0, 1
+        mean0 = f[y == 0].mean(axis=0)
+        mean1 = f[y == 1].mean(axis=0)
+        # Cafe-dwellers spend more time near category 0, museum-goers near 1.
+        assert mean0[cafe_col] > mean1[cafe_col]
+        assert mean1[museum_col] > mean0[museum_col]
+
+    def test_combined_features_width(self, dataset, landmarks):
+        f = combined_features(dataset.trajectories[:4], landmarks, dataset.pois)
+        assert f.shape == (4, 24 + dataset.pois.n_categories)
+
+
+class TestClassifier:
+    def test_knn_perfect_on_train_with_k1(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(20, 3))
+        y = rng.integers(0, 2, size=20)
+        clf = KNNTrajectoryClassifier(k=1).fit(x, y)
+        assert clf.score(x, y) == 1.0
+
+    def test_rejects_k_exceeding_data(self):
+        with pytest.raises(ValueError):
+            KNNTrajectoryClassifier(k=5).fit(np.zeros((3, 2)), np.zeros(3, dtype=int))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KNNTrajectoryClassifier().predict(np.zeros((1, 2)))
+
+    def test_cross_validate_report(self, dataset, landmarks):
+        f = combined_features(dataset.trajectories, landmarks, dataset.pois)
+        rep = cross_validate(f, dataset.labels, n_folds=3, seed=0)
+        assert len(rep.fold_accuracies) == 3
+        assert rep.confusion.sum() == len(dataset)
+        assert 0.0 <= rep.mean_accuracy <= 1.0
+
+
+class TestControlledExperiment:
+    """E4: semantics resolve the same-route class pair."""
+
+    def test_semantic_improves_over_shape_only(self, dataset, landmarks):
+        shape = landmark_features(dataset.trajectories, landmarks)
+        std = shape.std(axis=0)
+        std[std == 0] = 1.0
+        shape_std = (shape - shape.mean(axis=0)) / std
+        combined = combined_features(
+            dataset.trajectories, landmarks, dataset.pois, semantic_weight=2.0
+        )
+        y = dataset.labels
+        rep_shape = cross_validate(shape_std, y, seed=3)
+        rep_comb = cross_validate(combined, y, seed=3)
+        assert rep_comb.mean_accuracy > rep_shape.mean_accuracy
+        # The specific mechanism: 0 <-> 1 confusion collapses.
+        shape_confusion = rep_shape.pair_confusion(0, 1) + rep_shape.pair_confusion(1, 0)
+        comb_confusion = rep_comb.pair_confusion(0, 1) + rep_comb.pair_confusion(1, 0)
+        assert comb_confusion < shape_confusion
+
+    def test_crosstown_separable_by_shape_alone(self, dataset, landmarks):
+        shape = landmark_features(dataset.trajectories, landmarks)
+        rep = cross_validate(shape, dataset.labels, seed=4)
+        # Class 2 (distinct route) is rarely confused with the riverside pair.
+        assert rep.pair_confusion(2, 0) + rep.pair_confusion(2, 1) < 0.2
+
+
+class TestDirectDistances:
+    """DTW and discrete Fréchet distances (the classical shape metrics)."""
+
+    def _traj(self, pts):
+        import numpy as _np
+
+        return np.asarray(pts, dtype=float)
+
+    def test_identical_trajectories_zero(self):
+        from repro.trajectories import dtw_distance, frechet_distance
+
+        a = self._traj([[0, 0], [1, 0], [2, 0]])
+        assert dtw_distance(a, a) == 0.0
+        assert frechet_distance(a, a) == 0.0
+
+    def test_symmetry(self):
+        from repro.trajectories import dtw_distance, frechet_distance
+
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(7, 2)), rng.normal(size=(5, 2))
+        assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a))
+        assert frechet_distance(a, b) == pytest.approx(frechet_distance(b, a))
+
+    def test_frechet_parallel_lines(self):
+        from repro.trajectories import frechet_distance
+
+        a = self._traj([[0, 0], [1, 0], [2, 0]])
+        b = a + np.array([0.0, 0.5])
+        assert frechet_distance(a, b) == pytest.approx(0.5)
+
+    def test_dtw_elastic_alignment(self):
+        """DTW absorbs re-sampling; a point-doubled copy stays at zero."""
+        from repro.trajectories import dtw_distance
+
+        a = self._traj([[0, 0], [1, 0], [2, 0]])
+        doubled = self._traj([[0, 0], [0, 0], [1, 0], [1, 0], [2, 0], [2, 0]])
+        assert dtw_distance(a, doubled) == pytest.approx(0.0)
+
+    def test_frechet_at_least_endpoint_distance(self):
+        from repro.trajectories import frechet_distance
+
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=(6, 2)), rng.normal(size=(8, 2))
+        endpoints = max(
+            np.linalg.norm(a[0] - b[0]), np.linalg.norm(a[-1] - b[-1])
+        )
+        assert frechet_distance(a, b) >= endpoints - 1e-12
+
+    def test_dtw_matches_bruteforce_small(self):
+        """Cross-check the vectorized DP against a plain recursive DP."""
+        from functools import lru_cache
+
+        from repro.trajectories import dtw_distance
+
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(size=(5, 2)), rng.normal(size=(4, 2))
+        cost = np.linalg.norm(a[:, None] - b[None], axis=2)
+
+        @lru_cache(maxsize=None)
+        def rec(i, j):
+            if i == 0 and j == 0:
+                return cost[0, 0]
+            candidates = []
+            if i > 0:
+                candidates.append(rec(i - 1, j))
+            if j > 0:
+                candidates.append(rec(i, j - 1))
+            if i > 0 and j > 0:
+                candidates.append(rec(i - 1, j - 1))
+            return cost[i, j] + min(candidates)
+
+        assert dtw_distance(a, b) == pytest.approx(rec(4, 3))
+
+    def test_pairwise_matrix_properties(self, dataset):
+        from repro.trajectories import pairwise_distances
+
+        subset = dataset.trajectories[:8]
+        mat = pairwise_distances(subset, metric="frechet", stride=4)
+        assert mat.shape == (8, 8)
+        np.testing.assert_allclose(mat, mat.T)
+        np.testing.assert_allclose(np.diag(mat), 0.0)
+
+    def test_frechet_knn_separates_crosstown(self, dataset):
+        """1-NN on Fréchet distances separates the distinct-route class."""
+        from repro.trajectories import pairwise_distances
+
+        idx = np.arange(30)
+        subset = [dataset.trajectories[i] for i in idx]
+        labels = dataset.labels[idx]
+        mat = pairwise_distances(subset, metric="frechet", stride=4)
+        np.fill_diagonal(mat, np.inf)
+        nearest = mat.argmin(axis=1)
+        crosstown = labels == 2
+        agreement = (labels[nearest] == 2)[crosstown].mean()
+        assert agreement > 0.8
+
+    def test_unknown_metric_rejected(self, dataset):
+        from repro.trajectories import pairwise_distances
+
+        with pytest.raises(ValueError):
+            pairwise_distances(dataset.trajectories[:2], metric="hausdorff")
+
+    def test_empty_trajectory_rejected(self):
+        from repro.trajectories import dtw_distance
+
+        with pytest.raises(ValueError):
+            dtw_distance(np.zeros((0, 2)), np.zeros((3, 2)))

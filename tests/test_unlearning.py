@@ -1,0 +1,249 @@
+"""Tests for the machine-unlearning substrate (section 2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.unlearning import (
+    SISAEnsemble,
+    assess_unlearning,
+    make_class_blobs,
+    retrain_from_scratch,
+    scrub_unlearn,
+    train_classifier,
+)
+
+N_CLASSES = 3
+FORGET = 1
+
+
+@pytest.fixture(scope="module")
+def data():
+    x, y = make_class_blobs(n_classes=N_CLASSES, n_per_class=100, dim=12, seed=0)
+    split = 240
+    return x[:split], y[:split], x[split:], y[split:]
+
+
+@pytest.fixture(scope="module")
+def base_model(data):
+    xtr, ytr, _, _ = data
+    return train_classifier(xtr, ytr, N_CLASSES, epochs=15, seed=1)
+
+
+class TestData:
+    def test_shapes_and_balance(self):
+        x, y = make_class_blobs(n_classes=4, n_per_class=25, dim=8, seed=0)
+        assert x.shape == (100, 8)
+        assert np.bincount(y).tolist() == [25, 25, 25, 25]
+
+    def test_separation_learnable(self, data, base_model):
+        _, _, xte, yte = data
+        acc = (base_model.model.predict(xte).argmax(1) == yte).mean()
+        assert acc > 0.85
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError):
+            make_class_blobs(n_classes=1)
+
+
+class TestRetrainBaseline:
+    def test_forgets_completely(self, data):
+        xtr, ytr, xte, yte = data
+        rt = retrain_from_scratch(xtr, ytr, FORGET, N_CLASSES, epochs=15, seed=1)
+        rep = assess_unlearning(
+            "retrain",
+            lambda z: rt.model.predict(z).argmax(1),
+            xte,
+            yte,
+            FORGET,
+            N_CLASSES,
+            gradient_updates=rt.gradient_updates,
+        )
+        assert rep.forget_accuracy <= 0.05
+        assert rep.retain_accuracy > 0.85
+        assert rep.forgotten
+
+    def test_rejects_forgetting_everything(self):
+        x, y = make_class_blobs(n_classes=2, n_per_class=10, seed=0)
+        y[:] = 0
+        with pytest.raises(ValueError, match="retain set is empty"):
+            retrain_from_scratch(x, y, 0, 2, epochs=1)
+
+
+class TestScrub:
+    def test_forgets_cheaply(self, data, base_model):
+        xtr, ytr, xte, yte = data
+        scrubbed = scrub_unlearn(
+            base_model, xtr, ytr, FORGET, epochs=8, forget_weight=2.0, seed=2
+        )
+        rep = assess_unlearning(
+            "scrub",
+            lambda z: scrubbed.model.predict(z).argmax(1),
+            xte,
+            yte,
+            FORGET,
+            N_CLASSES,
+            gradient_updates=scrubbed.gradient_updates,
+        )
+        assert rep.forgotten
+        assert rep.retain_accuracy > 0.8
+        # The headline: scrubbing costs a fraction of retraining.
+        assert scrubbed.gradient_updates < base_model.gradient_updates
+
+    def test_rejects_unknown_class(self, data, base_model):
+        xtr, ytr, _, _ = data
+        with pytest.raises(ValueError, match="no samples"):
+            scrub_unlearn(base_model, xtr, ytr, 99, epochs=1)
+
+
+class TestSISA:
+    def test_exact_class_unlearning(self, data):
+        xtr, ytr, xte, yte = data
+        ens = SISAEnsemble(n_shards=3, n_classes=N_CLASSES, epochs=15, seed=3)
+        ens.fit(xtr, ytr)
+        spent = ens.unlearn_class(FORGET)
+        assert spent > 0
+        rep = assess_unlearning(
+            "sisa", ens.predict, xte, yte, FORGET, N_CLASSES, gradient_updates=spent
+        )
+        assert rep.forget_accuracy <= 0.05  # exact: no member ever saw the class
+        assert rep.retain_accuracy > 0.8
+        retained = ens.retained_indices()
+        assert not np.any(ytr[retained] == FORGET)
+
+    def test_sample_unlearning_touches_only_affected_shards(self, data):
+        xtr, ytr, _, _ = data
+        ens = SISAEnsemble(n_shards=4, n_classes=N_CLASSES, epochs=3, seed=4)
+        ens.fit(xtr, ytr)
+        per_shard = ens.gradient_updates / 4
+        # Forget one sample: exactly one shard retrains.
+        spent = ens.unlearn_samples(np.array([0]))
+        assert spent <= per_shard * 1.5
+
+    def test_unlearn_empty_is_noop(self, data):
+        xtr, ytr, _, _ = data
+        ens = SISAEnsemble(n_shards=2, n_classes=N_CLASSES, epochs=2, seed=5)
+        ens.fit(xtr, ytr)
+        assert ens.unlearn_samples(np.array([], dtype=int)) == 0
+
+    def test_out_of_range_index_rejected(self, data):
+        xtr, ytr, _, _ = data
+        ens = SISAEnsemble(n_shards=2, n_classes=N_CLASSES, epochs=2, seed=6)
+        ens.fit(xtr, ytr)
+        with pytest.raises(IndexError):
+            ens.unlearn_samples(np.array([10**6]))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            SISAEnsemble(2, 2).predict(np.zeros((1, 4)))
+
+    def test_proba_normalized(self, data):
+        xtr, ytr, xte, _ = data
+        ens = SISAEnsemble(n_shards=2, n_classes=N_CLASSES, epochs=2, seed=7)
+        ens.fit(xtr, ytr)
+        probs = ens.predict_proba(xte[:5])
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestAssessment:
+    def test_report_fields(self, data, base_model):
+        _, _, xte, yte = data
+        rep = assess_unlearning(
+            "noop",
+            lambda z: base_model.model.predict(z).argmax(1),
+            xte,
+            yte,
+            FORGET,
+            N_CLASSES,
+            gradient_updates=0,
+        )
+        # A model that never unlearned keeps high forget-class accuracy.
+        assert rep.forget_accuracy > 0.8
+        assert not rep.forgotten
+
+    def test_rejects_degenerate_test_set(self, data, base_model):
+        _, _, xte, yte = data
+        only_forget = yte == FORGET
+        with pytest.raises(ValueError):
+            assess_unlearning(
+                "bad",
+                lambda z: np.zeros(len(z), dtype=int),
+                xte[only_forget],
+                yte[only_forget],
+                FORGET,
+                N_CLASSES,
+                gradient_updates=0,
+            )
+
+
+class TestMembershipInference:
+    """The stronger unlearning criterion: can an attacker detect members?"""
+
+    @pytest.fixture(scope="class")
+    def overfit_setup(self):
+        # Low separation + few samples + long training = memorization.
+        x, y = make_class_blobs(
+            n_classes=3, n_per_class=60, dim=16,
+            separation=1.8, within_std=1.3, seed=0,
+        )
+        split = 120
+        return x[:split], y[:split], x[split:], y[split:]
+
+    def test_auc_mathematics(self):
+        from repro.unlearning.membership import _auc
+
+        # Perfectly separated scores -> AUC 1; reversed -> 0; identical -> 0.5.
+        assert _auc(np.array([2.0, 3.0]), np.array([0.0, 1.0])) == 1.0
+        assert _auc(np.array([0.0, 1.0]), np.array([2.0, 3.0])) == 0.0
+        assert _auc(np.array([1.0, 1.0]), np.array([1.0, 1.0])) == 0.5
+
+    def test_overfit_model_leaks_membership(self, overfit_setup):
+        from repro.unlearning import membership_inference_auc
+
+        xtr, ytr, xte, yte = overfit_setup
+        base = train_classifier(xtr, ytr, 3, epochs=150, seed=1)
+        m = ytr == FORGET
+        t = yte == FORGET
+        rep = membership_inference_auc(
+            base.model, xtr[m], ytr[m], xte[t], yte[t]
+        )
+        assert rep.attack_auc > 0.6
+        assert rep.leaks_membership
+        assert rep.member_mean_loss < rep.nonmember_mean_loss
+
+    def test_retraining_removes_membership_signal(self, overfit_setup):
+        from repro.unlearning import membership_inference_auc
+
+        xtr, ytr, xte, yte = overfit_setup
+        rt = retrain_from_scratch(xtr, ytr, FORGET, 3, epochs=150, seed=1)
+        m = ytr == FORGET
+        t = yte == FORGET
+        rep = membership_inference_auc(rt.model, xtr[m], ytr[m], xte[t], yte[t])
+        assert abs(rep.attack_auc - 0.5) < 0.12  # ~chance: exact unlearning
+        assert not rep.leaks_membership
+
+    def test_scrubbing_fails_the_stronger_criterion(self, overfit_setup):
+        """Honest negative result: output scrubbing hides the class but not
+        membership — the attacker still beats the retrained baseline."""
+        from repro.unlearning import membership_inference_auc
+
+        xtr, ytr, xte, yte = overfit_setup
+        base = train_classifier(xtr, ytr, 3, epochs=150, seed=1)
+        scrubbed = scrub_unlearn(base, xtr, ytr, FORGET, epochs=10, seed=2)
+        rt = retrain_from_scratch(xtr, ytr, FORGET, 3, epochs=150, seed=1)
+        m = ytr == FORGET
+        t = yte == FORGET
+        auc_scrub = membership_inference_auc(
+            scrubbed.model, xtr[m], ytr[m], xte[t], yte[t]
+        ).attack_auc
+        auc_retrain = membership_inference_auc(
+            rt.model, xtr[m], ytr[m], xte[t], yte[t]
+        ).attack_auc
+        assert auc_scrub > auc_retrain + 0.1
+
+    def test_example_losses_validation(self, overfit_setup):
+        from repro.unlearning import example_losses
+
+        xtr, ytr, _, _ = overfit_setup
+        base = train_classifier(xtr[:30], ytr[:30], 3, epochs=2, seed=0)
+        with pytest.raises(ValueError):
+            example_losses(base.model, xtr[:3], ytr[:2])

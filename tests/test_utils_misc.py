@@ -1,0 +1,99 @@
+"""Tests for repro.utils.tables and repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.tables import Table, format_float
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+
+class TestFormatFloat:
+    def test_float_fixed_decimals(self):
+        assert format_float(1.23456, 2) == "1.23"
+
+    def test_int_verbatim(self):
+        assert format_float(7) == "7"
+
+    def test_bool_verbatim(self):
+        assert format_float(True) == "True"
+
+    def test_string_passthrough(self):
+        assert format_float("abc") == "abc"
+
+
+class TestTable:
+    def test_render_contains_title_and_cells(self):
+        t = Table(["a", "b"], title="T")
+        t.add_row([1, 2.5])
+        out = t.render()
+        assert "T" in out
+        assert "2.50" in out
+
+    def test_row_length_validated(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError, match="cells"):
+            t.add_row([1])
+
+    def test_column_alignment(self):
+        t = Table(["col"], decimals=1)
+        t.add_row(["x"])
+        t.add_row(["longer"])
+        lines = t.render().splitlines()
+        # header, separator, two rows
+        assert len(lines) == 4
+        assert lines[1].startswith("---")
+
+    def test_decimals_respected(self):
+        t = Table(["v"], decimals=3)
+        t.add_row([1.0 / 3.0])
+        assert "0.333" in t.render()
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0)
+
+    def test_check_positive_nonstrict_accepts_zero(self):
+        assert check_positive("x", 0, strict=False) == 0
+
+    def test_check_in_range_inclusive(self):
+        assert check_in_range("x", 1.0, 1.0, 2.0) == 1.0
+
+    def test_check_in_range_exclusive_rejects_boundary(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.0, 1.0, 2.0, inclusive=False)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+    def test_check_shape_wildcard(self):
+        arr = check_shape("m", np.zeros((4, 2)), (None, 2))
+        assert arr.shape == (4, 2)
+
+    def test_check_shape_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            check_shape("m", np.zeros(3), (None, 2))
+
+    def test_check_shape_rejects_wrong_size(self):
+        with pytest.raises(ValueError, match="axis 1"):
+            check_shape("m", np.zeros((4, 3)), (None, 2))
+
+    def test_check_finite_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_finite("v", np.array([1.0, np.nan]))
+
+    def test_check_finite_accepts(self):
+        out = check_finite("v", np.array([1.0, 2.0]))
+        assert out.tolist() == [1.0, 2.0]

@@ -1,0 +1,105 @@
+"""Tests for repro.utils.stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import (
+    confidence_interval,
+    describe,
+    likert_mean,
+    likert_mode,
+    trimmed_mean,
+)
+
+
+class TestLikertMean:
+    def test_paper_style_rounding(self):
+        # 9 respondents averaging 3.1444... reports as 3.1
+        assert likert_mean(np.array([3, 3, 3, 3, 3, 3, 3, 4, 3.3])) == 3.1
+
+    def test_simple_mean(self):
+        assert likert_mean(np.array([2, 4])) == 3.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            likert_mean(np.array([]))
+
+    @given(st.lists(st.integers(1, 5), min_size=1, max_size=20))
+    def test_mean_within_likert_bounds(self, values):
+        assert 1.0 <= likert_mean(np.array(values)) <= 5.0
+
+
+class TestLikertMode:
+    def test_clear_mode(self):
+        assert likert_mode(np.array([1, 2, 2, 3])) == 2
+
+    def test_tie_breaks_low(self):
+        assert likert_mode(np.array([4, 4, 2, 2])) == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            likert_mode(np.array([]))
+
+    @given(st.lists(st.integers(1, 5), min_size=1, max_size=30))
+    def test_mode_is_a_member(self, values):
+        assert likert_mode(np.array(values)) in values
+
+
+class TestTrimmedMean:
+    def test_resists_outlier(self):
+        x = np.array([1.0] * 9 + [1000.0])
+        assert trimmed_mean(x, 0.1) == pytest.approx(1.0)
+
+    def test_rejects_half_trim(self):
+        with pytest.raises(ValueError):
+            trimmed_mean(np.arange(10.0), 0.5)
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        x = np.random.default_rng(0).normal(5.0, 1.0, 50)
+        lo, hi = confidence_interval(x)
+        assert lo <= x.mean() <= hi
+
+    def test_singleton_zero_width(self):
+        assert confidence_interval(np.array([2.0])) == (2.0, 2.0)
+
+    def test_zero_variance_zero_width(self):
+        assert confidence_interval(np.array([3.0, 3.0, 3.0])) == (3.0, 3.0)
+
+    def test_wider_at_higher_level(self):
+        x = np.random.default_rng(1).normal(size=20)
+        lo95, hi95 = confidence_interval(x, 0.95)
+        lo99, hi99 = confidence_interval(x, 0.99)
+        assert (hi99 - lo99) > (hi95 - lo95)
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ValueError):
+            confidence_interval(np.array([1.0, 2.0]), 1.0)
+
+
+class TestDescribe:
+    def test_fields(self):
+        s = describe(np.array([1.0, 2.0, 3.0]))
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0
+        assert s.median == 2.0
+        assert s.maximum == 3.0
+
+    def test_as_dict_keys(self):
+        d = describe(np.array([1.0, 2.0])).as_dict()
+        assert set(d) == {"n", "mean", "std", "min", "median", "max"}
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_ordering_invariant(self, values):
+        s = describe(np.array(values))
+        assert s.minimum <= s.median <= s.maximum
