@@ -9,12 +9,24 @@ sample mean and coordinate median grow like sqrt(d).
 import numpy as np
 from conftest import emit
 
+from repro.parallel import Sweep, grid
 from repro.robuststats import dimension_sweep, filter_mean
 from repro.robuststats.contamination import ContaminationModel, contaminated_gaussian
 from repro.utils.tables import Table
 
 DIMS = [10, 50, 100, 200, 400]
 EPS = 0.1
+
+
+def eps_cell(eps, seed):
+    """One contamination level: sample-mean vs filter error at d=200."""
+    model = ContaminationModel(n=2000, dim=200, eps=eps)
+    x, _, mu = contaminated_gaussian(model, seed=seed)
+    return (
+        eps,
+        float(np.linalg.norm(x.mean(axis=0) - mu)),
+        float(np.linalg.norm(filter_mean(x, eps) - mu)),
+    )
 
 
 def test_error_vs_dimension(benchmark):
@@ -37,21 +49,12 @@ def test_error_vs_dimension(benchmark):
 
 
 def test_contamination_level_sweep(benchmark):
-    def sweep():
-        rows = []
-        for eps in (0.05, 0.1, 0.2):
-            model = ContaminationModel(n=2000, dim=200, eps=eps)
-            x, _, mu = contaminated_gaussian(model, seed=1)
-            rows.append(
-                (
-                    eps,
-                    float(np.linalg.norm(x.mean(axis=0) - mu)),
-                    float(np.linalg.norm(filter_mean(x, eps) - mu)),
-                )
-            )
-        return rows
+    sweep = Sweep(eps_cell, grid(eps=[0.05, 0.1, 0.2]), seeds=[1])
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    def run():
+        return sweep.run().values()
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
     table = Table(
         ["eps", "sample mean error", "filter error"],
         title="E10: error vs contamination level (d = 200)",

@@ -61,28 +61,18 @@ def test_curriculum_policies(benchmark):
 
 
 def test_exit_survey_plans(benchmark):
+    """3 plans x 6 seeds, routed through the repro.parallel Sweep."""
+    from repro.core import collection_plan_sweep
+
+    plans = [
+        ("year one (post-departure)", AttritionPlan()),
+        ("incentivized", AttritionPlan.incentivized(0.6)),
+        ("before departure", AttritionPlan.before_departure()),
+    ]
+
     def run():
-        rows = []
-        for name, plan in (
-            ("year one (post-departure)", AttritionPlan()),
-            ("incentivized", AttritionPlan.incentivized(0.6)),
-            ("before departure", AttritionPlan.before_departure()),
-        ):
-            config = ProgramConfig(attrition=plan)
-            spreads = []
-            complete_counts = []
-            for seed in range(6):
-                outcome = REUProgram(config).run_season(seed=seed)
-                complete_counts.append(sum(r.complete for r in outcome.posthoc))
-                spreads.append([r.boost for r in table2(outcome)])
-            rows.append(
-                (
-                    name,
-                    float(np.mean(complete_counts)),
-                    float(np.std(np.array(spreads), axis=0).mean()),
-                )
-            )
-        return rows
+        comparisons = collection_plan_sweep(plans, seeds=tuple(range(6)))
+        return [(c.name, c.mean_complete, c.boost_spread) for c in comparisons]
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     table = Table(

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Quickstart for ``repro.parallel``: cached, parallel experiment sweeps.
+
+Run:
+    python examples/parallel_sweep.py [workers]
+
+Declares the robust-statistics d x eps experiment as a ``Sweep`` (config
+grid x trial seeds), runs it serially, in parallel, and from cache, and
+shows the determinism contract in action: all three runs are bit-identical,
+and the cached re-run executes nothing.
+
+Environment knobs:
+    REPRO_CACHE_DIR        where cache entries live (default .repro_cache)
+    REPRO_CACHE_DISABLE=1  kill switch: every lookup misses, no writes
+    REPRO_PARALLEL_DISABLE=1  force the serial path regardless of workers
+"""
+
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.parallel import ResultCache, Sweep, compare_workers, grid
+from repro.robuststats.contamination import ContaminationModel, contaminated_gaussian
+from repro.robuststats.estimators import filter_mean, sample_mean
+from repro.utils.tables import Table
+
+
+def cell(dim: int, eps: float, seed: int) -> dict:
+    """One experiment cell: a pure function of (config, seed).
+
+    Module-level (picklable) and seeded only through its argument — the
+    two rules that let the runner fan it out and the cache key it.
+    """
+    x, _, mu = contaminated_gaussian(
+        ContaminationModel(n=max(200, 10 * dim), dim=dim, eps=eps), seed=seed
+    )
+    return {
+        "mean_err": float(np.linalg.norm(sample_mean(x) - mu)),
+        "filter_err": float(np.linalg.norm(filter_mean(x, eps) - mu)),
+    }
+
+
+def main(workers: int = 4) -> None:
+    # The grid x seeds cross product; seeds are spawned from one root via
+    # SeedSequence, so any worker count replays the identical streams.
+    sweep = Sweep.spawned(
+        cell,
+        grid(dim=[20, 50, 100], eps=[0.05, 0.1]),
+        root_seed=0,
+        n_trials=3,
+        name="example-dxeps",
+    )
+
+    timings = compare_workers(sweep, [1, workers])
+    serial, parallel = timings[1], timings[workers]
+    assert parallel.result.values() == serial.result.values()  # bit-identical
+    print(
+        f"serial {serial.wall_s:.2f}s vs workers={workers} "
+        f"{parallel.wall_s:.2f}s -> {parallel.speedup_over(serial):.2f}x, "
+        "records identical"
+    )
+
+    with tempfile.TemporaryDirectory() as root:
+        cache = ResultCache(root)
+        cold = sweep.run(cache=cache)
+        warm = sweep.run(cache=cache)
+        assert warm.values() == cold.values()
+        print(
+            f"cold run executed {cold.n_executed} cells in {cold.wall_s:.2f}s; "
+            f"warm re-run executed {warm.n_executed} "
+            f"({warm.n_cache_hits} cache hits) in {warm.wall_s:.3f}s"
+        )
+
+    table = Table(
+        ["dim", "eps", "mean err", "filter err"],
+        title="error vs (dimension, contamination) — 3-trial means",
+    )
+    for config, values in cold.by_config():
+        table.add_row(
+            [
+                config["dim"],
+                config["eps"],
+                float(np.mean([v["mean_err"] for v in values])),
+                float(np.mean([v["filter_err"] for v in values])),
+            ]
+        )
+    print()
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4)

@@ -18,6 +18,9 @@ cluster
     staged-batch contention remedy of the paper's discussion section.
 provenance
     Reproducibility tooling: seed ledger, manifests, artifact packaging.
+parallel
+    Deterministic process-parallel experiment runner with a
+    content-addressed result cache and the Sweep grid abstraction.
 ae, particlefilter, unlearning, trajectories, autotune, detect,
 histopath, rl, malware, robuststats, shapes
     One substrate per student project (paper sections 2.1-2.11).
@@ -31,6 +34,7 @@ __all__ = [
     "perf",
     "cluster",
     "provenance",
+    "parallel",
     "utils",
     "ae",
     "particlefilter",

@@ -20,7 +20,13 @@ from repro.core.applicants import Applicant, make_applicant_pool, select_offers
 from repro.core.cohort import KNOWLEDGE_AREAS, SKILLS, Student, make_cohort
 from repro.core.goals import GOALS, Goal, goal_names
 from repro.core.learning import ConstantGainModel, ExperienceModel
-from repro.core.multiyear import YearOutcome, YearPlan, run_years
+from repro.core.multiyear import (
+    PlanComparison,
+    YearOutcome,
+    YearPlan,
+    collection_plan_sweep,
+    run_years,
+)
 from repro.core.program import (
     ProgramConfig,
     REUProgram,
@@ -78,6 +84,8 @@ __all__ = [
     "YearOutcome",
     "YearPlan",
     "run_years",
+    "PlanComparison",
+    "collection_plan_sweep",
     "SeasonOutcome",
     "Timeline",
     "NARRATIVE",

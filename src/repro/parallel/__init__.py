@@ -1,0 +1,44 @@
+"""Deterministic process-parallel experiment execution and result caching.
+
+The paper's §3 resource lesson — end-of-program experiment sweeps saturated
+the shared GPUs until work was staged across non-overlapping batches — is
+reproduced throughout this repo as multi-trial experiment loops.  This
+subsystem makes those loops cheap to re-run:
+
+* :func:`pmap` — deterministic fan-out over a process pool; results are
+  bit-identical for any worker count because all seeds are spawned up
+  front (:func:`repro.utils.rng.spawn_children`) and results are
+  re-assembled in submission order;
+* :class:`ResultCache` — a content-addressed on-disk cache keyed by
+  (function, config, seed, code salt), so a repeated sweep re-executes
+  nothing;
+* :class:`Sweep` — the config-grid × seed-list experiment shape shared by
+  the studies and benchmarks;
+* :func:`time_sweep` / :func:`compare_workers` — wall-clock and speedup
+  reporting through :mod:`repro.perf.timers`.
+
+Environment kill switches: ``REPRO_PARALLEL_DISABLE=1`` forces the serial
+path, ``REPRO_CACHE_DISABLE=1`` disables cache reads and writes, and
+``REPRO_CACHE_DIR`` relocates the cache root.
+"""
+
+from repro.parallel.cache import CacheStats, ResultCache, cache_key, code_salt
+from repro.parallel.runner import pmap, resolve_workers
+from repro.parallel.sweep import Sweep, SweepRecord, SweepResult, grid
+from repro.parallel.timing import SweepTiming, compare_workers, time_sweep
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "cache_key",
+    "code_salt",
+    "pmap",
+    "resolve_workers",
+    "Sweep",
+    "SweepRecord",
+    "SweepResult",
+    "grid",
+    "SweepTiming",
+    "compare_workers",
+    "time_sweep",
+]

@@ -1,0 +1,157 @@
+"""Content-addressed on-disk cache for experiment results.
+
+A cache entry is keyed by a SHA-256 digest of *what was computed*: the
+function's qualified name, its configuration, its seed, and a code-version
+salt (by default a hash of the function's own source, so editing the
+function invalidates its old results).  The digest reuses the canonical
+hashing of :func:`repro.provenance.manifest.stable_hash`, which means two
+semantically equal configs hash equally regardless of dict ordering or
+NumPy scalar types.
+
+Environment knobs
+-----------------
+``REPRO_CACHE_DIR``
+    Root directory for cache files (default ``.repro_cache`` under the
+    current working directory).
+``REPRO_CACHE_DISABLE``
+    Set to ``1`` to turn every lookup into a miss and every store into a
+    no-op — the kill switch for suspicious re-runs.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.provenance.manifest import stable_hash
+
+__all__ = ["CacheStats", "ResultCache", "code_salt", "cache_key"]
+
+_DISABLE_ENV = "REPRO_CACHE_DISABLE"
+_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def code_salt(fn: Callable[..., Any]) -> str:
+    """A salt that changes whenever the function's source changes.
+
+    Falls back to the module name + version when source is unavailable
+    (builtins, C extensions, interactively defined functions).
+    """
+    while isinstance(fn, functools.partial):
+        fn = fn.func
+    try:
+        return stable_hash(inspect.getsource(fn))
+    except (OSError, TypeError):
+        module = getattr(fn, "__module__", "unknown")
+        return stable_hash(f"{module}:no-source")
+
+
+def _digestable(value: Any) -> Any:
+    """Best-effort canonical form: fall back to ``repr`` for odd types."""
+    try:
+        stable_hash(value)
+        return value
+    except TypeError:
+        return repr(value)
+
+
+def cache_key(fn_name: str, config: Any, seed: Any, salt: str) -> str:
+    """Content digest identifying one (function, config, seed, code) cell."""
+    return stable_hash(
+        {
+            "fn": fn_name,
+            "config": _digestable(config),
+            "seed": _digestable(seed),
+            "salt": salt,
+        }
+    )
+
+
+@dataclass
+class CacheStats:
+    """Running hit/miss counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """Content-addressed pickle store under a root directory.
+
+    Entries are sharded by digest prefix (``root/ab/abcdef....pkl``) and
+    written atomically (temp file + rename) so a crashed writer never
+    leaves a truncated entry that a later reader would unpickle.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> cache = ResultCache(tempfile.mkdtemp())
+    >>> key = cache_key("f", {"x": 1}, 0, "salt")
+    >>> cache.get(key)
+    (False, None)
+    >>> cache.put(key, 42)
+    >>> cache.get(key)
+    (True, 42)
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        self.root = Path(root or os.environ.get(_DIR_ENV, ".repro_cache"))
+        self.stats = CacheStats()
+
+    @property
+    def enabled(self) -> bool:
+        """False when the ``REPRO_CACHE_DISABLE=1`` kill switch is set."""
+        return os.environ.get(_DISABLE_ENV, "") != "1"
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """Look up ``key``; returns ``(hit, value)``."""
+        if not self.enabled:
+            self.stats.misses += 1
+            return False, None
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            self.stats.misses += 1
+            return False, None
+        self.stats.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("wb") as fh:
+            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        self.stats.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry under the root; returns the count removed."""
+        removed = 0
+        if self.root.exists():
+            for entry in self.root.rglob("*.pkl"):
+                entry.unlink()
+                removed += 1
+        return removed

@@ -1,0 +1,179 @@
+"""Deterministic fan-out execution of experiment cells.
+
+:func:`pmap` is the single execution primitive behind every multi-trial
+loop in the library: it applies a function to a list of configurations,
+optionally pairing each with an independent child seed, and returns the
+results **in submission order**.  Determinism is achieved by construction
+rather than by luck:
+
+* all randomness a cell needs is decided *before* dispatch — child seeds
+  come from :func:`repro.utils.rng.spawn_children`, a pure function of the
+  root seed, never from worker-local state;
+* workers communicate nothing back but their return value, and results are
+  re-assembled by submission index, so completion order is irrelevant;
+* the serial path runs the exact same ``(config, seed)`` cells through the
+  exact same function.
+
+Consequently ``pmap(fn, cfgs, seeds, workers=1)`` and ``workers=8`` are
+bit-identical, which is what lets the test suite assert reproducibility
+across worker counts and lets cached results be shared between serial and
+parallel runs.
+
+Process pools are used (not threads) because the hot cells are NumPy-heavy
+and CPU-bound.  When the function or its arguments cannot cross a process
+boundary (closures, lambdas), or ``REPRO_PARALLEL_DISABLE=1`` is set, the
+runner silently degrades to the serial path — same results, one process.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Sequence
+
+from repro.parallel.cache import ResultCache, cache_key, code_salt
+from repro.utils.rng import spawn_children
+
+__all__ = ["pmap", "resolve_workers"]
+
+_DISABLE_ENV = "REPRO_PARALLEL_DISABLE"
+_SENTINEL = object()
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a ``workers`` argument to an effective worker count.
+
+    ``None``/``0``/``1`` mean serial; the ``REPRO_PARALLEL_DISABLE=1``
+    kill switch forces serial regardless of the argument.
+    """
+    if workers is None or workers <= 1:
+        return 1
+    if os.environ.get(_DISABLE_ENV, "") == "1":
+        return 1
+    return int(workers)
+
+
+def _invoke(fn: Callable[..., Any], config: Any, seed: Any) -> Any:
+    """Run one cell (module-level so it can be pickled to a worker)."""
+    if seed is _SENTINEL or seed is None:
+        return fn(config)
+    return fn(config, seed)
+
+
+def _describe(fn: Callable[..., Any]) -> str:
+    """Stable dotted name for cache keys (partials unwrap to their base)."""
+    while isinstance(fn, functools.partial):
+        fn = fn.func
+    module = getattr(fn, "__module__", "?")
+    qualname = getattr(fn, "__qualname__", fn.__class__.__name__)
+    return f"{module}.{qualname}"
+
+
+def _picklable(*values: Any) -> bool:
+    try:
+        for value in values:
+            pickle.dumps(value)
+        return True
+    except Exception:
+        return False
+
+
+def pmap(
+    fn: Callable[..., Any],
+    configs: Sequence[Any],
+    seeds: int | Sequence[int] | None = None,
+    *,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+    salt: str | None = None,
+) -> list[Any]:
+    """Apply ``fn`` to every config, deterministically, maybe in parallel.
+
+    Parameters
+    ----------
+    fn:
+        Called as ``fn(config, seed)`` when seeds are in play, else
+        ``fn(config)``.  Must be picklable (module-level) for the parallel
+        path; otherwise the serial fallback is used transparently.
+    configs:
+        One entry per cell, any picklable values.
+    seeds:
+        ``None`` (no seeding), an explicit per-cell seed list, or a single
+        root ``int`` expanded to independent children via
+        :func:`spawn_children` — the same children regardless of
+        ``workers``, so results are reproducible under any worker count.
+    workers:
+        Process count; ``None``/``1`` runs serially in this process.
+    cache:
+        Optional :class:`ResultCache`; hits skip execution entirely, and
+        fresh results are stored after execution.
+    salt:
+        Cache-key code salt; defaults to a hash of ``fn``'s source.
+
+    Returns
+    -------
+    Results in the order of ``configs`` (never completion order).
+    """
+    configs = list(configs)
+    n = len(configs)
+    if n == 0:
+        return []
+    if seeds is None:
+        cell_seeds: list[Any] = [_SENTINEL] * n
+    elif isinstance(seeds, int):
+        cell_seeds = list(spawn_children(seeds, n))
+    else:
+        cell_seeds = list(seeds)
+        if len(cell_seeds) != n:
+            raise ValueError(
+                f"got {len(cell_seeds)} seeds for {n} configs"
+            )
+
+    results: list[Any] = [_SENTINEL] * n
+    pending: list[int] = []
+    keys: list[str | None] = [None] * n
+    if cache is not None:
+        fn_salt = salt if salt is not None else code_salt(fn)
+        fn_name = _describe(fn)
+        for i in range(n):
+            seed_part = None if cell_seeds[i] is _SENTINEL else cell_seeds[i]
+            keys[i] = cache_key(fn_name, configs[i], seed_part, fn_salt)
+            hit, value = cache.get(keys[i])
+            if hit:
+                results[i] = value
+            else:
+                pending.append(i)
+    else:
+        pending = list(range(n))
+
+    if pending:
+        n_workers = resolve_workers(workers)
+        executed: dict[int, Any] | None = None
+        if n_workers > 1 and len(pending) > 1 and _picklable(
+            fn, *(configs[i] for i in pending[:1])
+        ):
+            try:
+                with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                    futures = {
+                        i: pool.submit(_invoke, fn, configs[i], cell_seeds[i])
+                        for i in pending
+                    }
+                    executed = {i: f.result() for i, f in futures.items()}
+            except (BrokenProcessPool, pickle.PicklingError, TypeError, AttributeError):
+                # Pool-level failure (unpicklable payload, dead worker):
+                # fall through to the serial path, which by the determinism
+                # contract produces the identical results.
+                executed = None
+        if executed is None:
+            executed = {
+                i: _invoke(fn, configs[i], cell_seeds[i]) for i in pending
+            }
+        for i, value in executed.items():
+            results[i] = value
+            if cache is not None and keys[i] is not None:
+                cache.put(keys[i], value)
+
+    return results

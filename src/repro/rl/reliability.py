@@ -14,9 +14,30 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.parallel.cache import ResultCache
+from repro.parallel.runner import pmap
 from repro.rl.agents import DQNConfig, train_agent
+from repro.utils.rng import spawn_children
 
 __all__ = ["ReliabilityReport", "reliability_study"]
+
+
+def _train_cell(config: dict, seed: int) -> float:
+    """Train one (env, family, seed) cell and return its greedy return.
+
+    Module-level and float-returning so the cell can run in a worker
+    process and come back over the pipe cheaply (the trained agent stays
+    in the worker).
+    """
+    agent, _ = train_agent(
+        config["env"],
+        config["family"],
+        config=config["config"],
+        size=config["size"],
+        width=config["width"],
+        seed=seed,
+    )
+    return float(agent.evaluate(config["eval_episodes"]))
 
 
 @dataclass(frozen=True)
@@ -64,34 +85,51 @@ def reliability_study(
     width: int = 12,
     eval_episodes: int = 20,
     base_seed: int = 0,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
 ) -> list[ReliabilityReport]:
     """Train every (env, family, seed) cell and summarize reliability.
 
     Returns one report per (env, family) pair in input order — the table of
     experiment E8.
+
+    Training seeds are spawned once from ``base_seed`` and shared across
+    every (env, family) cell, so the cross-seed comparison is paired and —
+    because all seeds exist before dispatch — the study is bit-identical
+    whether the grid trains serially or across ``workers`` processes.
     """
     if n_seeds < 1:
         raise ValueError(f"n_seeds must be >= 1, got {n_seeds}")
+    trial_seeds = spawn_children(base_seed, n_seeds)
+    grid = [(env_name, family) for env_name in env_names for family in families]
+    configs = [
+        {
+            "env": env_name,
+            "family": family,
+            "config": config,
+            "size": size,
+            "width": width,
+            "eval_episodes": eval_episodes,
+        }
+        for env_name, family in grid
+        for _ in trial_seeds
+    ]
+    finals = pmap(
+        _train_cell,
+        configs,
+        trial_seeds * len(grid),
+        workers=workers,
+        cache=cache,
+    )
     reports: list[ReliabilityReport] = []
-    for env_name in env_names:
-        for family in families:
-            finals: list[float] = []
-            for s in range(n_seeds):
-                agent, _ = train_agent(
-                    env_name,
-                    family,
-                    config=config,
-                    size=size,
-                    width=width,
-                    seed=base_seed + 131 * s,
-                )
-                finals.append(agent.evaluate(eval_episodes))
-            reports.append(
-                ReliabilityReport(
-                    env=env_name,
-                    family=family,
-                    per_seed_returns=tuple(finals),
-                    threshold=threshold,
-                )
+    for cell_index, (env_name, family) in enumerate(grid):
+        returns = finals[cell_index * n_seeds : (cell_index + 1) * n_seeds]
+        reports.append(
+            ReliabilityReport(
+                env=env_name,
+                family=family,
+                per_seed_returns=tuple(returns),
+                threshold=threshold,
             )
+        )
     return reports

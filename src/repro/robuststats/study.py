@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable
 
 import numpy as np
 
+from repro.parallel.cache import ResultCache, code_salt
+from repro.parallel.runner import pmap
+from repro.provenance.manifest import stable_hash
 from repro.robuststats.contamination import ContaminationModel, contaminated_gaussian
 from repro.robuststats.estimators import (
     coordinate_median,
@@ -21,11 +25,16 @@ Estimator = Callable[[np.ndarray], np.ndarray]
 
 
 def DEFAULT_ESTIMATORS(eps: float) -> dict[str, Estimator]:
-    """The three estimators the E10 table compares."""
+    """The three estimators the E10 table compares.
+
+    ``filter`` is a :func:`functools.partial` rather than a lambda so the
+    whole estimator table can cross a process boundary when the sweep runs
+    on :func:`repro.parallel.pmap` workers.
+    """
     return {
         "sample_mean": sample_mean,
         "coord_median": coordinate_median,
-        "filter": lambda x: filter_mean(x, eps),
+        "filter": partial(filter_mean, eps=eps),
     }
 
 
@@ -54,6 +63,36 @@ class DimensionSweepResult:
         return float(means[-1] / means[0])
 
 
+def _sweep_cell(
+    estimators: dict[str, Estimator],
+    config: dict,
+    seed: int,
+) -> dict[str, float]:
+    """One (dimension, trial) cell: draw data, score every estimator.
+
+    Module-level (with the estimator table partially applied) so the cell
+    can run in a worker process; the trial seed arrives precomputed and
+    everything else that shapes the draw rides in ``config``, so the cell
+    is a pure function of ``(config, seed)`` — the property the result
+    cache keys on.
+    """
+    x, is_outlier, mu = contaminated_gaussian(
+        ContaminationModel(
+            n=config["n"],
+            dim=config["dim"],
+            eps=config["eps"],
+            adversary=config["adversary"],
+        ),
+        seed=seed,
+    )
+    out = {
+        name: float(np.linalg.norm(estimator(x) - mu))
+        for name, estimator in estimators.items()
+    }
+    out["oracle"] = float(np.linalg.norm(x[~is_outlier].mean(axis=0) - mu))
+    return out
+
+
 def dimension_sweep(
     dims: list[int],
     *,
@@ -64,6 +103,8 @@ def dimension_sweep(
     adversary: str = "shifted_cluster",
     estimators: dict[str, Estimator] | None = None,
     seed: int | np.random.Generator | None = 0,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
 ) -> DimensionSweepResult:
     """Sweep the dimension at fixed contamination and record L2 errors.
 
@@ -76,6 +117,13 @@ def dimension_sweep(
 
     Every estimator sees the identical draws (trial RNG is forked per
     (dimension, trial) cell), so the comparison is paired.
+
+    All trial seeds are drawn from the study RNG *before* dispatch, and
+    cells run through :func:`repro.parallel.pmap`, so ``workers=1`` and
+    ``workers=8`` produce bit-identical sweeps; pass a
+    :class:`repro.parallel.ResultCache` to make repeated sweeps re-execute
+    nothing.  Unpicklable custom estimators transparently fall back to the
+    in-process serial path.
     """
     if not dims or any(d < 1 for d in dims):
         raise ValueError("dims must be a non-empty list of positive ints")
@@ -87,19 +135,34 @@ def dimension_sweep(
     ests = estimators or DEFAULT_ESTIMATORS(eps)
     if "oracle" in ests:
         raise ValueError("'oracle' is a reserved estimator name")
+    # Seeds are drawn in (dimension, trial) order on the study stream —
+    # the same derivation the serial loop always used — then fanned out.
+    configs: list[dict] = []
+    trial_seeds: list[int] = []
+    for d in dims:
+        n = max(min_samples, samples_per_dim * d)
+        for _ in range(n_trials):
+            configs.append({"dim": d, "n": n, "eps": eps, "adversary": adversary})
+            trial_seeds.append(int(rng.integers(0, 2**63 - 1)))
+    # The estimator table is partial-bound rather than part of the config,
+    # so its identity must reach the cache key through the salt.
+    est_names = {
+        name: getattr(getattr(e, "func", e), "__qualname__", repr(e))
+        for name, e in ests.items()
+    }
+    salt = stable_hash({"code": code_salt(_sweep_cell), "estimators": est_names})
+    cells = pmap(
+        partial(_sweep_cell, ests),
+        configs,
+        trial_seeds,
+        workers=workers,
+        cache=cache,
+        salt=salt,
+    )
     errors = {name: np.empty((len(dims), n_trials)) for name in ests}
     errors["oracle"] = np.empty((len(dims), n_trials))
-    for i, d in enumerate(dims):
-        n = max(min_samples, samples_per_dim * d)
-        for t in range(n_trials):
-            trial_seed = int(rng.integers(0, 2**63 - 1))
-            x, is_outlier, mu = contaminated_gaussian(
-                ContaminationModel(n=n, dim=d, eps=eps, adversary=adversary),
-                seed=trial_seed,
-            )
-            for name, estimator in ests.items():
-                errors[name][i, t] = float(np.linalg.norm(estimator(x) - mu))
-            errors["oracle"][i, t] = float(
-                np.linalg.norm(x[~is_outlier].mean(axis=0) - mu)
-            )
+    for index, cell in enumerate(cells):
+        i, t = divmod(index, n_trials)
+        for name, value in cell.items():
+            errors[name][i, t] = value
     return DimensionSweepResult(dims=tuple(dims), eps=eps, errors=errors)

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.nn import Sequential, softmax
 from repro.unlearning.methods import TrainedModel, train_classifier
+from repro.utils.rng import spawn_children
 
 __all__ = ["SISAEnsemble"]
 
@@ -77,13 +78,17 @@ class SISAEnsemble:
 
     def _train_shard(self, shard: int, idx: np.ndarray) -> TrainedModel:
         assert self._x is not None and self._y is not None
+        # Every shard gets an independent spawned stream, so retraining
+        # shard k (during unlearning) replays exactly the stream it was
+        # first trained with, regardless of the other shards.
+        shard_seed = spawn_children(self.seed, self.n_shards)[shard]
         return train_classifier(
             self._x[idx],
             self._y[idx],
             self.n_classes,
             epochs=self.epochs,
             lr=self.lr,
-            seed=self.seed + 1000 * (shard + 1),
+            seed=shard_seed,
         )
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["as_generator", "spawn_child", "SeedSequenceLedger"]
+__all__ = ["as_generator", "spawn_child", "spawn_children", "SeedSequenceLedger"]
 
 
 def as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
@@ -42,6 +42,26 @@ def spawn_child(rng: np.random.Generator, n: int = 1) -> list[np.random.Generato
         raise ValueError(f"n must be >= 1, got {n}")
     seeds = rng.integers(0, 2**63 - 1, size=n)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def spawn_children(seed: int | np.random.SeedSequence, n: int) -> list[int]:
+    """Derive ``n`` independent integer child seeds from a root seed.
+
+    This is the library-wide seeding discipline for fan-out: children come
+    from :meth:`numpy.random.SeedSequence.spawn`, so streams are
+    statistically independent (unlike ``seed + i`` arithmetic, where nearby
+    roots collide) and the derivation is a pure function of ``(seed, n)`` —
+    the same children are produced whether the work then runs serially or
+    across any number of processes.
+
+    Integer seeds (64-bit, drawn from each child's entropy pool) rather
+    than generators are returned so the children can cross process
+    boundaries and feed any API that accepts an ``int`` seed.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [int(child.generate_state(1, np.uint64)[0]) for child in root.spawn(n)]
 
 
 @dataclass

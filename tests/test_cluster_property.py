@@ -1,0 +1,132 @@
+"""Property tests (hypothesis) for the cluster scheduler's invariants.
+
+The DES is the substrate the staged-batch remedy and the new parallel
+benchmarks both lean on, so its resource accounting is pinned down over
+*random* job lists, per SNIPPETS idiom: whatever the queue discipline,
+
+* the pool's in-use count never exceeds capacity and never goes negative
+  (checked on every allocate/release via an instrumented pool);
+* every job runs to completion, starts no earlier than its submission,
+  and holds its GPUs for exactly its duration;
+* total committed GPU-hours equal the sum of each job's n_gpus x duration.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSimulator, Job, SchedulerPolicy
+from repro.cluster.jobs import JobState
+from repro.cluster.resources import GPUPool
+
+CAPACITY = 4
+
+# (n_gpus, duration, submit_time, deadline) with gpus <= CAPACITY.
+job_tuples = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=CAPACITY),
+        st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+POLICIES = [
+    SchedulerPolicy.FIFO,
+    SchedulerPolicy.BACKFILL,
+    SchedulerPolicy.EDF,
+    SchedulerPolicy.FAIRSHARE,
+]
+
+
+class InstrumentedPool(GPUPool):
+    """GPUPool that records the in-use level after every transition."""
+
+    def __init__(self, capacity):
+        super().__init__(capacity)
+        self.levels = [0]
+
+    def allocate(self, n, now):
+        super().allocate(n, now)
+        self.levels.append(self.in_use)
+
+    def release(self, n, now):
+        super().release(n, now)
+        self.levels.append(self.in_use)
+
+
+def build_jobs(raw):
+    return [
+        Job(i, f"proj{i % 3}", gpus, dur, submit, deadline)
+        for i, (gpus, dur, submit, deadline) in enumerate(raw)
+    ]
+
+
+def run_instrumented(jobs, policy):
+    sim = ClusterSimulator(CAPACITY, policy=policy)
+    sim.pool = InstrumentedPool(CAPACITY)
+    records = sim.run(jobs)
+    return sim, records
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@given(raw=job_tuples)
+@settings(max_examples=40, deadline=None)
+def test_property_resources_stay_within_capacity(policy, raw):
+    sim, _ = run_instrumented(build_jobs(raw), policy)
+    levels = np.asarray(sim.pool.levels)
+    assert levels.min() >= 0
+    assert levels.max() <= CAPACITY
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@given(raw=job_tuples)
+@settings(max_examples=40, deadline=None)
+def test_property_every_job_completes_exactly_once(policy, raw):
+    jobs = build_jobs(raw)
+    sim, records = run_instrumented(jobs, policy)
+    assert len(records) == len(jobs)
+    for record in records:
+        assert record.state is JobState.COMPLETED
+        assert record.start_time is not None and record.end_time is not None
+        assert record.start_time >= record.job.submit_time
+        assert record.end_time == pytest.approx(
+            record.start_time + record.job.duration
+        )
+    assert sim.pool.in_use == 0
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@given(raw=job_tuples)
+@settings(max_examples=40, deadline=None)
+def test_property_gpu_hours_are_conserved(policy, raw):
+    jobs = build_jobs(raw)
+    sim, _ = run_instrumented(jobs, policy)
+    expected = sum(j.n_gpus * j.duration for j in jobs)
+    horizon = max(sim.makespan, 1e-9)
+    accounted = sim.pool.utilization(horizon) * CAPACITY * horizon
+    assert accounted == pytest.approx(expected, rel=1e-9)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@given(raw=job_tuples)
+@settings(max_examples=25, deadline=None)
+def test_property_makespan_respects_work_lower_bounds(policy, raw):
+    """No schedule finishes before physics allows.
+
+    (EASY backfill can legitimately *worsen* makespan vs FIFO — its
+    reservation only protects the head-of-queue job — so the portable
+    invariant is the lower bound, not a cross-policy ordering.)
+    """
+    jobs = build_jobs(raw)
+    sim = ClusterSimulator(CAPACITY, policy=policy)
+    makespan = max(r.end_time for r in sim.run(jobs))
+    # A job cannot finish before it is submitted plus its duration...
+    assert makespan >= max(j.submit_time + j.duration for j in jobs) - 1e-9
+    # ...and the pool cannot burn GPU-hours faster than its capacity.
+    earliest = min(j.submit_time for j in jobs)
+    total_work = sum(j.n_gpus * j.duration for j in jobs)
+    assert makespan >= earliest + total_work / CAPACITY - 1e-9

@@ -1,0 +1,311 @@
+"""Tests for repro.parallel: deterministic fan-out + result cache."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    ResultCache,
+    Sweep,
+    cache_key,
+    code_salt,
+    compare_workers,
+    grid,
+    pmap,
+    resolve_workers,
+    time_sweep,
+)
+from repro.utils.rng import spawn_children
+
+
+# Module-level cells so they can cross process boundaries.
+def double_cell(config):
+    return config * 2
+
+
+def seeded_cell(config, seed):
+    rng = np.random.default_rng(seed)
+    return (config, float(rng.random()))
+
+
+def sweep_cell(x, y, seed):
+    rng = np.random.default_rng(seed)
+    return x * 100 + y * 10 + float(rng.random())
+
+
+def unseeded_sweep_cell(x):
+    return x + 1
+
+
+class TestSpawnChildren:
+    def test_deterministic(self):
+        assert spawn_children(7, 5) == spawn_children(7, 5)
+
+    def test_children_distinct(self):
+        children = spawn_children(0, 8)
+        assert len(set(children)) == 8
+
+    def test_different_roots_differ(self):
+        assert spawn_children(1, 3) != spawn_children(2, 3)
+
+    def test_prefix_stability(self):
+        """The first k children do not depend on how many are spawned."""
+        assert spawn_children(3, 8)[:3] == spawn_children(3, 3)
+
+    def test_accepts_seedsequence(self):
+        root = np.random.SeedSequence(5)
+        assert spawn_children(root, 2) == spawn_children(5, 2)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError, match="n must be"):
+            spawn_children(0, 0)
+
+
+class TestPmap:
+    def test_preserves_submission_order(self):
+        assert pmap(double_cell, [3, 1, 2]) == [6, 2, 4]
+
+    def test_empty_configs(self):
+        assert pmap(double_cell, []) == []
+
+    def test_root_seed_expansion_matches_spawn_children(self):
+        out = pmap(seeded_cell, ["a", "b"], 11)
+        seeds = spawn_children(11, 2)
+        expected = [seeded_cell("a", seeds[0]), seeded_cell("b", seeds[1])]
+        assert out == expected
+
+    def test_workers_do_not_change_results(self):
+        serial = pmap(seeded_cell, list(range(6)), 0, workers=1)
+        parallel = pmap(seeded_cell, list(range(6)), 0, workers=4)
+        assert serial == parallel
+
+    def test_explicit_seed_list(self):
+        out = pmap(seeded_cell, ["x", "y"], [5, 5])
+        assert out[0][1] == out[1][1]
+
+    def test_seed_count_mismatch_raises(self):
+        with pytest.raises(ValueError, match="seeds"):
+            pmap(seeded_cell, ["x", "y"], [1])
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        bound = 3
+        out = pmap(lambda c: c + bound, [1, 2], workers=4)
+        assert out == [4, 5]
+
+    def test_kill_switch_forces_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_DISABLE", "1")
+        assert resolve_workers(8) == 1
+        assert pmap(double_cell, [1, 2], workers=8) == [2, 4]
+
+    def test_resolve_workers_serial_values(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(0) == 1
+        assert resolve_workers(1) == 1
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("f", {"a": 1}, 0, "s")
+        assert cache.get(key) == (False, None)
+        cache.put(key, {"x": np.arange(3)})
+        hit, value = cache.get(key)
+        assert hit
+        np.testing.assert_array_equal(value["x"], np.arange(3))
+
+    def test_stats_count_hits_and_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("f", 1, 2, "s")
+        cache.get(key)
+        cache.put(key, 9)
+        cache.get(key)
+        assert (cache.stats.hits, cache.stats.misses, cache.stats.stores) == (1, 1, 1)
+        assert cache.stats.hit_rate == 0.5
+
+    def test_kill_switch(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        key = cache_key("f", 1, 2, "s")
+        cache.put(key, 9)
+        monkeypatch.setenv("REPRO_CACHE_DISABLE", "1")
+        assert not cache.enabled
+        assert cache.get(key) == (False, None)
+        cache.put(key, 10)  # no-op
+        monkeypatch.delenv("REPRO_CACHE_DISABLE")
+        assert cache.get(key) == (True, 9)
+
+    def test_env_dir_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+        assert ResultCache().root == tmp_path / "alt"
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("f", 1, 2, "s")
+        cache.put(key, 9)
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        hit, _ = cache.get(key)
+        assert not hit
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cache_key("f", 1, 0, "s"), 1)
+        cache.put(cache_key("f", 2, 0, "s"), 2)
+        assert cache.clear() == 2
+        assert cache.get(cache_key("f", 1, 0, "s")) == (False, None)
+
+    def test_key_sensitivity(self):
+        base = cache_key("f", {"a": 1}, 0, "salt")
+        assert cache_key("g", {"a": 1}, 0, "salt") != base
+        assert cache_key("f", {"a": 2}, 0, "salt") != base
+        assert cache_key("f", {"a": 1}, 1, "salt") != base
+        assert cache_key("f", {"a": 1}, 0, "other") != base
+
+    def test_key_ignores_dict_order(self):
+        assert cache_key("f", {"a": 1, "b": 2}, 0, "s") == cache_key(
+            "f", {"b": 2, "a": 1}, 0, "s"
+        )
+
+    def test_code_salt_unwraps_partials(self):
+        from functools import partial
+
+        assert code_salt(partial(double_cell, 1)) == code_salt(double_cell)
+
+    def test_pmap_cache_skips_execution(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = pmap(seeded_cell, list(range(4)), 0, cache=cache)
+        assert cache.stats.misses == 4 and cache.stats.stores == 4
+        warm = pmap(seeded_cell, list(range(4)), 0, cache=cache)
+        assert warm == cold
+        assert cache.stats.hits == 4
+        assert cache.stats.stores == 4  # nothing re-executed, nothing re-stored
+
+    def test_cache_shared_between_serial_and_parallel(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = pmap(seeded_cell, list(range(4)), 0, workers=4, cache=cache)
+        warm = pmap(seeded_cell, list(range(4)), 0, workers=1, cache=cache)
+        assert warm == cold
+        assert cache.stats.hits == 4
+
+
+class TestSweep:
+    def test_grid_row_major_order(self):
+        assert grid(a=[1, 2], b=["x"]) == [{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]
+
+    def test_records_cover_cross_product(self):
+        result = Sweep(sweep_cell, grid(x=[1, 2], y=[3]), seeds=[0, 1]).run()
+        assert len(result.records) == 4
+        assert [(r.config["x"], r.seed is not None) for r in result.records] == [
+            (1, True), (1, True), (2, True), (2, True)
+        ]
+
+    def test_workers_do_not_change_records(self):
+        sweep = Sweep(sweep_cell, grid(x=[1, 2], y=[3, 4]), seeds=[0, 1, 2])
+        assert sweep.run(workers=1).values() == sweep.run(workers=4).values()
+
+    def test_unseeded_sweep(self):
+        result = Sweep(unseeded_sweep_cell, grid(x=[1, 2])).run()
+        assert result.values() == [2, 3]
+
+    def test_select_and_by_config(self):
+        result = Sweep(sweep_cell, grid(x=[1, 2], y=[0]), seeds=[0, 1]).run()
+        assert len(result.select(x=1)) == 2
+        groups = result.by_config()
+        assert [cfg["x"] for cfg, _ in groups] == [1, 2]
+        assert all(len(vals) == 2 for _, vals in groups)
+
+    def test_spawned_seed_discipline(self):
+        sweep = Sweep.spawned(
+            sweep_cell, grid(x=[1], y=[0]), root_seed=9, n_trials=3
+        )
+        assert list(sweep.seeds) == spawn_children(9, 3)
+
+    def test_cached_rerun_executes_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        sweep = Sweep(sweep_cell, grid(x=[1, 2], y=[3]), seeds=[0, 1])
+        cold = sweep.run(cache=cache)
+        warm = sweep.run(cache=cache)
+        assert warm.values() == cold.values()
+        assert cold.n_executed == 4 and cold.n_cache_hits == 0
+        assert warm.n_executed == 0 and warm.n_cache_hits == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Sweep(sweep_cell, [])
+        with pytest.raises(ValueError):
+            Sweep(sweep_cell, grid(x=[1]), seeds=[])
+
+
+class TestTiming:
+    def test_time_sweep_measurement(self):
+        sweep = Sweep(unseeded_sweep_cell, grid(x=[1, 2, 3]))
+        timing = time_sweep(sweep, repeats=2)
+        assert timing.measurement.repeats == 2
+        assert timing.wall_s > 0
+        assert timing.result.values() == [2, 3, 4]
+
+    def test_compare_workers_keys(self):
+        sweep = Sweep(unseeded_sweep_cell, grid(x=[1, 2]))
+        timings = compare_workers(sweep, [1, 2])
+        assert set(timings) == {1, 2}
+        assert timings[2].result.values() == timings[1].result.values()
+
+    def test_time_sweep_rejects_zero_repeats(self):
+        sweep = Sweep(unseeded_sweep_cell, grid(x=[1]))
+        with pytest.raises(ValueError):
+            time_sweep(sweep, repeats=0)
+
+
+class TestStudyDeterminism:
+    """The ISSUE's headline contract: worker count never changes science."""
+
+    def test_robuststats_sweep_identical_across_workers(self):
+        from repro.robuststats import dimension_sweep
+
+        serial = dimension_sweep([5, 10], n_trials=2, min_samples=40, seed=0, workers=1)
+        parallel = dimension_sweep([5, 10], n_trials=2, min_samples=40, seed=0, workers=4)
+        assert serial.errors.keys() == parallel.errors.keys()
+        for name in serial.errors:
+            np.testing.assert_array_equal(serial.errors[name], parallel.errors[name])
+
+    def test_robuststats_cached_rerun_identical_with_zero_executions(self, tmp_path):
+        from repro.robuststats import dimension_sweep
+
+        cache = ResultCache(tmp_path)
+        cold = dimension_sweep([5, 10], n_trials=2, min_samples=40, seed=0, cache=cache)
+        executed = cache.stats.misses
+        warm = dimension_sweep([5, 10], n_trials=2, min_samples=40, seed=0, cache=cache)
+        assert cache.stats.misses == executed  # zero new executions
+        assert cache.stats.hits == executed
+        for name in cold.errors:
+            np.testing.assert_array_equal(cold.errors[name], warm.errors[name])
+
+    def test_autotuner_identical_across_workers(self):
+        from repro.autotune import CostModel, GeneticTuner, TVM_LIKE, random_search
+        from repro.autotune.kernels import matmul_kernel
+        from repro.perf.roofline import A100_LIKE
+
+        cm = CostModel(A100_LIKE, n_workers=108)
+        kernel = matmul_kernel(128, 128, 128)
+        serial = GeneticTuner(cm, TVM_LIKE, population=8, generations=2, seed=4).tune(kernel)
+        parallel = GeneticTuner(
+            cm, TVM_LIKE, population=8, generations=2, seed=4, workers=4
+        ).tune(kernel)
+        assert serial == parallel
+        rs_serial = random_search(kernel, cm, TVM_LIKE, n_trials=24, seed=4)
+        rs_parallel = random_search(kernel, cm, TVM_LIKE, n_trials=24, seed=4, workers=4)
+        assert rs_serial == rs_parallel
+
+    def test_kfold_identical_across_workers(self):
+        from repro.histopath import make_patches, train_model
+        from repro.histopath.crossval import kfold_evaluate
+
+        dataset = make_patches(n=12, seed=0)
+
+        def train(subset, fold):
+            return train_model(subset, mode="multitask", epochs=2, seed=fold)
+
+        serial = kfold_evaluate(dataset, train, n_folds=2, seed=0, workers=1)
+        parallel = kfold_evaluate(dataset, train, n_folds=2, seed=0, workers=4)
+        assert serial == parallel
