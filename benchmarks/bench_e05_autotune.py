@@ -16,6 +16,7 @@ from repro.autotune import (
     CostModel,
     GeneticTuner,
     MLIR_LIKE,
+    RandomSearchConfig,
     TVM_LIKE,
     lesson_kernels,
     random_search,
@@ -89,7 +90,10 @@ def test_genetic_vs_random_ablation(benchmark):
             ga = GeneticTuner(
                 cost_model, TVM_LIKE, population=16, generations=9, seed=11
             ).tune(kernel)
-            rs = random_search(kernel, cost_model, TVM_LIKE, n_trials=160, seed=11)
+            rs = random_search(
+                RandomSearchConfig(kernel, cost_model, TVM_LIKE, n_trials=160),
+                seeds=[11],
+            ).per_seed[0]
             out.append((kernel.name, ga.best_estimate.gflops, rs.best_estimate.gflops))
         return out
 

@@ -10,7 +10,8 @@ import numpy as np
 from conftest import emit
 
 from repro.parallel import Sweep, grid
-from repro.robuststats import dimension_sweep, filter_mean
+from repro.robuststats import DimensionSweepConfig, dimension_sweep, filter_mean
+from repro.utils.rng import spawn_children
 from repro.robuststats.contamination import ContaminationModel, contaminated_gaussian
 from repro.utils.tables import Table
 
@@ -31,7 +32,11 @@ def eps_cell(eps, seed):
 
 def test_error_vs_dimension(benchmark):
     sweep = benchmark.pedantic(
-        lambda: dimension_sweep(DIMS, eps=EPS, n_trials=3, seed=0),
+        lambda: dimension_sweep(
+            DimensionSweepConfig(dims=tuple(DIMS), eps=EPS),
+            seeds=spawn_children(0, 3),
+            cache=False,  # benchmark measures compute, not cache hits
+        ),
         rounds=1,
         iterations=1,
     )

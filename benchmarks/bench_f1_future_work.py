@@ -62,7 +62,7 @@ def test_curriculum_policies(benchmark):
 
 def test_exit_survey_plans(benchmark):
     """3 plans x 6 seeds, routed through the repro.parallel Sweep."""
-    from repro.core import collection_plan_sweep
+    from repro.core import CollectionPlanConfig, collection_plan_sweep
 
     plans = [
         ("year one (post-departure)", AttritionPlan()),
@@ -71,8 +71,14 @@ def test_exit_survey_plans(benchmark):
     ]
 
     def run():
-        comparisons = collection_plan_sweep(plans, seeds=tuple(range(6)))
-        return [(c.name, c.mean_complete, c.boost_spread) for c in comparisons]
+        result = collection_plan_sweep(
+            CollectionPlanConfig(plans=tuple(plans)),
+            seeds=tuple(range(6)),
+            cache=False,  # benchmark measures the sweep, not cache hits
+        )
+        return [
+            (c.name, c.mean_complete, c.boost_spread) for c in result.comparisons
+        ]
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     table = Table(

@@ -17,8 +17,10 @@ import time
 import numpy as np
 from conftest import emit
 
+from repro import obs
 from repro.parallel import ResultCache, Sweep, compare_workers, grid
-from repro.robuststats import dimension_sweep
+from repro.robuststats import DimensionSweepConfig, dimension_sweep
+from repro.utils.rng import spawn_children
 from repro.robuststats.contamination import ContaminationModel, contaminated_gaussian
 from repro.robuststats.estimators import filter_mean, sample_mean
 from repro.utils.tables import Table
@@ -92,8 +94,13 @@ def test_cache_hit_rerun_is_nearly_free(benchmark):
             start = time.perf_counter()
             warm = sweep.run(cache=cache)
             warm_s = time.perf_counter() - start
-            return cold, cold_s, warm, warm_s, cache.stats
+            return cold, cold_s, warm, warm_s, cache.stats()
 
+    # Delta the repro.obs counters around the run so the hit-rate line
+    # reflects exactly this benchmark, not the whole session.
+    metrics = obs.get_metrics()
+    hits_before = metrics.counter("cache.hits").value
+    misses_before = metrics.counter("cache.misses").value
     cold, cold_s, warm, warm_s, stats = benchmark.pedantic(
         run, rounds=1, iterations=1
     )
@@ -105,6 +112,12 @@ def test_cache_hit_rerun_is_nearly_free(benchmark):
     table.add_row(["cold", cold_s, cold.n_executed, cold.n_cache_hits])
     table.add_row(["warm", warm_s, warm.n_executed, warm.n_cache_hits])
     emit(table.render())
+    hits = metrics.counter("cache.hits").value - hits_before
+    misses = metrics.counter("cache.misses").value - misses_before
+    emit(
+        f"P2: cache hit-rate {100 * hits / (hits + misses):.1f}% "
+        f"({hits} hits / {misses} misses, {stats.bytes_written} bytes written)"
+    )
     assert warm.values() == cold.values()  # bit-identical
     assert warm.n_executed == 0 and warm.n_cache_hits == n_cells
     assert stats.hits == n_cells and stats.misses == n_cells
@@ -118,11 +131,13 @@ def test_dimension_sweep_identical_serial_parallel_cached(benchmark):
     def run():
         with tempfile.TemporaryDirectory() as root:
             cache = ResultCache(root)
-            serial = dimension_sweep(DIMS, n_trials=N_TRIALS, seed=0, workers=1)
-            parallel = dimension_sweep(DIMS, n_trials=N_TRIALS, seed=0, workers=4)
-            dimension_sweep(DIMS, n_trials=N_TRIALS, seed=0, cache=cache)
-            cached = dimension_sweep(DIMS, n_trials=N_TRIALS, seed=0, cache=cache)
-            return serial, parallel, cached, cache.stats
+            cfg = DimensionSweepConfig(dims=tuple(DIMS))
+            seeds = spawn_children(0, N_TRIALS)
+            serial = dimension_sweep(cfg, seeds=seeds, workers=1, cache=False)
+            parallel = dimension_sweep(cfg, seeds=seeds, workers=4, cache=False)
+            dimension_sweep(cfg, seeds=seeds, cache=cache)
+            cached = dimension_sweep(cfg, seeds=seeds, cache=cache)
+            return serial, parallel, cached, cache.stats()
 
     serial, parallel, cached, stats = benchmark.pedantic(run, rounds=1, iterations=1)
     for name in serial.errors:

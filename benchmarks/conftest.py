@@ -4,11 +4,19 @@ Every benchmark prints its paper-vs-measured comparison through
 :func:`emit`, so ``pytest benchmarks/ --benchmark-only -s`` (or plain
 ``pytest benchmarks/``) reproduces each table and figure of the paper next
 to the regenerated values.
+
+The session also routes :mod:`repro.obs` telemetry to a JSONL file —
+``$REPRO_OBS_DIR/events.jsonl`` when the variable is set (CI sets it and
+uploads the file as an artifact), a pytest temp directory otherwise — and
+closes with the metrics report, so every benchmark run leaves a machine-
+readable trace of what executed.
 """
 
 from __future__ import annotations
 
+import os
 import sys
+from pathlib import Path
 
 import pytest
 
@@ -17,6 +25,20 @@ def emit(text: str) -> None:
     """Print a comparison block, flushed, framed for benchmark logs."""
     sys.stdout.write("\n" + text + "\n")
     sys.stdout.flush()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def obs_telemetry(tmp_path_factory):
+    """Route repro.obs events to a JSONL file for the whole session."""
+    from repro import obs
+
+    root = os.environ.get("REPRO_OBS_DIR") or str(tmp_path_factory.mktemp("obs"))
+    path = Path(root) / "events.jsonl"
+    obs.configure(obs.EventLog(path))
+    yield path
+    log = obs.get_logger()
+    emit(obs.get_metrics().report())
+    emit(f"telemetry: {len(log) if log else 0} events appended to {path}")
 
 
 @pytest.fixture(scope="session")

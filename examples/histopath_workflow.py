@@ -13,6 +13,7 @@ backbone).
 import numpy as np
 
 from repro.histopath import (
+    KFoldConfig,
     augment_dataset,
     build_model,
     count_mae,
@@ -74,12 +75,17 @@ def main() -> None:
     print()
 
     print("3-fold cross-validation of the multi-task configuration:")
-    score = kfold_evaluate(
-        train,
-        lambda subset, fold: train_model(subset, mode="multitask", epochs=12, seed=fold),
-        n_folds=3,
-        seed=4,
+    cv = kfold_evaluate(
+        KFoldConfig(
+            train,
+            lambda subset, fold: train_model(
+                subset, mode="multitask", epochs=12, seed=fold
+            ),
+            n_folds=3,
+        ),
+        seeds=[4],
     )
+    score = cv.scores[0]
     print(
         f"  dice {score.mean_dice:.3f} "
         f"(folds: {', '.join(f'{d:.3f}' for d in score.dice)}); "

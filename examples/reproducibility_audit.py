@@ -25,12 +25,18 @@ from repro.provenance import (
     verify_artifact,
     verify_deterministic,
 )
-from repro.robuststats import dimension_sweep
-from repro.utils.rng import SeedSequenceLedger
+from repro.robuststats import DimensionSweepConfig, dimension_sweep
+from repro.utils.rng import SeedSequenceLedger, spawn_children
 
 
 def experiment(seed: int) -> dict:
-    sweep = dimension_sweep([10, 50, 100], eps=0.1, n_trials=2, seed=seed)
+    # cache=False: verify_deterministic re-runs this to compare results, and
+    # a cache hit would make that check vacuous.
+    sweep = dimension_sweep(
+        DimensionSweepConfig(dims=(10, 50, 100), eps=0.1),
+        seeds=spawn_children(seed, 2),
+        cache=False,
+    )
     return {
         "filter_growth": sweep.growth_ratio("filter"),
         "mean_growth": sweep.growth_ratio("sample_mean"),

@@ -48,7 +48,13 @@ from repro.autotune.schedule import (
     default_schedule,
 )
 from repro.autotune.parser import ScheduleParseError, parse_schedule
-from repro.autotune.search import GeneticTuner, TuneResult, random_search
+from repro.autotune.search import (
+    GeneticTuner,
+    RandomSearchConfig,
+    RandomSearchResult,
+    TuneResult,
+    random_search,
+)
 
 __all__ = [
     "CostModel",
@@ -72,6 +78,8 @@ __all__ = [
     "Vectorize",
     "default_schedule",
     "GeneticTuner",
+    "RandomSearchConfig",
+    "RandomSearchResult",
     "TuneResult",
     "random_search",
     "ScheduleParseError",

@@ -17,8 +17,9 @@ count.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -27,9 +28,22 @@ from repro.autotune.frameworks import FrameworkProfile
 from repro.autotune.kernels import KernelSpec
 from repro.autotune.schedule import Parallelize, Schedule, Tile, Unroll, Vectorize
 from repro.parallel.runner import pmap
+from repro.parallel.study import (
+    DEFAULT_CACHE,
+    StudyRecord,
+    StudyResult,
+    warn_deprecated_form,
+)
 from repro.utils.rng import as_generator
+from repro.utils.tables import Table
 
-__all__ = ["TuneResult", "GeneticTuner", "random_search"]
+__all__ = [
+    "TuneResult",
+    "GeneticTuner",
+    "RandomSearchConfig",
+    "RandomSearchResult",
+    "random_search",
+]
 
 
 def _schedule_cost(
@@ -254,37 +268,154 @@ class GeneticTuner:
         )
 
 
-def random_search(
-    kernel: KernelSpec,
-    cost_model: CostModel,
-    framework: FrameworkProfile,
-    *,
-    n_trials: int = 200,
-    seed: int | np.random.Generator | None = 0,
-    workers: int | None = None,
-) -> TuneResult:
-    """Uniform random schedule search — the ablation baseline for E5.
+@dataclass(frozen=True)
+class RandomSearchConfig:
+    """Everything that defines one E5 random-search baseline (except seeds)."""
 
-    Candidate genomes are drawn up front on the single seeded stream, then
-    costed through the same batched fitness path as the genetic tuner, so
-    the baseline enjoys the identical parallel speedup and — for a fixed
-    ``seed`` — returns the identical result under any worker count.
-    """
-    if n_trials < 1:
-        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
-    tuner = GeneticTuner(cost_model, framework, seed=seed, workers=workers)
-    genomes = [tuner._random_genome(kernel) for _ in range(n_trials)]
-    costs = tuner._batch_costs(genomes, kernel)
+    kernel: KernelSpec
+    cost_model: CostModel
+    framework: FrameworkProfile
+    n_trials: int = 200
+
+    def __post_init__(self) -> None:
+        if self.n_trials < 1:
+            raise ValueError(f"n_trials must be >= 1, got {self.n_trials}")
+
+
+@dataclass(frozen=True)
+class RandomSearchResult(StudyResult):
+    """Unified result: one independent random search per seed."""
+
+    per_seed: tuple[TuneResult, ...]
+    seeds: tuple[int, ...]
+    trial_records: tuple[StudyRecord, ...] = field(default=(), repr=False)
+
+    study_name = "autotune.random_search"
+
+    @property
+    def records(self) -> tuple[StudyRecord, ...]:
+        return self.trial_records
+
+    @property
+    def best(self) -> TuneResult:
+        """The best-costed search across all seeds."""
+        return min(self.per_seed, key=lambda r: r.best_estimate.total_s)
+
+    def summary(self) -> dict[str, Any]:
+        totals = [r.best_estimate.total_s for r in self.per_seed]
+        return {
+            "study": self.study_name,
+            "n_records": len(self.records),
+            "n_seeds": len(self.per_seed),
+            "kernel": self.per_seed[0].kernel if self.per_seed else "",
+            "best_total_s": float(min(totals)) if totals else float("nan"),
+            "mean_best_total_s": float(np.mean(totals)) if totals else float("nan"),
+        }
+
+    def to_table(self) -> str:
+        table = Table(
+            ["seed", "best total_s", "evaluations"],
+            title="E5 random-search baseline",
+        )
+        for search_seed, result in zip(self.seeds, self.per_seed):
+            table.add_row(
+                [search_seed, result.best_estimate.total_s, result.evaluations]
+            )
+        return table.render()
+
+
+def _random_search_once(
+    cfg: RandomSearchConfig,
+    seed: int | np.random.Generator | None,
+    workers: int | None,
+) -> TuneResult:
+    """One seeded random search — the original E5 baseline, unchanged."""
+    tuner = GeneticTuner(cfg.cost_model, cfg.framework, seed=seed, workers=workers)
+    genomes = [tuner._random_genome(cfg.kernel) for _ in range(cfg.n_trials)]
+    costs = tuner._batch_costs(genomes, cfg.kernel)
     # Running best with first-occurrence tie-breaking, matching the strict
     # `<` update rule of the original serial loop.
     history = np.minimum.accumulate(costs)
     best = int(np.argmin(costs))
-    best_schedule = tuner._to_schedule(genomes[best], kernel)
-    best_est = cost_model.estimate(kernel, best_schedule, framework)
+    best_schedule = tuner._to_schedule(genomes[best], cfg.kernel)
+    best_est = cfg.cost_model.estimate(cfg.kernel, best_schedule, cfg.framework)
     return TuneResult(
-        kernel=kernel.name,
+        kernel=cfg.kernel.name,
         best_schedule=best_schedule,
         best_estimate=best_est,
-        evaluations=n_trials,
+        evaluations=cfg.n_trials,
         history=tuple(float(c) for c in history),
     )
+
+
+def random_search(
+    config: RandomSearchConfig | KernelSpec,
+    cost_model: CostModel | None = None,
+    framework: FrameworkProfile | None = None,
+    *,
+    seeds: Sequence[int] | None = None,
+    workers: int | None = None,
+    cache: Any = DEFAULT_CACHE,
+    n_trials: int = 200,
+    seed: int | np.random.Generator | None = 0,
+) -> RandomSearchResult | TuneResult:
+    """Uniform random schedule search — the ablation baseline for E5.
+
+    Unified form (the Study API)::
+
+        random_search(RandomSearchConfig(kernel, cost_model, framework),
+                      seeds=[0, 1, 2], workers=4)
+
+    Each seed drives one fully independent search (its own genome stream),
+    so the :class:`RandomSearchResult` characterizes the baseline's
+    seed-to-seed variance; ``best`` picks the overall winner.  Candidate
+    genomes are drawn up front on a single seeded stream, then costed
+    through the same batched fitness path as the genetic tuner, so every
+    search returns the identical result under any worker count.  The
+    ``cache`` keyword exists for signature uniformity but is ignored:
+    analytic cost evaluations are microseconds each, far below the
+    cache's round-trip cost.
+
+    The legacy form ``random_search(kernel, cost_model, framework,
+    n_trials=.., seed=..)`` is deprecated and returns the single
+    :class:`TuneResult` it always did.
+    """
+    del cache  # accepted for uniformity; see docstring
+    if isinstance(config, RandomSearchConfig):
+        if cost_model is not None or framework is not None:
+            raise TypeError(
+                "the unified form takes only (config, *, seeds, workers, cache)"
+            )
+        if seeds is None or len(list(seeds)) == 0:
+            raise ValueError("the unified form requires a non-empty seeds sequence")
+        search_seeds = tuple(int(s) for s in seeds)
+        per_seed = tuple(
+            _random_search_once(config, s, workers) for s in search_seeds
+        )
+        records = tuple(
+            StudyRecord(
+                config={"kernel": config.kernel.name, "n_trials": config.n_trials},
+                seed=s,
+                value=float(result.best_estimate.total_s),
+            )
+            for s, result in zip(search_seeds, per_seed)
+        )
+        return RandomSearchResult(
+            per_seed=per_seed, seeds=search_seeds, trial_records=records
+        )
+
+    warn_deprecated_form(
+        "random_search", "RandomSearchConfig(kernel, cost_model, framework)"
+    )
+    if cost_model is None or framework is None:
+        raise TypeError(
+            "legacy random_search(kernel, cost_model, framework) needs "
+            "cost_model and framework"
+        )
+    cfg = RandomSearchConfig(
+        kernel=config,
+        cost_model=cost_model,
+        framework=framework,
+        n_trials=n_trials,
+    )
+    return _random_search_once(cfg, seed, workers)

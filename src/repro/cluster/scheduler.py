@@ -13,13 +13,20 @@ Four queue disciplines are provided:
 * **EDF** — earliest poster deadline first (staff-assigned priorities).
 * **FAIRSHARE** — lightest committed-GPU-hours project first (slurm's
   fair-share priority, aimed at the paper's huge-allocation hogs).
+
+The simulator narrates itself through :mod:`repro.obs`: ``job_submit`` /
+``job_start`` / ``job_finish`` events carry the deterministic simulation
+times (``job_preempt`` is reserved for a future preemptive policy), and a
+``cluster_run_start`` / ``cluster_run_finish`` pair frames each ``run``.
 """
 
 from __future__ import annotations
 
 import enum
+import time
 from collections import deque
 
+from repro import obs
 from repro.cluster.engine import EventQueue
 from repro.cluster.jobs import Job, JobRecord, JobState
 from repro.cluster.resources import GPUPool
@@ -88,12 +95,27 @@ class ClusterSimulator:
 
     def _submit(self, record: JobRecord) -> None:
         self.queue.append(record)
+        obs.emit(
+            "job_submit",
+            {
+                "job_id": record.job.job_id,
+                "project": record.job.project,
+                "n_gpus": record.job.n_gpus,
+                "t": self.events.now,
+            },
+        )
         self._request_dispatch()
 
     def _complete(self, record: JobRecord) -> None:
         record.state = JobState.COMPLETED
         self.pool.release(record.job.n_gpus, self.events.now)
         self._running = [(t, r) for t, r in self._running if r is not record]
+        # Simulation times are part of the deterministic payload: they are a
+        # property of the workload and policy, not of the host that ran it.
+        obs.emit(
+            "job_finish",
+            {"job_id": record.job.job_id, "t": self.events.now},
+        )
         self._request_dispatch()
 
     def _request_dispatch(self) -> None:
@@ -120,6 +142,14 @@ class ClusterSimulator:
         end = now + record.job.duration
         record.end_time = end  # final once COMPLETED fires
         self._running.append((end, record))
+        obs.emit(
+            "job_start",
+            {
+                "job_id": record.job.job_id,
+                "t": now,
+                "wait": now - record.job.submit_time,
+            },
+        )
         self.events.schedule(
             end,
             lambda r=record: self._complete(r),
@@ -197,6 +227,15 @@ class ClusterSimulator:
         ids = [j.job_id for j in jobs]
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate job_id in workload")
+        t0 = time.perf_counter()
+        obs.emit(
+            "cluster_run_start",
+            {
+                "n_jobs": len(jobs),
+                "n_gpus": self.pool.capacity,
+                "policy": self.policy.value,
+            },
+        )
         for job in jobs:
             if job.n_gpus > self.pool.capacity:
                 raise ValueError(
@@ -212,6 +251,14 @@ class ClusterSimulator:
                 label=f"submit:{job.job_id}",
             )
         self.events.run(until=until)
+        obs.emit(
+            "cluster_run_finish",
+            {"n_jobs": len(jobs), "makespan": self.makespan},
+            wall={"wall_s": time.perf_counter() - t0},
+        )
+        metrics = obs.get_metrics()
+        metrics.counter("cluster.jobs").inc(len(jobs))
+        metrics.gauge("cluster.makespan").set(self.makespan)
         return [self._records[i] for i in sorted(self._records)]
 
     def project_usage(self) -> dict[str, float]:

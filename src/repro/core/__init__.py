@@ -21,7 +21,9 @@ from repro.core.cohort import KNOWLEDGE_AREAS, SKILLS, Student, make_cohort
 from repro.core.goals import GOALS, Goal, goal_names
 from repro.core.learning import ConstantGainModel, ExperienceModel
 from repro.core.multiyear import (
+    CollectionPlanConfig,
     PlanComparison,
+    PlanSweepResult,
     YearOutcome,
     YearPlan,
     collection_plan_sweep,
@@ -84,7 +86,9 @@ __all__ = [
     "YearOutcome",
     "YearPlan",
     "run_years",
+    "CollectionPlanConfig",
     "PlanComparison",
+    "PlanSweepResult",
     "collection_plan_sweep",
     "SeasonOutcome",
     "Timeline",

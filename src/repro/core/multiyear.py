@@ -32,15 +32,24 @@ from repro.core.topics import (
     sample_interest_profiles,
     targeted_policy,
 )
-from repro.parallel.cache import ResultCache
+from repro.parallel.study import (
+    DEFAULT_CACHE,
+    StudyRecord,
+    StudyResult,
+    resolve_cache,
+    warn_deprecated_form,
+)
 from repro.parallel.sweep import Sweep
 from repro.utils.rng import SeedSequenceLedger, spawn_children
+from repro.utils.tables import Table
 
 __all__ = [
     "YearPlan",
     "YearOutcome",
     "run_years",
     "PlanComparison",
+    "CollectionPlanConfig",
+    "PlanSweepResult",
     "collection_plan_sweep",
 ]
 
@@ -195,33 +204,69 @@ class PlanComparison:
         return float(np.mean(self.complete_counts))
 
 
-def collection_plan_sweep(
-    plans: list[tuple[str, AttritionPlan]],
-    *,
-    seeds: tuple[int, ...] = tuple(range(6)),
-    workers: int | None = None,
-    cache: ResultCache | None = None,
-) -> list[PlanComparison]:
-    """The F1 exit-survey experiment: plans × seeds through one ``Sweep``.
+@dataclass(frozen=True)
+class CollectionPlanConfig:
+    """The F1 study's configuration: named exit-survey collection plans."""
 
-    Every plan is run over the same seed list (paired design) and each
-    (plan, seed) season is an independent cell, so the sweep parallelizes
-    and caches through :mod:`repro.parallel` with bit-identical results at
-    any worker count.  ``boost_spread`` is the seed-to-seed standard
-    deviation of each Table-2 skill boost, averaged over skills — the
-    estimate-stability number the paper's year-two discussion cares about.
-    """
-    if not plans:
-        raise ValueError("plans must be non-empty")
+    plans: tuple[tuple[str, AttritionPlan], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "plans", tuple(tuple(p) for p in self.plans))
+        if not self.plans:
+            raise ValueError("plans must be non-empty")
+
+
+@dataclass(frozen=True)
+class PlanSweepResult(StudyResult):
+    """Unified result of the F1 plan sweep: comparisons plus records."""
+
+    comparisons: tuple[PlanComparison, ...]
+    trial_records: tuple[StudyRecord, ...] = field(default=(), repr=False)
+
+    study_name = "core.collection_plan_sweep"
+
+    @property
+    def records(self) -> tuple[StudyRecord, ...]:
+        return self.trial_records
+
+    def summary(self) -> dict:
+        best = max(self.comparisons, key=lambda c: c.mean_complete)
+        return {
+            "study": self.study_name,
+            "n_records": len(self.records),
+            "n_plans": len(self.comparisons),
+            "best_plan": best.name,
+            "best_mean_complete": best.mean_complete,
+        }
+
+    def to_table(self) -> str:
+        table = Table(
+            ["plan", "mean complete", "boost spread"],
+            title="F1 exit-survey collection plans",
+        )
+        for comparison in self.comparisons:
+            table.add_row(
+                [comparison.name, comparison.mean_complete, comparison.boost_spread]
+            )
+        return table.render()
+
+
+def _plan_sweep(
+    cfg: CollectionPlanConfig,
+    seeds: tuple[int, ...],
+    workers: int | None,
+    cache,
+) -> PlanSweepResult:
+    """Run the plans × seeds grid through one ``Sweep`` and summarize."""
     sweep = Sweep(
         _plan_cell,
-        configs=[{"plan": plan} for _, plan in plans],
+        configs=[{"plan": plan} for _, plan in cfg.plans],
         seeds=list(seeds),
         name="collection-plans",
     )
     result = sweep.run(workers=workers, cache=cache)
     comparisons = []
-    for name, plan in plans:
+    for name, plan in cfg.plans:
         cells = result.select(plan=plan)
         boosts = np.array([c["boosts"] for c in cells])
         comparisons.append(
@@ -232,7 +277,45 @@ def collection_plan_sweep(
                 boost_spread=float(boosts.std(axis=0).mean()),
             )
         )
-    return comparisons
+    return PlanSweepResult(
+        comparisons=tuple(comparisons), trial_records=result.records
+    )
+
+
+def collection_plan_sweep(
+    config: CollectionPlanConfig | list[tuple[str, AttritionPlan]],
+    *,
+    seeds: tuple[int, ...] = tuple(range(6)),
+    workers: int | None = None,
+    cache=DEFAULT_CACHE,
+) -> PlanSweepResult | list[PlanComparison]:
+    """The F1 exit-survey experiment: plans × seeds through one ``Sweep``.
+
+    Unified form (the Study API)::
+
+        collection_plan_sweep(CollectionPlanConfig(plans=[...]),
+                              seeds=range(6), workers=4)
+
+    Every plan is run over the same seed list (paired design) and each
+    (plan, seed) season is an independent cell, so the sweep parallelizes
+    and caches through :mod:`repro.parallel` with bit-identical results at
+    any worker count.  ``boost_spread`` is the seed-to-seed standard
+    deviation of each Table-2 skill boost, averaged over skills — the
+    estimate-stability number the paper's year-two discussion cares about.
+
+    The legacy form — a plain plan list first, returning a
+    ``list[PlanComparison]`` — is deprecated but unchanged in behaviour
+    (and keeps caching off unless a cache is passed explicitly).
+    """
+    if isinstance(config, CollectionPlanConfig):
+        return _plan_sweep(
+            config, tuple(int(s) for s in seeds), workers, resolve_cache(cache)
+        )
+    warn_deprecated_form("collection_plan_sweep", "CollectionPlanConfig(plans=[...])")
+    cfg = CollectionPlanConfig(plans=tuple(config))
+    legacy_cache = None if cache is DEFAULT_CACHE else resolve_cache(cache)
+    result = _plan_sweep(cfg, tuple(int(s) for s in seeds), workers, legacy_cache)
+    return list(result.comparisons)
 
 
 def _run_season_with_cohort(

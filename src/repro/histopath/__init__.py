@@ -11,7 +11,12 @@ augmentation, and fine-tuning a pretrained backbone.
 """
 
 from repro.histopath.augment import augment_dataset
-from repro.histopath.crossval import FoldScore, kfold_evaluate
+from repro.histopath.crossval import (
+    FoldScore,
+    KFoldConfig,
+    KFoldResult,
+    kfold_evaluate,
+)
 from repro.histopath.data import HistoPatch, PatchDataset, make_patches
 from repro.histopath.metrics import count_mae, dice_score
 from repro.histopath.model import MultiTaskModel, build_model
@@ -21,6 +26,8 @@ from repro.histopath.train import pretrain_trunk, train_model
 __all__ = [
     "augment_dataset",
     "FoldScore",
+    "KFoldConfig",
+    "KFoldResult",
     "kfold_evaluate",
     "HistoPatch",
     "PatchDataset",

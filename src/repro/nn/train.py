@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.nn.losses import softmax_cross_entropy
 from repro.nn.network import Sequential
 from repro.nn.optim import Optimizer
@@ -101,8 +103,10 @@ def fit(
     rng = as_generator(cfg.seed)
     history = History()
     classification = loss_fn is softmax_cross_entropy
+    metrics = obs.get_metrics()
     model.train()
-    for _ in range(cfg.epochs):
+    for epoch in range(cfg.epochs):
+        epoch_t0 = time.perf_counter()
         order = rng.permutation(len(x)) if cfg.shuffle else np.arange(len(x))
         losses: list[float] = []
         correct = 0
@@ -126,5 +130,20 @@ def fit(
                 evaluate_accuracy(model, validation[0], validation[1])
             )
             model.train()
+        obs.emit(
+            "epoch",
+            {
+                "epoch": epoch,
+                "loss": history.loss[-1],
+                "accuracy": history.accuracy[-1],
+                "val_accuracy": (
+                    history.val_accuracy[-1] if validation is not None else None
+                ),
+            },
+            wall={"dur_s": time.perf_counter() - epoch_t0},
+        )
+        metrics.gauge("train.loss").set(history.loss[-1])
+        metrics.gauge("train.accuracy").set(history.accuracy[-1])
+        metrics.timer("train.epoch_s").observe(time.perf_counter() - epoch_t0)
     model.eval()
     return history

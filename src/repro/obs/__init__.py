@@ -1,0 +1,58 @@
+"""repro.obs — structured run telemetry for every layer of the library.
+
+Three coordinated instruments, all no-ops until switched on:
+
+* **Events** (:mod:`repro.obs.events`) — schema-versioned JSONL records
+  appended atomically, split into a deterministic payload half and a
+  volatile timestamp/wall half so serial and parallel runs of the same
+  experiment emit byte-identical sequences once ``ts``/``wall`` are
+  stripped.
+* **Spans** (:mod:`repro.obs.spans`) — nested ``span_start``/``span_end``
+  pairs with monotonic durations, reconstructing the run's call tree from
+  the stream alone.
+* **Metrics** (:mod:`repro.obs.metrics`) — process-local counters,
+  gauges, and timing histograms with a text report renderer.
+
+Knobs: ``REPRO_OBS_DIR`` points the default logger at a directory
+(``events.jsonl`` inside it); ``REPRO_OBS_DISABLE=1`` silences
+everything.  With neither set, telemetry costs one dict lookup per emit.
+"""
+
+from repro.obs.events import (
+    SCHEMA_VERSION,
+    EventLog,
+    capture_events,
+    configure,
+    emit,
+    get_logger,
+    quiet,
+    read_events,
+    strip_volatile,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Metrics,
+    TimingHistogram,
+    get_metrics,
+)
+from repro.obs.spans import current_span_path, span
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EventLog",
+    "capture_events",
+    "configure",
+    "emit",
+    "get_logger",
+    "quiet",
+    "read_events",
+    "strip_volatile",
+    "Counter",
+    "Gauge",
+    "Metrics",
+    "TimingHistogram",
+    "get_metrics",
+    "current_span_path",
+    "span",
+]

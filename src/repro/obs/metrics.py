@@ -1,0 +1,164 @@
+"""In-process metrics registry: counters, gauges, timing histograms.
+
+Where the event stream (:mod:`repro.obs.events`) records *what happened*
+in order, the registry accumulates *how much and how fast* — cache hit
+counters, per-epoch loss gauges, sweep duration histograms — and renders
+one text report at the end of a run.
+
+Metrics are process-local by design: worker processes keep their own
+registries, which die with them, so the coordinating process's registry
+reflects exactly the work it observed (cache lookups, dispatch, spans)
+regardless of worker count.  Nothing here feeds cache keys or event
+payloads, so timings stay out of the determinism contract.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.utils.tables import Table
+
+__all__ = ["Counter", "Gauge", "TimingHistogram", "Metrics", "get_metrics"]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, n: int = 1) -> int:
+        """Add ``n`` (must be >= 0); returns the new value."""
+        if n < 0:
+            raise ValueError(f"counters only increase, got inc({n})")
+        self.value += n
+        return self.value
+
+
+@dataclass
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    name: str
+    value: float = math.nan
+
+    def set(self, value: float) -> float:
+        self.value = float(value)
+        return self.value
+
+
+@dataclass
+class TimingHistogram:
+    """Accumulated duration samples for one named timer."""
+
+    name: str
+    samples: list[float] = field(default_factory=list)
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration (seconds, must be >= 0)."""
+        if seconds < 0:
+            raise ValueError(f"negative duration {seconds}")
+        self.samples.append(float(seconds))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total_s(self) -> float:
+        return float(sum(self.samples))
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    @property
+    def max_s(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+
+class Metrics:
+    """A named-instrument registry (create-on-first-use).
+
+    Examples
+    --------
+    >>> m = Metrics()
+    >>> m.counter("cache.hits").inc()
+    1
+    >>> m.gauge("train.loss").set(0.25)
+    0.25
+    >>> m.timer("sweep").observe(0.5)
+    >>> sorted(m.snapshot()["counters"])
+    ['cache.hits']
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, TimingHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def timer(self, name: str) -> TimingHistogram:
+        if name not in self._timers:
+            self._timers[name] = TimingHistogram(name)
+        return self._timers[name]
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Plain-dict view of every instrument (for manifests / JSONL)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "timers": {
+                n: {
+                    "count": t.count,
+                    "total_s": t.total_s,
+                    "mean_s": t.mean_s,
+                    "max_s": t.max_s,
+                }
+                for n, t in sorted(self._timers.items())
+            },
+        }
+
+    def report(self, *, title: str = "Metrics") -> str:
+        """Render every instrument as one text table (returns a string)."""
+        table = Table(["instrument", "kind", "value"], title=title, decimals=4)
+        for name, counter in sorted(self._counters.items()):
+            table.add_row([name, "counter", counter.value])
+        for name, gauge in sorted(self._gauges.items()):
+            table.add_row([name, "gauge", gauge.value])
+        for name, timer in sorted(self._timers.items()):
+            table.add_row(
+                [
+                    name,
+                    "timer",
+                    f"n={timer.count} total={timer.total_s:.4f}s "
+                    f"mean={timer.mean_s:.4f}s max={timer.max_s:.4f}s",
+                ]
+            )
+        return table.render()
+
+    def reset(self) -> None:
+        """Drop every instrument (the test suite resets between tests)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+
+
+_global = Metrics()
+
+
+def get_metrics() -> Metrics:
+    """The process-wide registry every instrumented layer shares."""
+    return _global

@@ -1,0 +1,70 @@
+"""Nested span tracing over the event stream.
+
+A span is a named region of a run — ``span("sweep")`` around a whole
+sweep, ``span("epoch")`` around one training epoch — that emits paired
+``span_start`` / ``span_end`` events and feeds its duration into the
+metrics registry.  Spans nest: the emitted ``path`` is the ``/``-joined
+chain of open spans, so the JSONL stream reconstructs the call tree
+without any side table.
+
+Durations are measured with :func:`time.perf_counter` (monotonic) and
+travel in the volatile ``wall`` section of the event record, never in the
+deterministic payload — so span-instrumented code keeps the
+event-sequence determinism contract and cache keys stay free of timing.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.obs.events import emit
+from repro.obs.metrics import get_metrics
+
+__all__ = ["span", "current_span_path"]
+
+_stack: list[str] = []
+
+
+def current_span_path() -> str:
+    """The ``/``-joined path of currently open spans ('' at top level)."""
+    return "/".join(_stack)
+
+
+@contextmanager
+def span(name: str, **payload: Any) -> Iterator[str]:
+    """Trace the enclosed block as one named span.
+
+    Extra keyword arguments ride in the payload of both endpoint events;
+    they must be deterministic values (no timings — those belong to the
+    ``wall`` section, which the span fills in itself).
+
+    Examples
+    --------
+    >>> with span("sweep", cells=4) as path:
+    ...     with span("report"):
+    ...         pass
+    >>> path
+    'sweep'
+    """
+    if not name:
+        raise ValueError("span name must be non-empty")
+    path = "/".join(_stack + [name])
+    emit(
+        "span_start",
+        payload={"span": name, "path": path, "depth": len(_stack), **payload},
+    )
+    _stack.append(name)
+    start = time.perf_counter()
+    try:
+        yield path
+    finally:
+        dur_s = time.perf_counter() - start
+        _stack.pop()
+        emit(
+            "span_end",
+            payload={"span": name, "path": path, "depth": len(_stack), **payload},
+            wall={"dur_s": dur_s},
+        )
+        get_metrics().timer(f"span.{path}").observe(dur_s)

@@ -24,6 +24,7 @@ path, ``REPRO_CACHE_DISABLE=1`` disables cache reads and writes, and
 
 from repro.parallel.cache import CacheStats, ResultCache, cache_key, code_salt
 from repro.parallel.runner import pmap, resolve_workers
+from repro.parallel.study import StudyRecord, StudyResult, resolve_cache
 from repro.parallel.sweep import Sweep, SweepRecord, SweepResult, grid
 from repro.parallel.timing import SweepTiming, compare_workers, time_sweep
 
@@ -34,6 +35,9 @@ __all__ = [
     "code_salt",
     "pmap",
     "resolve_workers",
+    "StudyRecord",
+    "StudyResult",
+    "resolve_cache",
     "Sweep",
     "SweepRecord",
     "SweepResult",

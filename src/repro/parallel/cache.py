@@ -16,6 +16,11 @@ Environment knobs
 ``REPRO_CACHE_DISABLE``
     Set to ``1`` to turn every lookup into a miss and every store into a
     no-op — the kill switch for suspicious re-runs.
+
+Every lookup and store also increments the process-wide
+``cache.hits`` / ``cache.misses`` / ``cache.stores`` counters in
+:mod:`repro.obs.metrics`, so benchmarks report hit rates from telemetry
+instead of re-deriving them.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.obs.metrics import get_metrics
 from repro.provenance.manifest import stable_hash
 
 __all__ = ["CacheStats", "ResultCache", "code_salt", "cache_key"]
@@ -72,13 +78,14 @@ def cache_key(fn_name: str, config: Any, seed: Any, salt: str) -> str:
     )
 
 
-@dataclass
+@dataclass(frozen=True)
 class CacheStats:
-    """Running hit/miss counters for one cache instance."""
+    """Point-in-time hit/miss/volume counters for one cache instance."""
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    bytes_written: int = 0
 
     @property
     def lookups(self) -> int:
@@ -106,16 +113,30 @@ class ResultCache:
     >>> cache.put(key, 42)
     >>> cache.get(key)
     (True, 42)
+    >>> cache.stats().hits, cache.stats().misses
+    (1, 1)
     """
 
     def __init__(self, root: str | os.PathLike | None = None) -> None:
         self.root = Path(root or os.environ.get(_DIR_ENV, ".repro_cache"))
-        self.stats = CacheStats()
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+        self._bytes_written = 0
 
     @property
     def enabled(self) -> bool:
         """False when the ``REPRO_CACHE_DISABLE=1`` kill switch is set."""
         return os.environ.get(_DISABLE_ENV, "") != "1"
+
+    def stats(self) -> CacheStats:
+        """An immutable snapshot of this instance's running counters."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            stores=self._stores,
+            bytes_written=self._bytes_written,
+        )
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -123,16 +144,19 @@ class ResultCache:
     def get(self, key: str) -> tuple[bool, Any]:
         """Look up ``key``; returns ``(hit, value)``."""
         if not self.enabled:
-            self.stats.misses += 1
+            self._misses += 1
+            get_metrics().counter("cache.misses").inc()
             return False, None
         path = self._path(key)
         try:
             with path.open("rb") as fh:
                 value = pickle.load(fh)
         except (OSError, pickle.UnpicklingError, EOFError):
-            self.stats.misses += 1
+            self._misses += 1
+            get_metrics().counter("cache.misses").inc()
             return False, None
-        self.stats.hits += 1
+        self._hits += 1
+        get_metrics().counter("cache.hits").inc()
         return True, value
 
     def put(self, key: str, value: Any) -> None:
@@ -142,10 +166,15 @@ class ResultCache:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         with tmp.open("wb") as fh:
-            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.write(blob)
         os.replace(tmp, path)
-        self.stats.stores += 1
+        self._stores += 1
+        self._bytes_written += len(blob)
+        metrics = get_metrics()
+        metrics.counter("cache.stores").inc()
+        metrics.counter("cache.bytes_written").inc(len(blob))
 
     def clear(self) -> int:
         """Delete every entry under the root; returns the count removed."""

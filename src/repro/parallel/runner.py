@@ -22,7 +22,21 @@ parallel runs.
 Process pools are used (not threads) because the hot cells are NumPy-heavy
 and CPU-bound.  When the function or its arguments cannot cross a process
 boundary (closures, lambdas), or ``REPRO_PARALLEL_DISABLE=1`` is set, the
-runner silently degrades to the serial path — same results, one process.
+runner falls back to the serial path — same results, one process — and
+records the reason in the run's telemetry.
+
+Telemetry
+---------
+Every ``pmap`` call narrates itself through :mod:`repro.obs`:
+``pmap_start``, per-cell ``cache_hit``/``cache_miss``, paired
+``cell_start``/``cell_finish``, ``cache_store``, and ``pmap_finish``
+events, all emitted **from this process in submission order** regardless
+of worker count or completion order.  Durations, worker counts, and the
+dispatch mode travel in the volatile ``wall`` section, so the event
+sequences of ``workers=1`` and ``workers=8`` runs are byte-identical once
+volatile fields are stripped.  Worker processes are born with telemetry
+disabled and the serial path mutes cell interiors with
+:func:`repro.obs.quiet`, keeping the two paths' streams in lockstep.
 """
 
 from __future__ import annotations
@@ -30,10 +44,12 @@ from __future__ import annotations
 import functools
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Sequence
 
+from repro import obs
 from repro.parallel.cache import ResultCache, cache_key, code_salt
 from repro.utils.rng import spawn_children
 
@@ -61,6 +77,15 @@ def _invoke(fn: Callable[..., Any], config: Any, seed: Any) -> Any:
     if seed is _SENTINEL or seed is None:
         return fn(config)
     return fn(config, seed)
+
+
+def _worker_init() -> None:
+    """Pool initializer: silence telemetry inside worker processes.
+
+    Cell interiors cannot emit in canonical order from workers, so the
+    coordinator's per-cell events are the single record of the run.
+    """
+    os.environ["REPRO_OBS_DISABLE"] = "1"
 
 
 def _describe(fn: Callable[..., Any]) -> str:
@@ -132,48 +157,116 @@ def pmap(
                 f"got {len(cell_seeds)} seeds for {n} configs"
             )
 
+    fn_name = _describe(fn)
+    start_s = time.perf_counter()
+    obs.emit(
+        "pmap_start",
+        payload={
+            "fn": fn_name,
+            "n_cells": n,
+            "seeded": seeds is not None,
+            "cached": cache is not None,
+        },
+    )
+
     results: list[Any] = [_SENTINEL] * n
     pending: list[int] = []
     keys: list[str | None] = [None] * n
     if cache is not None:
         fn_salt = salt if salt is not None else code_salt(fn)
-        fn_name = _describe(fn)
         for i in range(n):
             seed_part = None if cell_seeds[i] is _SENTINEL else cell_seeds[i]
             keys[i] = cache_key(fn_name, configs[i], seed_part, fn_salt)
             hit, value = cache.get(keys[i])
             if hit:
                 results[i] = value
+                obs.emit("cache_hit", payload={"index": i, "key": keys[i]})
             else:
                 pending.append(i)
+                obs.emit("cache_miss", payload={"index": i, "key": keys[i]})
     else:
         pending = list(range(n))
 
+    mode = "cached"
+    fallback: str | None = None
+    n_workers = 1
     if pending:
         n_workers = resolve_workers(workers)
         executed: dict[int, Any] | None = None
+        durations: dict[int, float] = {}
         if n_workers > 1 and len(pending) > 1 and _picklable(
             fn, *(configs[i] for i in pending[:1])
         ):
             try:
-                with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                with ProcessPoolExecutor(
+                    max_workers=n_workers, initializer=_worker_init
+                ) as pool:
+                    submitted = time.perf_counter()
                     futures = {
                         i: pool.submit(_invoke, fn, configs[i], cell_seeds[i])
                         for i in pending
                     }
-                    executed = {i: f.result() for i, f in futures.items()}
-            except (BrokenProcessPool, pickle.PicklingError, TypeError, AttributeError):
+                    executed = {}
+                    for i, future in futures.items():
+                        executed[i] = future.result()
+                        # Latency until this result was gathered — an
+                        # upper bound on the cell's own duration.
+                        durations[i] = time.perf_counter() - submitted
+                mode = "pool"
+            except (BrokenProcessPool, pickle.PicklingError, TypeError, AttributeError) as exc:
                 # Pool-level failure (unpicklable payload, dead worker):
                 # fall through to the serial path, which by the determinism
                 # contract produces the identical results.
                 executed = None
+                fallback = type(exc).__name__
+        elif n_workers > 1:
+            fallback = "unpicklable" if len(pending) > 1 else "single_cell"
         if executed is None:
-            executed = {
-                i: _invoke(fn, configs[i], cell_seeds[i]) for i in pending
-            }
+            mode = "serial"
+            executed = {}
+            for i in pending:
+                cell_start = time.perf_counter()
+                with obs.quiet():
+                    executed[i] = _invoke(fn, configs[i], cell_seeds[i])
+                durations[i] = time.perf_counter() - cell_start
+        # Per-cell events are replayed in submission order whatever the
+        # completion order was — the determinism contract of the stream.
+        for i in pending:
+            seed_part = None if cell_seeds[i] is _SENTINEL else cell_seeds[i]
+            obs.emit("cell_start", payload={"index": i, "seed": seed_part})
+            obs.emit(
+                "cell_finish",
+                payload={"index": i},
+                wall={"dur_s": durations.get(i, 0.0)},
+            )
         for i, value in executed.items():
             results[i] = value
             if cache is not None and keys[i] is not None:
                 cache.put(keys[i], value)
+                obs.emit("cache_store", payload={"index": i, "key": keys[i]})
+
+    wall_s = time.perf_counter() - start_s
+    obs.emit(
+        "pmap_finish",
+        payload={
+            "fn": fn_name,
+            "n_cells": n,
+            "n_executed": len(pending),
+            "n_cache_hits": n - len(pending),
+        },
+        wall={
+            "wall_s": wall_s,
+            "workers": n_workers,
+            "mode": mode,
+            "fallback": fallback,
+        },
+    )
+    metrics = obs.get_metrics()
+    metrics.counter("pmap.calls").inc()
+    metrics.counter("pmap.cells").inc(n)
+    metrics.counter("pmap.cells_executed").inc(len(pending))
+    if fallback is not None:
+        metrics.counter("pmap.serial_fallbacks").inc()
+    metrics.timer("pmap.wall_s").observe(wall_s)
 
     return results

@@ -1,0 +1,110 @@
+"""The unified Study API shared by every multi-trial entry point.
+
+PR 1 wired five studies (`robuststats.dimension_sweep`,
+`rl.reliability_study`, `core.collection_plan_sweep`,
+`histopath.kfold_evaluate`, `autotune.random_search`) onto the parallel
+runner, and each grew a slightly different signature.  This module names
+the one convention they now share:
+
+``study(config, *, seeds, workers=None, cache=True)``
+    *config* is a frozen per-study dataclass holding everything that
+    defines the experiment; *seeds* is the trial-seed sequence (paired
+    across configurations); *workers* goes to :func:`repro.parallel.pmap`;
+    *cache* is ``True`` (use the environment-rooted
+    :class:`repro.parallel.ResultCache`), ``False``/``None`` (no
+    caching), or an explicit cache instance.
+
+Every unified entry point returns a :class:`StudyResult` subclass with
+three common members: ``records`` (one :class:`StudyRecord` per evaluated
+cell), ``summary()`` (a flat dict of headline numbers), and
+``to_table()`` (a rendered text table — returned, never printed).
+
+Old positional call forms keep working through thin shims that emit a
+:class:`DeprecationWarning` via :func:`warn_deprecated_form` and return
+the historical result type bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any
+
+from repro.parallel.cache import ResultCache
+from repro.parallel.sweep import SweepRecord as StudyRecord
+from repro.utils.tables import Table
+
+__all__ = [
+    "DEFAULT_CACHE",
+    "StudyRecord",
+    "StudyResult",
+    "resolve_cache",
+    "warn_deprecated_form",
+]
+
+#: Sentinel default for the unified ``cache`` keyword.  It lets one merged
+#: signature serve both call forms: the unified path reads it as ``True``
+#: while legacy shims read it as "no cache", preserving old behaviour.
+DEFAULT_CACHE: Any = object()
+
+
+def resolve_cache(cache: bool | ResultCache | None) -> ResultCache | None:
+    """Normalize the unified ``cache`` argument.
+
+    ``True`` (or the unspecified :data:`DEFAULT_CACHE`) builds the default
+    environment-rooted cache (honouring ``REPRO_CACHE_DIR`` /
+    ``REPRO_CACHE_DISABLE``); ``False``/``None`` disable caching; a
+    :class:`ResultCache` instance is used as-is.
+    """
+    if cache is True or cache is DEFAULT_CACHE:
+        return ResultCache()
+    if cache is False or cache is None:
+        return None
+    return cache
+
+
+def warn_deprecated_form(entry_point: str, hint: str) -> None:
+    """Emit the one-liner deprecation for a legacy study call form."""
+    warnings.warn(
+        f"the positional {entry_point}(...) form is deprecated; "
+        f"call {entry_point}({hint}, seeds=..., workers=..., cache=...) "
+        "with a config object instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class StudyResult:
+    """Base class of every unified study result.
+
+    Subclasses store their study-specific fields and implement
+    :attr:`records` plus (usually) a richer :meth:`summary`; the default
+    :meth:`to_table` renders whatever ``summary()`` reports.
+    """
+
+    #: Human-readable study label used in tables and summaries.
+    study_name: str = "study"
+
+    @property
+    def records(self) -> tuple[StudyRecord, ...]:
+        """One record per evaluated (config, seed) cell, in run order."""
+        raise NotImplementedError
+
+    def summary(self) -> dict[str, Any]:
+        """Headline numbers of the study as a flat, JSON-able dict."""
+        records = self.records
+        out: dict[str, Any] = {"study": self.study_name, "n_records": len(records)}
+        numeric = [
+            float(r.value) for r in records if isinstance(r.value, (int, float))
+        ]
+        if numeric:
+            out["mean_value"] = sum(numeric) / len(numeric)
+            out["min_value"] = min(numeric)
+            out["max_value"] = max(numeric)
+        return out
+
+    def to_table(self) -> str:
+        """Render :meth:`summary` as a text table (returns the string)."""
+        table = Table(["field", "value"], title=self.study_name, decimals=4)
+        for key, value in self.summary().items():
+            table.add_row([key, value])
+        return table.render()

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Callable, Mapping, Sequence
 
+from repro import obs
 from repro.parallel.cache import ResultCache, code_salt
 from repro.parallel.runner import pmap, resolve_workers
 from repro.utils.rng import spawn_children
@@ -161,21 +162,38 @@ class Sweep:
         cells = self.cells()
         cell_configs = [c for c, _ in cells]
         cell_seeds = [s for _, s in cells]
-        hits_before = cache.stats.hits if cache is not None else 0
-        start = time.perf_counter()
-        values = pmap(
-            partial(_call_cell, self.fn),
-            cell_configs,
-            None if self.seeds is None else [s for s in cell_seeds if s is not None],
-            workers=workers,
-            cache=cache,
-            salt=self._salt,
-        )
-        wall_s = time.perf_counter() - start
-        n_hits = (cache.stats.hits - hits_before) if cache is not None else 0
+        hits_before = cache.stats().hits if cache is not None else 0
+        with obs.span(
+            "sweep",
+            sweep=self.name,
+            n_cells=len(cells),
+            n_configs=len(self.configs),
+            n_seeds=len(self.seeds) if self.seeds is not None else 0,
+        ):
+            start = time.perf_counter()
+            values = pmap(
+                partial(_call_cell, self.fn),
+                cell_configs,
+                None if self.seeds is None else [s for s in cell_seeds if s is not None],
+                workers=workers,
+                cache=cache,
+                salt=self._salt,
+            )
+            wall_s = time.perf_counter() - start
+        n_hits = (cache.stats().hits - hits_before) if cache is not None else 0
         records = tuple(
             SweepRecord(config=config, seed=seed, value=value)
             for (config, seed), value in zip(cells, values)
+        )
+        obs.emit(
+            "sweep_finish",
+            payload={
+                "name": self.name,
+                "n_cells": len(records),
+                "n_executed": len(records) - n_hits,
+                "n_cache_hits": n_hits,
+            },
+            wall={"wall_s": wall_s, "workers": resolve_workers(workers)},
         )
         return SweepResult(
             records=records,

@@ -89,8 +89,11 @@ class SectionProfiler:
             s.total_s for key, s in self._stats.items() if "/" not in key
         )
 
-    def report(self) -> Table:
-        """Render the per-section table, sorted by total time descending."""
+    def report(self) -> str:
+        """Per-section table text, sorted by total time descending.
+
+        Returns the rendered string; callers decide whether to print it.
+        """
         table = Table(
             ["section", "calls", "total s", "mean s", "% of top"],
             title="Section profile",
@@ -109,7 +112,7 @@ class SectionProfiler:
                     100.0 * entry.total_s / total,
                 ]
             )
-        return table
+        return table.render()
 
     def reset(self) -> None:
         """Clear all accumulated sections."""

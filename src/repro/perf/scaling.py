@@ -65,8 +65,11 @@ def scaling_table(
     worker_counts: list[int],
     *,
     law: str = "amdahl",
-) -> Table:
-    """Render speedup and efficiency across worker counts as a text table."""
+) -> str:
+    """Speedup and efficiency across worker counts, as rendered table text.
+
+    Returns the string; callers decide whether to print it.
+    """
     if law not in ("amdahl", "gustafson"):
         raise ValueError(f"law must be 'amdahl' or 'gustafson', got {law!r}")
     fn = amdahl_speedup if law == "amdahl" else gustafson_speedup
@@ -77,4 +80,4 @@ def scaling_table(
     for n in worker_counts:
         s = float(fn(serial_fraction, n))
         table.add_row([n, s, float(efficiency(s, n))])
-    return table
+    return table.render()

@@ -17,7 +17,12 @@ independent training runs — in :mod:`repro.rl.reliability` (experiment E8).
 from repro.rl.agents import DQNAgent, DQNConfig, build_q_network, train_agent
 from repro.rl.envs import CatchEnv, CrossingEnv, GridEnv, SnackEnv, make_env
 from repro.rl.replay import ReplayBuffer, Transition
-from repro.rl.reliability import ReliabilityReport, reliability_study
+from repro.rl.reliability import (
+    ReliabilityReport,
+    ReliabilityResult,
+    ReliabilityStudyConfig,
+    reliability_study,
+)
 
 __all__ = [
     "DQNAgent",
@@ -32,5 +37,7 @@ __all__ = [
     "ReplayBuffer",
     "Transition",
     "ReliabilityReport",
+    "ReliabilityResult",
+    "ReliabilityStudyConfig",
     "reliability_study",
 ]

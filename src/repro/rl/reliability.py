@@ -10,16 +10,29 @@ quartile of final performance (a CVaR-flavoured tail statistic).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any, Sequence
 
 import numpy as np
 
-from repro.parallel.cache import ResultCache
 from repro.parallel.runner import pmap
+from repro.parallel.study import (
+    DEFAULT_CACHE,
+    StudyRecord,
+    StudyResult,
+    resolve_cache,
+    warn_deprecated_form,
+)
 from repro.rl.agents import DQNConfig, train_agent
 from repro.utils.rng import spawn_children
+from repro.utils.tables import Table
 
-__all__ = ["ReliabilityReport", "reliability_study"]
+__all__ = [
+    "ReliabilityReport",
+    "ReliabilityStudyConfig",
+    "ReliabilityResult",
+    "reliability_study",
+]
 
 
 def _train_cell(config: dict, seed: int) -> float:
@@ -74,42 +87,89 @@ class ReliabilityReport:
         }
 
 
-def reliability_study(
-    env_names: list[str],
-    families: list[str],
-    *,
-    n_seeds: int = 3,
-    threshold: float = 0.0,
-    config: DQNConfig | None = None,
-    size: int = 6,
-    width: int = 12,
-    eval_episodes: int = 20,
-    base_seed: int = 0,
-    workers: int | None = None,
-    cache: ResultCache | None = None,
-) -> list[ReliabilityReport]:
-    """Train every (env, family, seed) cell and summarize reliability.
+@dataclass(frozen=True)
+class ReliabilityStudyConfig:
+    """Everything that defines one E8 reliability grid (except seeds)."""
 
-    Returns one report per (env, family) pair in input order — the table of
-    experiment E8.
+    env_names: tuple[str, ...]
+    families: tuple[str, ...]
+    threshold: float = 0.0
+    dqn: DQNConfig | None = None
+    size: int = 6
+    width: int = 12
+    eval_episodes: int = 20
 
-    Training seeds are spawned once from ``base_seed`` and shared across
-    every (env, family) cell, so the cross-seed comparison is paired and —
-    because all seeds exist before dispatch — the study is bit-identical
-    whether the grid trains serially or across ``workers`` processes.
-    """
-    if n_seeds < 1:
-        raise ValueError(f"n_seeds must be >= 1, got {n_seeds}")
-    trial_seeds = spawn_children(base_seed, n_seeds)
-    grid = [(env_name, family) for env_name in env_names for family in families]
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "env_names", tuple(self.env_names))
+        object.__setattr__(self, "families", tuple(self.families))
+        if not self.env_names or not self.families:
+            raise ValueError("env_names and families must be non-empty")
+
+
+@dataclass(frozen=True)
+class ReliabilityResult(StudyResult):
+    """Unified result of one reliability study: the E8 table plus records."""
+
+    reports: tuple[ReliabilityReport, ...]
+    trial_records: tuple[StudyRecord, ...] = field(default=(), repr=False)
+
+    study_name = "rl.reliability_study"
+
+    @property
+    def records(self) -> tuple[StudyRecord, ...]:
+        return self.trial_records
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "study": self.study_name,
+            "n_records": len(self.records),
+            "n_cells": len(self.reports),
+            "mean_return": float(
+                np.mean([r.mean_return for r in self.reports])
+            ),
+            "mean_reliability": float(
+                np.mean([r.reliability for r in self.reports])
+            ),
+            "worst_lower_quartile": float(
+                min(r.lower_quartile for r in self.reports)
+            ),
+        }
+
+    def to_table(self) -> str:
+        table = Table(
+            ["env", "family", "mean return", "reliability", "lower quartile"],
+            title="E8 reliability study",
+        )
+        for report in self.reports:
+            table.add_row(
+                [
+                    report.env,
+                    report.family,
+                    report.mean_return,
+                    report.reliability,
+                    report.lower_quartile,
+                ]
+            )
+        return table.render()
+
+
+def _run_grid(
+    cfg: ReliabilityStudyConfig,
+    trial_seeds: list[int],
+    workers: int | None,
+    cache,
+) -> ReliabilityResult:
+    """Train every (env, family, seed) cell and assemble the result."""
+    n_seeds = len(trial_seeds)
+    grid = [(env, family) for env in cfg.env_names for family in cfg.families]
     configs = [
         {
             "env": env_name,
             "family": family,
-            "config": config,
-            "size": size,
-            "width": width,
-            "eval_episodes": eval_episodes,
+            "config": cfg.dqn,
+            "size": cfg.size,
+            "width": cfg.width,
+            "eval_episodes": cfg.eval_episodes,
         }
         for env_name, family in grid
         for _ in trial_seeds
@@ -129,7 +189,78 @@ def reliability_study(
                 env=env_name,
                 family=family,
                 per_seed_returns=tuple(returns),
-                threshold=threshold,
+                threshold=cfg.threshold,
             )
         )
-    return reports
+    records = tuple(
+        StudyRecord(config=config, seed=seed, value=value)
+        for config, seed, value in zip(configs, trial_seeds * len(grid), finals)
+    )
+    return ReliabilityResult(reports=tuple(reports), trial_records=records)
+
+
+def reliability_study(
+    study: ReliabilityStudyConfig | Sequence[str],
+    families: Sequence[str] | None = None,
+    *,
+    seeds: Sequence[int] | None = None,
+    workers: int | None = None,
+    cache: Any = DEFAULT_CACHE,
+    n_seeds: int = 3,
+    threshold: float = 0.0,
+    config: DQNConfig | None = None,
+    size: int = 6,
+    width: int = 12,
+    eval_episodes: int = 20,
+    base_seed: int = 0,
+) -> ReliabilityResult | list[ReliabilityReport]:
+    """Train every (env, family, seed) cell and summarize reliability.
+
+    Unified form (the Study API)::
+
+        reliability_study(
+            ReliabilityStudyConfig(env_names=["catch"], families=["cnn"]),
+            seeds=spawn_children(0, 3), workers=4,
+        )
+
+    ``seeds`` is shared across every (env, family) cell, so the
+    cross-seed comparison is paired and — because all seeds exist before
+    dispatch — the study is bit-identical whether the grid trains
+    serially or across ``workers`` processes.  Returns a
+    :class:`ReliabilityResult` whose ``reports`` hold one
+    :class:`ReliabilityReport` per (env, family) pair in input order —
+    the table of experiment E8.
+
+    The legacy form ``reliability_study(env_names, families, n_seeds=..,
+    base_seed=..)`` is deprecated; it spawns the same seeds from
+    ``base_seed`` it always did and still returns the plain report list.
+    """
+    if isinstance(study, ReliabilityStudyConfig):
+        if families is not None or config is not None:
+            raise TypeError(
+                "the unified form takes only (config, *, seeds, workers, cache)"
+            )
+        if seeds is None or len(list(seeds)) == 0:
+            raise ValueError("the unified form requires a non-empty seeds sequence")
+        return _run_grid(
+            study, [int(s) for s in seeds], workers, resolve_cache(cache)
+        )
+
+    warn_deprecated_form("reliability_study", "ReliabilityStudyConfig(...)")
+    if families is None:
+        raise TypeError("legacy reliability_study(env_names, families) needs families")
+    if n_seeds < 1:
+        raise ValueError(f"n_seeds must be >= 1, got {n_seeds}")
+    cfg = ReliabilityStudyConfig(
+        env_names=tuple(study),
+        families=tuple(families),
+        threshold=threshold,
+        dqn=config,
+        size=size,
+        width=width,
+        eval_episodes=eval_episodes,
+    )
+    trial_seeds = spawn_children(base_seed, n_seeds)
+    legacy_cache = None if cache is DEFAULT_CACHE else resolve_cache(cache)
+    result = _run_grid(cfg, trial_seeds, workers, legacy_cache)
+    return list(result.reports)

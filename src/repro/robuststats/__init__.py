@@ -22,7 +22,11 @@ from repro.robuststats.estimators import (
     geometric_median,
     sample_mean,
 )
-from repro.robuststats.study import DimensionSweepResult, dimension_sweep
+from repro.robuststats.study import (
+    DimensionSweepConfig,
+    DimensionSweepResult,
+    dimension_sweep,
+)
 
 __all__ = [
     "ContaminationModel",
@@ -32,6 +36,7 @@ __all__ = [
     "filter_mean",
     "geometric_median",
     "sample_mean",
+    "DimensionSweepConfig",
     "DimensionSweepResult",
     "dimension_sweep",
 ]

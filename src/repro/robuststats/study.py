@@ -1,15 +1,31 @@
-"""The error-versus-dimension experiment (E10)."""
+"""The error-versus-dimension experiment (E10).
+
+``dimension_sweep`` follows the unified Study API
+(:mod:`repro.parallel.study`): pass a :class:`DimensionSweepConfig` plus
+``seeds=...`` and get a :class:`DimensionSweepResult` carrying per-cell
+``records``, a ``summary()`` dict, and a ``to_table()`` rendering.  The
+historical positional form (``dimension_sweep([10, 50], eps=..,
+n_trials=.., seed=..)``) still works through a deprecation shim and
+reproduces its original seed derivation bit-for-bit.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
-from typing import Callable
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from repro.parallel.cache import ResultCache, code_salt
 from repro.parallel.runner import pmap
+from repro.parallel.study import (
+    DEFAULT_CACHE,
+    StudyRecord,
+    StudyResult,
+    resolve_cache,
+    warn_deprecated_form,
+)
 from repro.provenance.manifest import stable_hash
 from repro.robuststats.contamination import ContaminationModel, contaminated_gaussian
 from repro.robuststats.estimators import (
@@ -18,8 +34,14 @@ from repro.robuststats.estimators import (
     sample_mean,
 )
 from repro.utils.rng import as_generator
+from repro.utils.tables import Table
 
-__all__ = ["DimensionSweepResult", "dimension_sweep", "DEFAULT_ESTIMATORS"]
+__all__ = [
+    "DimensionSweepConfig",
+    "DimensionSweepResult",
+    "dimension_sweep",
+    "DEFAULT_ESTIMATORS",
+]
 
 Estimator = Callable[[np.ndarray], np.ndarray]
 
@@ -39,7 +61,43 @@ def DEFAULT_ESTIMATORS(eps: float) -> dict[str, Estimator]:
 
 
 @dataclass(frozen=True)
-class DimensionSweepResult:
+class DimensionSweepConfig:
+    """Everything that defines one E10 dimension sweep (except seeds).
+
+    The sample size scales with the dimension (``n = max(min_samples,
+    samples_per_dim * d)``), the standard regime in the robust-statistics
+    literature: it pins the clean statistical error sqrt(d/n) to a
+    constant, so any error *growth* across the sweep is attributable to
+    the contamination.
+    """
+
+    dims: tuple[int, ...]
+    eps: float = 0.1
+    samples_per_dim: int = 10
+    min_samples: int = 200
+    adversary: str = "shifted_cluster"
+    estimators: dict[str, Estimator] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dims", tuple(self.dims))
+        if not self.dims or any(d < 1 for d in self.dims):
+            raise ValueError("dims must be a non-empty list of positive ints")
+        if sorted(self.dims) != list(self.dims):
+            raise ValueError("dims must be sorted ascending")
+        if self.samples_per_dim < 1 or self.min_samples < 10:
+            raise ValueError("need samples_per_dim >= 1 and min_samples >= 10")
+        if self.estimators is not None and "oracle" in self.estimators:
+            raise ValueError("'oracle' is a reserved estimator name")
+
+    def resolved_estimators(self) -> dict[str, Estimator]:
+        return self.estimators or DEFAULT_ESTIMATORS(self.eps)
+
+    def sample_size(self, dim: int) -> int:
+        return max(self.min_samples, self.samples_per_dim * dim)
+
+
+@dataclass(frozen=True)
+class DimensionSweepResult(StudyResult):
     """L2 estimation errors over a dimension sweep.
 
     ``errors[name]`` has shape ``(len(dims), n_trials)``.
@@ -48,6 +106,13 @@ class DimensionSweepResult:
     dims: tuple[int, ...]
     eps: float
     errors: dict[str, np.ndarray]
+    trial_records: tuple[StudyRecord, ...] = field(default=(), repr=False)
+
+    study_name = "robuststats.dimension_sweep"
+
+    @property
+    def records(self) -> tuple[StudyRecord, ...]:
+        return self.trial_records
 
     def mean_error(self, name: str) -> np.ndarray:
         """Mean error per dimension for one estimator."""
@@ -61,6 +126,29 @@ class DimensionSweepResult:
         """
         means = self.mean_error(name)
         return float(means[-1] / means[0])
+
+    def summary(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "study": self.study_name,
+            "n_records": len(self.records),
+            "dims": list(self.dims),
+            "eps": self.eps,
+        }
+        for name in self.errors:
+            out[f"growth_ratio.{name}"] = self.growth_ratio(name)
+        return out
+
+    def to_table(self) -> str:
+        table = Table(
+            ["estimator", f"err@d={self.dims[0]}", f"err@d={self.dims[-1]}", "growth"],
+            title=f"E10 dimension sweep (eps={self.eps})",
+        )
+        for name in self.errors:
+            means = self.mean_error(name)
+            table.add_row(
+                [name, float(means[0]), float(means[-1]), self.growth_ratio(name)]
+            )
+        return table.render()
 
 
 def _sweep_cell(
@@ -93,57 +181,16 @@ def _sweep_cell(
     return out
 
 
-def dimension_sweep(
-    dims: list[int],
-    *,
-    eps: float = 0.1,
-    samples_per_dim: int = 10,
-    min_samples: int = 200,
-    n_trials: int = 3,
-    adversary: str = "shifted_cluster",
-    estimators: dict[str, Estimator] | None = None,
-    seed: int | np.random.Generator | None = 0,
-    workers: int | None = None,
-    cache: ResultCache | None = None,
+def _execute(
+    cfg: DimensionSweepConfig,
+    configs: list[dict],
+    trial_seeds: list[int],
+    n_trials: int,
+    workers: int | None,
+    cache: ResultCache | None,
 ) -> DimensionSweepResult:
-    """Sweep the dimension at fixed contamination and record L2 errors.
-
-    The sample size scales with the dimension (``n = max(min_samples,
-    samples_per_dim * d)``), the standard regime in the robust-statistics
-    literature: it pins the clean statistical error sqrt(d/n) to a
-    constant, so any error *growth* across the sweep is attributable to the
-    contamination.  An ``"oracle"`` row (mean of the clean points only,
-    using the ground-truth outlier labels) is always included as the floor.
-
-    Every estimator sees the identical draws (trial RNG is forked per
-    (dimension, trial) cell), so the comparison is paired.
-
-    All trial seeds are drawn from the study RNG *before* dispatch, and
-    cells run through :func:`repro.parallel.pmap`, so ``workers=1`` and
-    ``workers=8`` produce bit-identical sweeps; pass a
-    :class:`repro.parallel.ResultCache` to make repeated sweeps re-execute
-    nothing.  Unpicklable custom estimators transparently fall back to the
-    in-process serial path.
-    """
-    if not dims or any(d < 1 for d in dims):
-        raise ValueError("dims must be a non-empty list of positive ints")
-    if sorted(dims) != list(dims):
-        raise ValueError("dims must be sorted ascending")
-    if samples_per_dim < 1 or min_samples < 10:
-        raise ValueError("need samples_per_dim >= 1 and min_samples >= 10")
-    rng = as_generator(seed)
-    ests = estimators or DEFAULT_ESTIMATORS(eps)
-    if "oracle" in ests:
-        raise ValueError("'oracle' is a reserved estimator name")
-    # Seeds are drawn in (dimension, trial) order on the study stream —
-    # the same derivation the serial loop always used — then fanned out.
-    configs: list[dict] = []
-    trial_seeds: list[int] = []
-    for d in dims:
-        n = max(min_samples, samples_per_dim * d)
-        for _ in range(n_trials):
-            configs.append({"dim": d, "n": n, "eps": eps, "adversary": adversary})
-            trial_seeds.append(int(rng.integers(0, 2**63 - 1)))
+    """Run the prepared (config, seed) cells and assemble the result."""
+    ests = cfg.resolved_estimators()
     # The estimator table is partial-bound rather than part of the config,
     # so its identity must reach the cache key through the salt.
     est_names = {
@@ -159,10 +206,103 @@ def dimension_sweep(
         cache=cache,
         salt=salt,
     )
-    errors = {name: np.empty((len(dims), n_trials)) for name in ests}
-    errors["oracle"] = np.empty((len(dims), n_trials))
+    errors = {name: np.empty((len(cfg.dims), n_trials)) for name in ests}
+    errors["oracle"] = np.empty((len(cfg.dims), n_trials))
     for index, cell in enumerate(cells):
         i, t = divmod(index, n_trials)
         for name, value in cell.items():
             errors[name][i, t] = value
-    return DimensionSweepResult(dims=tuple(dims), eps=eps, errors=errors)
+    records = tuple(
+        StudyRecord(config=config, seed=seed, value=cell)
+        for config, seed, cell in zip(configs, trial_seeds, cells)
+    )
+    return DimensionSweepResult(
+        dims=cfg.dims, eps=cfg.eps, errors=errors, trial_records=records
+    )
+
+
+def dimension_sweep(
+    config: DimensionSweepConfig | Sequence[int],
+    *,
+    seeds: Sequence[int] | None = None,
+    workers: int | None = None,
+    cache: Any = DEFAULT_CACHE,
+    eps: float = 0.1,
+    samples_per_dim: int = 10,
+    min_samples: int = 200,
+    n_trials: int = 3,
+    adversary: str = "shifted_cluster",
+    estimators: dict[str, Estimator] | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> DimensionSweepResult:
+    """Sweep the dimension at fixed contamination and record L2 errors.
+
+    Unified form (the Study API)::
+
+        dimension_sweep(DimensionSweepConfig(dims=[10, 50]),
+                        seeds=spawn_children(0, 5), workers=4)
+
+    ``seeds`` is the per-trial seed list, applied to *every* dimension
+    (paired design — each dimension sees the same draws), and the number
+    of trials is ``len(seeds)``.  An ``"oracle"`` row (mean of the clean
+    points only, using the ground-truth outlier labels) is always
+    included as the floor.
+
+    All trial seeds exist *before* dispatch and cells run through
+    :func:`repro.parallel.pmap`, so ``workers=1`` and ``workers=8``
+    produce bit-identical sweeps; ``cache`` defaults to the
+    environment-rooted :class:`repro.parallel.ResultCache` so repeated
+    sweeps re-execute nothing.  Unpicklable custom estimators
+    transparently fall back to the in-process serial path.
+
+    The legacy positional form ``dimension_sweep(dims, eps=.., n_trials=..,
+    seed=..)`` is deprecated but keeps its original per-(dimension, trial)
+    seed derivation and (cache-off) defaults exactly.
+    """
+    if isinstance(config, DimensionSweepConfig):
+        if seeds is None or len(list(seeds)) == 0:
+            raise ValueError("the unified form requires a non-empty seeds sequence")
+        trial_seeds = [int(s) for s in seeds]
+        n = len(trial_seeds)
+        configs = [
+            {
+                "dim": d,
+                "n": config.sample_size(d),
+                "eps": config.eps,
+                "adversary": config.adversary,
+            }
+            for d in config.dims
+            for _ in range(n)
+        ]
+        return _execute(
+            config,
+            configs,
+            trial_seeds * len(config.dims),
+            n,
+            workers,
+            resolve_cache(cache),
+        )
+
+    # Legacy form: dims list first, trial seeds drawn from the study RNG in
+    # (dimension, trial) order — the exact derivation of the original API.
+    warn_deprecated_form("dimension_sweep", "DimensionSweepConfig(dims=[...])")
+    cfg = DimensionSweepConfig(
+        dims=tuple(config),
+        eps=eps,
+        samples_per_dim=samples_per_dim,
+        min_samples=min_samples,
+        adversary=adversary,
+        estimators=estimators,
+    )
+    rng = as_generator(seed)
+    configs = []
+    trial_seeds = []
+    for d in cfg.dims:
+        n_samples = cfg.sample_size(d)
+        for _ in range(n_trials):
+            configs.append(
+                {"dim": d, "n": n_samples, "eps": cfg.eps, "adversary": cfg.adversary}
+            )
+            trial_seeds.append(int(rng.integers(0, 2**63 - 1)))
+    legacy_cache = None if cache is DEFAULT_CACHE else resolve_cache(cache)
+    return _execute(cfg, configs, trial_seeds, n_trials, workers, legacy_cache)

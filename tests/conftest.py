@@ -1,0 +1,20 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def reset_obs_metrics():
+    """Start every test with a clean global metrics registry.
+
+    Library code increments :mod:`repro.obs` counters as a side effect
+    (cache hits, pmap calls, training gauges); without a reset, one
+    test's counts would leak into the next test's assertions.
+    """
+    from repro.obs.metrics import get_metrics
+
+    get_metrics().reset()
+    yield
+    get_metrics().reset()

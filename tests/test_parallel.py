@@ -121,8 +121,10 @@ class TestResultCache:
         cache.get(key)
         cache.put(key, 9)
         cache.get(key)
-        assert (cache.stats.hits, cache.stats.misses, cache.stats.stores) == (1, 1, 1)
-        assert cache.stats.hit_rate == 0.5
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.stores) == (1, 1, 1)
+        assert stats.hit_rate == 0.5
+        assert stats.bytes_written > 0
 
     def test_kill_switch(self, tmp_path, monkeypatch):
         cache = ResultCache(tmp_path)
@@ -175,18 +177,18 @@ class TestResultCache:
     def test_pmap_cache_skips_execution(self, tmp_path):
         cache = ResultCache(tmp_path)
         cold = pmap(seeded_cell, list(range(4)), 0, cache=cache)
-        assert cache.stats.misses == 4 and cache.stats.stores == 4
+        assert cache.stats().misses == 4 and cache.stats().stores == 4
         warm = pmap(seeded_cell, list(range(4)), 0, cache=cache)
         assert warm == cold
-        assert cache.stats.hits == 4
-        assert cache.stats.stores == 4  # nothing re-executed, nothing re-stored
+        assert cache.stats().hits == 4
+        assert cache.stats().stores == 4  # nothing re-executed, nothing re-stored
 
     def test_cache_shared_between_serial_and_parallel(self, tmp_path):
         cache = ResultCache(tmp_path)
         cold = pmap(seeded_cell, list(range(4)), 0, workers=4, cache=cache)
         warm = pmap(seeded_cell, list(range(4)), 0, workers=1, cache=cache)
         assert warm == cold
-        assert cache.stats.hits == 4
+        assert cache.stats().hits == 4
 
 
 class TestSweep:
@@ -274,10 +276,10 @@ class TestStudyDeterminism:
 
         cache = ResultCache(tmp_path)
         cold = dimension_sweep([5, 10], n_trials=2, min_samples=40, seed=0, cache=cache)
-        executed = cache.stats.misses
+        executed = cache.stats().misses
         warm = dimension_sweep([5, 10], n_trials=2, min_samples=40, seed=0, cache=cache)
-        assert cache.stats.misses == executed  # zero new executions
-        assert cache.stats.hits == executed
+        assert cache.stats().misses == executed  # zero new executions
+        assert cache.stats().hits == executed
         for name in cold.errors:
             np.testing.assert_array_equal(cold.errors[name], warm.errors[name])
 

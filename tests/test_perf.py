@@ -112,7 +112,8 @@ class TestScalingLaws:
         assert 1.0 <= s <= 1.0 / serial + 1e-9
 
     def test_scaling_table_renders(self):
-        out = scaling_table(0.1, [1, 2, 4]).render()
+        out = scaling_table(0.1, [1, 2, 4])
+        assert isinstance(out, str)
         assert "Amdahl" in out
         assert len(out.splitlines()) == 6
 
@@ -179,7 +180,8 @@ class TestSectionProfiler:
         prof = SectionProfiler()
         with prof.section("only"):
             sum(range(1000))
-        out = prof.report().render()
+        out = prof.report()
+        assert isinstance(out, str)
         assert "only" in out
         assert "% of top" in out
 
