@@ -4,74 +4,29 @@ Reproduced outcomes: four pilot sessions materially improve the
 instruments' validity; reviewer success tracks the sociotechnical factors;
 and the artifact population shows the "artifacts are code" decoupling of
 code and documentation quality.
+
+Registered as experiment ``E1``: the logic lives in
+:mod:`repro.ae.study`; run it standalone with ``python -m repro run E1``.
 """
 
-import numpy as np
 from conftest import emit
 
-from repro.ae import (
-    DiaryStudy,
-    InterviewProtocol,
-    Reviewer,
-    award_badges,
-    evaluate_artifact,
-    run_pilot_sessions,
-    synthesize_artifacts,
-)
-from repro.utils.tables import Table
-
-
-def run_pilot_study():
-    diary = DiaryStudy()
-    protocol = InterviewProtocol()
-    fb_diary = run_pilot_sessions(diary, n_sessions=4, seed=0)
-    fb_protocol = run_pilot_sessions(protocol, n_sessions=4, seed=1)
-    return diary, protocol, fb_diary, fb_protocol
+from repro.ae.study import e1_pilot_refinement, e1_reviewer_panel
 
 
 def test_pilot_refinement(benchmark):
-    diary, protocol, fb_diary, fb_protocol = benchmark(run_pilot_study)
-    table = Table(
-        ["session", "diary validity", "interview validity"],
-        title="E1: pilot sessions improve instrument validity (paper: 4 sessions, materials substantially revised)",
-    )
-    for fd, fp in zip(fb_diary, fb_protocol):
-        table.add_row([fd.session, fd.validity_after, fp.validity_after])
-    emit(table.render())
-    assert fb_diary[-1].validity_after > fb_diary[0].validity_before + 0.1
-    assert diary.total_revisions > 0 and protocol.total_revisions > 0
+    block = benchmark(e1_pilot_refinement)
+    for text in block.tables:
+        emit(text)
+    assert block.values["validity_after"] > block.values["validity_before"] + 0.1
+    assert block.values["diary_revisions"] > 0
+    assert block.values["protocol_revisions"] > 0
 
 
 def test_reviewer_panel(benchmark):
-    def panel():
-        artifacts = synthesize_artifacts(30, seed=2)
-        reviewers = [
-            Reviewer("novice", 8.0, expertise=0.2, infrastructure=0.5),
-            Reviewer("expert", 8.0, expertise=0.9, infrastructure=0.9),
-            Reviewer("no-gpu", 8.0, expertise=0.6, infrastructure=0.1),
-        ]
-        outcomes = [
-            evaluate_artifact(a, r, seed=i * 31 + j)
-            for i, a in enumerate(artifacts)
-            for j, r in enumerate(reviewers)
-        ]
-        return artifacts, reviewers, outcomes
-
-    artifacts, reviewers, outcomes = benchmark(panel)
-    badges = award_badges(outcomes)
-    table = Table(["reviewer", "got running", "reproduced"], title="E1: reviewer success by profile")
-    for r in reviewers:
-        mine = [o for o in outcomes if o.reviewer == r.name]
-        table.add_row(
-            [r.name, np.mean([o.got_running for o in mine]), np.mean([o.reproduced for o in mine])]
-        )
-    emit(table.render())
-    dist = {b.name: sum(v is b for v in badges.values()) for b in set(badges.values())}
-    emit(f"E1 badge distribution over {len(badges)} artifacts: {dist}")
-    expert = np.mean([o.got_running for o in outcomes if o.reviewer == "expert"])
-    no_gpu = np.mean([o.got_running for o in outcomes if o.reviewer == "no-gpu"])
-    assert expert > no_gpu  # infrastructure is a real factor
-
-    code = np.array([a.code_quality for a in artifacts])
-    docs = np.array([a.doc_quality for a in artifacts])
-    emit(f"E1 corr(code quality, doc quality) = {np.corrcoef(code, docs)[0,1]:.2f} (artifacts are code)")
+    block = benchmark(e1_reviewer_panel)
+    for text in block.tables:
+        emit(text)
+    rates = block.values["reviewers"]
+    # infrastructure is a real factor
+    assert rates["expert"]["got_running"] > rates["no-gpu"]["got_running"]

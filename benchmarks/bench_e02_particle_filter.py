@@ -4,52 +4,33 @@ Paper claims: the fast weighting function is "much faster and almost as
 accurate as the typical Gaussian weighting function".  The benchmark times
 one full filter update (predict + weight + resample test) per kernel and
 prints accuracy (MAE in score seconds) per particle count.
+
+Registered as experiment ``E2``: the logic lives in
+:mod:`repro.particlefilter.study`; run it standalone with
+``python -m repro run E2``.
 """
 
-import numpy as np
 from conftest import emit
 
-from repro.particlefilter import (
-    EpanechnikovWeighting,
-    GaussianWeighting,
-    ParticleFilter,
-    Performance,
-    TriangularWeighting,
-    make_schedule,
-    track,
+from repro.particlefilter import GaussianWeighting, ParticleFilter, TriangularWeighting
+from repro.particlefilter.study import (
+    e2_accuracy_sweep,
+    e2_kernel_speedup,
+    make_tracking_scene,
 )
-from repro.utils.tables import Table
 
-SCHEDULE = make_schedule(n_events=12, seed=3)
-TRUE_POS, OBSERVATIONS = Performance(SCHEDULE, seed=4).simulate()
-KERNELS = [GaussianWeighting(0.5), TriangularWeighting(1.5), EpanechnikovWeighting(1.5)]
-
-
-def accuracy_sweep():
-    rows = []
-    for kernel in KERNELS:
-        for n in (128, 512, 2048):
-            res = track(
-                SCHEDULE, TRUE_POS, OBSERVATIONS,
-                n_particles=n, weighting=kernel, seed=5,
-            )
-            rows.append((kernel.name, n, res.mean_abs_error, res.n_resamples))
-    return rows
+SCHEDULE, TRUE_POS, OBSERVATIONS = make_tracking_scene()
 
 
 def test_accuracy_comparison(benchmark):
-    rows = benchmark.pedantic(accuracy_sweep, rounds=1, iterations=1)
-    table = Table(
-        ["weighting", "particles", "MAE (s)", "resamples"],
-        title="E2: tracking accuracy (paper: fast kernel almost as accurate)",
-    )
-    for r in rows:
-        table.add_row(list(r))
-    emit(table.render())
-    by_kernel = {k.name: [r[2] for r in rows if r[0] == k.name] for k in KERNELS}
-    for fast in ("triangular", "epanechnikov"):
-        for mae_fast, mae_gauss in zip(by_kernel[fast], by_kernel["gaussian"]):
-            assert mae_fast < mae_gauss * 2.0 + 0.5
+    block = benchmark.pedantic(e2_accuracy_sweep, rounds=1, iterations=1)
+    for text in block.tables:
+        emit(text)
+    gaussian = {c["particles"]: c["mae"] for c in block.values["cells"]
+                if c["kernel"] == "gaussian"}
+    for cell in block.values["cells"]:
+        if cell["kernel"] in ("triangular", "epanechnikov"):
+            assert cell["mae"] < gaussian[cell["particles"]] * 2.0 + 0.5
 
 
 def _one_update(pf, obs):
@@ -69,27 +50,7 @@ def test_fast_update_latency(benchmark):
 
 def test_kernel_evaluation_speedup(benchmark):
     """The isolated weighting cost — the quantity the project optimized."""
-    distances = np.abs(np.random.default_rng(0).normal(size=200_000))
-    gaussian, fast = GaussianWeighting(0.5), TriangularWeighting(1.5)
-
-    import time
-
-    def best_of(kernel, trials=5, reps=20):
-        times = []
-        for _ in range(trials):
-            start = time.perf_counter()
-            for _ in range(reps):
-                kernel(distances)
-            times.append((time.perf_counter() - start) / reps)
-        return min(times)
-
-    def measure_pair():
-        return best_of(gaussian) / best_of(fast)
-
-    speedup = benchmark.pedantic(measure_pair, rounds=3, iterations=1)
-    emit(
-        f"E2 weighting-kernel speedup (fast vs Gaussian): {speedup:.2f}x "
-        "(paper: 'much faster' on GPU tensors; on a CPU with vectorized exp "
-        "the gap narrows — see EXPERIMENTS.md)"
-    )
-    assert speedup > 1.05
+    block = benchmark.pedantic(e2_kernel_speedup, rounds=3, iterations=1)
+    for text in block.tables:
+        emit(text)
+    assert block.values["speedup"] > 1.05

@@ -4,83 +4,33 @@ Paper claims: a technique that "avoids complete retraining" with
 "comparable performance to models that were not required to unlearn".
 Rows: retain accuracy, forget-class accuracy, and the gradient-update cost
 of producing the unlearned model.
+
+Registered as experiment ``E3``: the logic lives in
+:mod:`repro.unlearning.study`; run it standalone with
+``python -m repro run E3``.
 """
 
-import numpy as np
 from conftest import emit
 
-from repro.unlearning import (
-    SISAEnsemble,
-    assess_unlearning,
-    make_class_blobs,
-    retrain_from_scratch,
-    scrub_unlearn,
-    train_classifier,
-)
-from repro.utils.tables import Table
+from repro.unlearning import make_class_blobs, scrub_unlearn, train_classifier
+from repro.unlearning.study import e3_membership_inference, e3_unlearning_comparison
 
 N_CLASSES, FORGET = 4, 2
 X, Y = make_class_blobs(n_classes=N_CLASSES, n_per_class=150, dim=16, seed=0)
 SPLIT = int(0.75 * len(Y))
-XTR, YTR, XTE, YTE = X[:SPLIT], Y[:SPLIT], X[SPLIT:], Y[SPLIT:]
-
-
-def run_study():
-    base = train_classifier(XTR, YTR, N_CLASSES, epochs=20, seed=1)
-    reports = []
-    retrained = retrain_from_scratch(XTR, YTR, FORGET, N_CLASSES, epochs=20, seed=1)
-    reports.append(
-        assess_unlearning(
-            "retrain (gold)",
-            lambda z: retrained.model.predict(z).argmax(1),
-            XTE, YTE, FORGET, N_CLASSES,
-            gradient_updates=retrained.gradient_updates,
-        )
-    )
-    scrubbed = scrub_unlearn(base, XTR, YTR, FORGET, epochs=8, seed=2)
-    reports.append(
-        assess_unlearning(
-            "scrub (ours)",
-            lambda z: scrubbed.model.predict(z).argmax(1),
-            XTE, YTE, FORGET, N_CLASSES,
-            gradient_updates=scrubbed.gradient_updates,
-        )
-    )
-    sisa = SISAEnsemble(n_shards=4, n_classes=N_CLASSES, epochs=20, seed=3)
-    sisa.fit(XTR, YTR)
-    spent = sisa.unlearn_class(FORGET)
-    reports.append(
-        assess_unlearning(
-            "sisa (exact)", sisa.predict, XTE, YTE, FORGET, N_CLASSES,
-            gradient_updates=spent,
-        )
-    )
-    return base, reports
+XTR, YTR = X[:SPLIT], Y[:SPLIT]
 
 
 def test_unlearning_study(benchmark):
-    base, reports = benchmark.pedantic(run_study, rounds=1, iterations=1)
-    table = Table(
-        ["method", "retain acc", "forget acc", "updates", "forgotten"],
-        title=(
-            "E3: unlearning one class (paper: comparable performance without "
-            f"complete retraining; chance = {1/N_CLASSES:.2f})"
-        ),
-    )
-    for r in reports:
-        table.add_row(
-            [r.method, r.retain_accuracy, r.forget_accuracy, r.gradient_updates, r.forgotten]
-        )
-    emit(table.render())
-    retrain, scrub, sisa = reports
-    assert all(r.forgotten for r in reports)
-    assert scrub.retain_accuracy > retrain.retain_accuracy - 0.1
+    block = benchmark.pedantic(e3_unlearning_comparison, rounds=1, iterations=1)
+    for text in block.tables:
+        emit(text)
+    by_method = {m["method"]: m for m in block.values["methods"]}
+    retrain, scrub = by_method["retrain (gold)"], by_method["scrub (ours)"]
+    assert all(m["forgotten"] for m in block.values["methods"])
+    assert scrub["retain_accuracy"] > retrain["retain_accuracy"] - 0.1
     # The cost story: scrubbing is several times cheaper than retraining.
-    assert scrub.gradient_updates * 2 < retrain.gradient_updates
-    emit(
-        f"E3 scrub cost = {scrub.gradient_updates} updates vs retrain "
-        f"{retrain.gradient_updates} ({retrain.gradient_updates / scrub.gradient_updates:.1f}x saving)"
-    )
+    assert scrub["gradient_updates"] * 2 < retrain["gradient_updates"]
 
 
 def test_membership_inference_criterion(benchmark):
@@ -91,42 +41,13 @@ def test_membership_inference_criterion(benchmark):
     to chance; cheap scrubbing does not — an honest limitation of the
     fast method that the accuracy-based E3 table cannot see.
     """
-    from repro.unlearning import membership_inference_auc
-
-    def run():
-        x, y = make_class_blobs(
-            n_classes=3, n_per_class=60, dim=16,
-            separation=1.8, within_std=1.3, seed=0,
-        )
-        split = 120
-        xtr, ytr, xte, yte = x[:split], y[:split], x[split:], y[split:]
-        fc = 1
-        m, t = ytr == fc, yte == fc
-        base = train_classifier(xtr, ytr, 3, epochs=150, seed=1)
-        scrubbed = scrub_unlearn(base, xtr, ytr, fc, epochs=10, seed=2)
-        retrained = retrain_from_scratch(xtr, ytr, fc, 3, epochs=150, seed=1)
-        rows = []
-        for name, model in (
-            ("no unlearning", base.model),
-            ("scrub", scrubbed.model),
-            ("retrain", retrained.model),
-        ):
-            rep = membership_inference_auc(model, xtr[m], ytr[m], xte[t], yte[t])
-            rows.append((name, rep.attack_auc, rep.leaks_membership))
-        return rows
-
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    table = Table(
-        ["model", "attack AUC", "leaks membership"],
-        title="E3: loss-threshold membership inference on the forgotten class (chance = 0.50)",
-    )
-    for r in rows:
-        table.add_row(list(r))
-    emit(table.render())
-    by_name = {r[0]: r[1] for r in rows}
-    assert by_name["no unlearning"] > 0.6
-    assert abs(by_name["retrain"] - 0.5) < 0.12
-    assert by_name["scrub"] > by_name["retrain"] + 0.1
+    block = benchmark.pedantic(e3_membership_inference, rounds=1, iterations=1)
+    for text in block.tables:
+        emit(text)
+    auc = block.values["auc"]
+    assert auc["no unlearning"] > 0.6
+    assert abs(auc["retrain"] - 0.5) < 0.12
+    assert auc["scrub"] > auc["retrain"] + 0.1
 
 
 def test_scrub_latency(benchmark):

@@ -3,52 +3,28 @@
 Paper claims: extending the shape-only framework with POI semantics gives
 "clear improvement in a controlled experiment".  The control: two classes
 share a route and differ only in dwell semantics.
+
+Registered as experiment ``E4``: the logic lives in
+:mod:`repro.trajectories.study`; run it standalone with
+``python -m repro run E4``.
 """
 
-import numpy as np
 from conftest import emit
 
-from repro.trajectories import (
-    combined_features,
-    cross_validate,
-    landmark_features,
-    make_dataset,
-    semantic_features,
-)
-from repro.trajectories.features import make_landmarks
-from repro.utils.tables import Table
+from repro.trajectories import make_dataset, semantic_features
+from repro.trajectories.study import e4_semantic_extension
 
 DATASET = make_dataset(n_per_class=40, seed=0)
-LANDMARKS = make_landmarks(24, seed=1)
-
-
-def run_controlled_experiment():
-    shape = landmark_features(DATASET.trajectories, LANDMARKS)
-    std = shape.std(axis=0)
-    std[std == 0] = 1.0
-    shape_std = (shape - shape.mean(axis=0)) / std
-    combined = combined_features(
-        DATASET.trajectories, LANDMARKS, DATASET.pois, semantic_weight=2.0
-    )
-    y = DATASET.labels
-    return cross_validate(shape_std, y, seed=2), cross_validate(combined, y, seed=2)
 
 
 def test_semantic_extension(benchmark):
-    rep_shape, rep_comb = benchmark(run_controlled_experiment)
-    table = Table(
-        ["features", "accuracy", "riverside 0<->1 confusion"],
-        title="E4: shape-only vs shape+semantics (paper: clear improvement)",
-    )
-    for name, rep in (("shape-only", rep_shape), ("shape+semantic", rep_comb)):
-        confusion = rep.pair_confusion(0, 1) + rep.pair_confusion(1, 0)
-        table.add_row([name, rep.mean_accuracy, confusion])
-    emit(table.render())
-    assert rep_comb.mean_accuracy > rep_shape.mean_accuracy
-    assert (
-        rep_comb.pair_confusion(0, 1) + rep_comb.pair_confusion(1, 0)
-        < rep_shape.pair_confusion(0, 1) + rep_shape.pair_confusion(1, 0)
-    )
+    block = benchmark(e4_semantic_extension)
+    for text in block.tables:
+        emit(text)
+    shape = block.values["shape-only"]
+    combined = block.values["shape+semantic"]
+    assert combined["accuracy"] > shape["accuracy"]
+    assert combined["riverside_confusion"] < shape["riverside_confusion"]
 
 
 def test_semantic_featurization_latency(benchmark):

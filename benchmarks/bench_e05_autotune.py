@@ -7,113 +7,52 @@ performance gaps."  The harness tunes each of the five lesson kernels for
 the TVM-like backend, replays the best schedule on the MLIR-like backend,
 and prints GFLOP/s on both hardware models.  The A3 ablation compares the
 genetic tuner against random search at equal budget.
+
+Registered as experiment ``E5``: the logic lives in
+:mod:`repro.autotune.study`; run it standalone with
+``python -m repro run E5``.
 """
 
-import numpy as np
 from conftest import emit
 
-from repro.autotune import (
-    CostModel,
-    GeneticTuner,
-    MLIR_LIKE,
-    RandomSearchConfig,
-    TVM_LIKE,
-    lesson_kernels,
-    random_search,
-    replay_schedule,
-)
-from repro.perf.roofline import A100_LIKE, EPYC_LIKE
-from repro.utils.tables import Table
-
-MACHINES = [(A100_LIKE, 108), (EPYC_LIKE, 32)]
-
-
-def replication_sweep(machine, workers):
-    cost_model = CostModel(machine, n_workers=workers)
-    rows = []
-    for kernel in lesson_kernels():
-        tuner = GeneticTuner(
-            cost_model, TVM_LIKE, population=24, generations=12, seed=7
-        )
-        result = tuner.tune(kernel)
-        src, tgt = replay_schedule(
-            result.best_schedule, kernel, cost_model, TVM_LIKE, MLIR_LIKE
-        )
-        rows.append((kernel.name, src.gflops, tgt.gflops, src.bound,
-                     result.best_schedule.describe()))
-    return rows
+from repro.autotune import CostModel, TVM_LIKE, default_schedule, lesson_kernels
+from repro.autotune.study import e5_genetic_vs_random, e5_replication_sweep
+from repro.perf.roofline import A100_LIKE
 
 
 def test_replication_experiment_gpu(benchmark):
-    rows = benchmark.pedantic(
-        replication_sweep, args=(A100_LIKE, 108), rounds=1, iterations=1
+    block = benchmark.pedantic(
+        e5_replication_sweep, args=("gpu",), rounds=1, iterations=1
     )
-    table = Table(
-        ["kernel", "tvm+ansor GF/s", "mlir replay GF/s", "bound", "winner"],
-        title="E5 (A100-like): replaying TVM-tuned schedules on the MLIR-like backend",
-        decimals=0,
-    )
-    for name, tvm, mlir, bound, _ in rows:
-        table.add_row([name, tvm, mlir, bound, "MLIR" if mlir > tvm else "TVM"])
-    emit(table.render())
-    by_name = {r[0]: r for r in rows}
+    for text in block.tables:
+        emit(text)
+    kernels = block.values["kernels"]
     # The paper's shape: matvec crosses over, dense kernels keep a gap.
-    assert by_name["matvec"][2] > by_name["matvec"][1]
-    assert by_name["matmul"][2] < by_name["matmul"][1]
-    assert by_name["conv2d"][2] < by_name["conv2d"][1]
+    assert kernels["matvec"]["mlir_gflops"] > kernels["matvec"]["tvm_gflops"]
+    assert kernels["matmul"]["mlir_gflops"] < kernels["matmul"]["tvm_gflops"]
+    assert kernels["conv2d"]["mlir_gflops"] < kernels["conv2d"]["tvm_gflops"]
 
 
 def test_replication_experiment_cpu(benchmark):
-    rows = benchmark.pedantic(
-        replication_sweep, args=(EPYC_LIKE, 32), rounds=1, iterations=1
+    block = benchmark.pedantic(
+        e5_replication_sweep, args=("cpu",), rounds=1, iterations=1
     )
-    table = Table(
-        ["kernel", "tvm+ansor GF/s", "mlir replay GF/s", "winner"],
-        title="E5 (EPYC-like): the same replay on the CPU model",
-        decimals=0,
-    )
-    for name, tvm, mlir, _, _ in rows:
-        table.add_row([name, tvm, mlir, "MLIR" if mlir > tvm else "TVM"])
-    emit(table.render())
-    by_name = {r[0]: r for r in rows}
-    assert by_name["matvec"][2] > by_name["matvec"][1]
-    assert by_name["matmul"][2] < by_name["matmul"][1]
+    for text in block.tables:
+        emit(text)
+    kernels = block.values["kernels"]
+    assert kernels["matvec"]["mlir_gflops"] > kernels["matvec"]["tvm_gflops"]
+    assert kernels["matmul"]["mlir_gflops"] < kernels["matmul"]["tvm_gflops"]
 
 
 def test_genetic_vs_random_ablation(benchmark):
     """A3: the genetic tuner vs random search at equal evaluation budget."""
-    cost_model = CostModel(A100_LIKE, n_workers=108)
-
-    def compare():
-        out = []
-        for kernel in lesson_kernels():
-            ga = GeneticTuner(
-                cost_model, TVM_LIKE, population=16, generations=9, seed=11
-            ).tune(kernel)
-            rs = random_search(
-                RandomSearchConfig(kernel, cost_model, TVM_LIKE, n_trials=160),
-                seeds=[11],
-            ).per_seed[0]
-            out.append((kernel.name, ga.best_estimate.gflops, rs.best_estimate.gflops))
-        return out
-
-    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
-    table = Table(
-        ["kernel", "genetic GF/s", "random GF/s"],
-        title="A3 ablation: genetic vs random schedule search (160 evals each)",
-        decimals=0,
-    )
-    wins = 0
-    for name, ga, rs in rows:
-        table.add_row([name, ga, rs])
-        wins += ga >= rs * 0.999
-    emit(table.render())
-    assert wins >= 3  # GA at least matches random on most kernels
+    block = benchmark.pedantic(e5_genetic_vs_random, rounds=1, iterations=1)
+    for text in block.tables:
+        emit(text)
+    assert block.values["genetic_wins"] >= 3  # GA at least matches random
 
 
 def test_cost_model_latency(benchmark):
-    from repro.autotune import default_schedule
-
     cost_model = CostModel(A100_LIKE, n_workers=108)
     kernel = lesson_kernels()[3]
     schedule = default_schedule(kernel)

@@ -4,90 +4,41 @@ Paper claims: the model trained on the deaugmented set (unique content,
 24x the video length) "produced better generalization performance"; the
 authors call the result unsurprising given the coverage difference.  Both
 datasets have exactly 24 frames, as in the paper.
+
+Registered as experiment ``E6``: the logic lives in
+:mod:`repro.detect.study`; run it standalone with
+``python -m repro run E6``.
 """
 
-import numpy as np
 from conftest import emit
 
-from repro.detect import (
-    evaluate_detector,
-    extract_frames,
-    make_field_strip,
-    train_detector,
-)
-from repro.utils.tables import Table
-
-STRIP = make_field_strip(total_width=1024, weed_rate=0.5, seed=0)
-VAL = extract_frames(
-    make_field_strip(total_width=512, weed_rate=0.5, seed=99), 15, 32, stride=32
-)
-
-
-def run_comparison(n_seeds: int = 3):
-    orig = extract_frames(STRIP, 24, 32, stride=4)
-    deaug = extract_frames(STRIP, 24, 32, stride=32)
-    scores = {"original": [], "deaugmented": []}
-    train_scores = {"original": [], "deaugmented": []}
-    for seed in range(n_seeds):
-        for name, ds in (("original", orig), ("deaugmented", deaug)):
-            model = train_detector(ds, epochs=40, seed=seed)
-            scores[name].append(evaluate_detector(model, VAL).object_macro_f1)
-            train_scores[name].append(evaluate_detector(model, ds).object_macro_f1)
-    return orig, deaug, scores, train_scores
+from repro.detect import extract_frames, train_detector
+from repro.detect.study import e6_generalization, e6_object_detection, make_scene
 
 
 def test_deaugmentation_generalization(benchmark):
-    orig, deaug, scores, train_scores = benchmark.pedantic(
-        run_comparison, rounds=1, iterations=1
-    )
-    table = Table(
-        ["dataset", "frames", "overlap", "train F1", "val F1"],
-        title="E6: generalization of original vs deaugmented training sets",
-    )
-    for name, ds in (("original", orig), ("deaugmented", deaug)):
-        table.add_row(
-            [
-                name,
-                len(ds),
-                ds.overlap_fraction,
-                float(np.mean(train_scores[name])),
-                float(np.mean(scores[name])),
-            ]
-        )
-    emit(table.render())
-    mean_orig = float(np.mean(scores["original"]))
-    mean_deaug = float(np.mean(scores["deaugmented"]))
-    emit(f"E6 val object-F1: original {mean_orig:.3f} vs deaugmented {mean_deaug:.3f}")
-    assert mean_deaug > mean_orig - 0.02
+    block = benchmark.pedantic(e6_generalization, rounds=1, iterations=1)
+    for text in block.tables:
+        emit(text)
+    val = block.values["val_f1"]
+    assert val["deaugmented"] > val["original"] - 0.02
     # The overfitting signature: the original set's train-val gap is larger.
-    gap_orig = np.mean(train_scores["original"]) - mean_orig
-    gap_deaug = np.mean(train_scores["deaugmented"]) - mean_deaug
-    assert gap_orig > gap_deaug
+    gap = block.values["train_val_gap"]
+    assert gap["original"] > gap["deaugmented"]
 
 
 def test_object_level_detection(benchmark):
     """Object precision/recall (the YOLO-style quantity), on validation."""
-    from repro.detect import evaluate_objects, train_detector as _train
-
-    def run():
-        train = extract_frames(STRIP, 24, 32, stride=32)
-        model = _train(train, epochs=40, seed=1)
-        return evaluate_objects(model, VAL)
-
-    report = benchmark.pedantic(run, rounds=1, iterations=1)
-    table = Table(
-        ["class", "precision", "recall", "F1"],
-        title="E6: object-level detection on held-out frames",
-    )
-    for i, name in enumerate(report.class_names):
-        table.add_row([name, report.precision(i), report.recall(i), report.f1(i)])
-    emit(table.render())
-    assert report.recall(0) > 0.5  # finds most lettuce plants
-    assert report.macro_f1 > 0.3
+    block = benchmark.pedantic(e6_object_detection, rounds=1, iterations=1)
+    for text in block.tables:
+        emit(text)
+    assert block.values["classes"]["lettuce"]["recall"] > 0.5  # finds most lettuce
+    assert block.values["macro_f1"] > 0.3
 
 
 def test_detector_training_latency(benchmark):
-    ds = extract_frames(STRIP, 8, 32, stride=32)
+    strip, _ = make_scene()
+    ds = extract_frames(strip, 8, 32, stride=32)
     benchmark.pedantic(
         lambda: train_detector(ds, epochs=3, width=8, seed=0), rounds=3, iterations=1
     )

@@ -5,109 +5,56 @@ by measuring the vectorized training step's wall time at two batch sizes),
 (b) hyper-parameter (learning-rate) search, (c) data augmentation, and
 (d) fine-tuning a pretrained backbone.  Plus the headline multi-task vs
 single-task comparison.
+
+Registered as experiment ``E7``: the logic lives in
+:mod:`repro.histopath.study`; run it standalone with
+``python -m repro run E7``.
 """
 
-import numpy as np
 from conftest import emit
 
-from repro.histopath import (
-    augment_dataset,
-    build_model,
-    count_mae,
-    dice_score,
-    make_patches,
-    pretrain_trunk,
-    train_model,
+from repro.histopath import build_model, make_patches
+from repro.histopath.study import (
+    e7_augmentation_ablation,
+    e7_learning_rate_search,
+    e7_multitask_vs_single,
+    e7_pretraining_convergence,
 )
-from repro.utils.tables import Table
 
 TRAIN = make_patches(n=48, seed=0)
-TEST = make_patches(n=32, seed=1)
-
-
-def _score(model):
-    dice = dice_score(model.predict_mask(TEST.images), TEST.tissue_masks)
-    mae = count_mae(model.predict_count(TEST.images), TEST.cell_counts)
-    return dice, mae
 
 
 def test_multitask_vs_single_task(benchmark):
-    def run():
-        rows = []
-        for mode in ("seg", "count", "multitask"):
-            model = train_model(TRAIN, mode=mode, epochs=25, seed=2)
-            rows.append((mode, *_score(model)))
-        return rows
-
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    table = Table(
-        ["mode", "tissue dice", "count MAE"],
-        title="E7: single-task vs multi-task (pathologist-workflow model)",
-    )
-    for r in rows:
-        table.add_row(list(r))
-    emit(table.render())
-    by_mode = {r[0]: r for r in rows}
+    block = benchmark.pedantic(e7_multitask_vs_single, rounds=1, iterations=1)
+    for text in block.tables:
+        emit(text)
+    modes = block.values
     # Multi-task matches the specialists on both tasks simultaneously.
-    assert by_mode["multitask"][1] > by_mode["count"][1]  # dice vs count-only
-    assert by_mode["multitask"][2] < by_mode["seg"][2] + 2.0  # MAE vs seg-only
-    assert by_mode["multitask"][1] > 0.85
+    assert modes["multitask"]["dice"] > modes["count"]["dice"]
+    assert modes["multitask"]["count_mae"] < modes["seg"]["count_mae"] + 2.0
+    assert modes["multitask"]["dice"] > 0.85
 
 
 def test_learning_rate_search(benchmark):
-    def sweep():
-        rows = []
-        for lr in (3e-4, 1e-3, 3e-3, 1e-2):
-            model = train_model(TRAIN, mode="multitask", epochs=12, lr=lr, seed=3)
-            rows.append((lr, *_score(model)))
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    table = Table(["lr", "dice", "count MAE"], title="E7(b): learning-rate search", decimals=4)
-    for r in rows:
-        table.add_row(list(r))
-    emit(table.render())
-    dices = [r[1] for r in rows]
+    block = benchmark.pedantic(e7_learning_rate_search, rounds=1, iterations=1)
+    for text in block.tables:
+        emit(text)
+    dices = [c["dice"] for c in block.values["cells"]]
     assert max(dices) - min(dices) > 0.02  # the search matters
 
 
 def test_augmentation_ablation(benchmark):
-    def run():
-        small = TRAIN.subset(np.arange(16))
-        plain = train_model(small, mode="multitask", epochs=20, seed=4)
-        augmented = train_model(
-            augment_dataset(small, factor=3, seed=4),
-            mode="multitask",
-            epochs=20,
-            seed=4,
-        )
-        return _score(plain), _score(augmented)
-
-    (plain_dice, plain_mae), (aug_dice, aug_mae) = benchmark.pedantic(
-        run, rounds=1, iterations=1
-    )
-    table = Table(["training set", "dice", "count MAE"], title="E7(c): augmentation at low sample size")
-    table.add_row(["16 patches", plain_dice, plain_mae])
-    table.add_row(["16 patches x3 augmented", aug_dice, aug_mae])
-    emit(table.render())
-    assert aug_dice >= plain_dice - 0.05
+    block = benchmark.pedantic(e7_augmentation_ablation, rounds=1, iterations=1)
+    for text in block.tables:
+        emit(text)
+    assert block.values["augmented"]["dice"] >= block.values["plain"]["dice"] - 0.05
 
 
 def test_pretraining_convergence(benchmark):
-    def run():
-        state = pretrain_trunk(make_patches(n=96, seed=7), epochs=15, seed=8)
-        scratch = train_model(TRAIN, mode="multitask", epochs=6, seed=9)
-        warm = build_model(seed=9)
-        warm.load_trunk_state(state)
-        warm = train_model(TRAIN, mode="multitask", epochs=6, seed=9, model=warm)
-        return _score(scratch), _score(warm)
-
-    (s_dice, _), (w_dice, _) = benchmark.pedantic(run, rounds=1, iterations=1)
-    emit(
-        f"E7(d): dice after 6 fine-tune epochs — scratch {s_dice:.3f} vs "
-        f"pretrained {w_dice:.3f} (paper: pretrained backbone improves convergence)"
-    )
-    assert w_dice >= s_dice - 0.02
+    block = benchmark.pedantic(e7_pretraining_convergence, rounds=1, iterations=1)
+    for text in block.tables:
+        emit(text)
+    assert block.values["pretrained_dice"] >= block.values["scratch_dice"] - 0.02
 
 
 def test_batched_training_step_latency(benchmark):

@@ -7,79 +7,48 @@ impractical at the available compute budget.  The harness trains the
 (environment x family) grid over independent seeds and reports mean
 return, reliability (fraction of seeds above threshold), and the lower
 quartile.
+
+Registered as experiment ``E8``: the logic lives in
+:mod:`repro.rl.study`; run it standalone with ``python -m repro run E8``.
 """
 
 import numpy as np
 from conftest import emit
 
-from repro.rl import (
-    DQNConfig,
-    ReliabilityStudyConfig,
-    reliability_study,
-    train_agent,
-)
-from repro.utils.rng import spawn_children
-from repro.utils.tables import Table
-
-CONFIG = DQNConfig(episodes=70, epsilon_decay_episodes=45)
-
-
-def run_grid():
-    # The seed set is spawned via SeedSequence from root 1 and shared
-    # across cells (paired design); at this tiny training budget seed 1
-    # shows the paper's qualitative shape.
-    result = reliability_study(
-        ReliabilityStudyConfig(
-            env_names=("crossing", "snack"),
-            families=("cnn", "attention"),
-            threshold=0.0,
-            dqn=CONFIG,
-            size=5,
-            width=10,
-            eval_episodes=20,
-        ),
-        seeds=spawn_children(1, 3),
-        cache=False,  # benchmark measures training, not cache hits
-    )
-    return list(result.reports)
+from repro.rl.study import e8_catch_headline, e8_reliability_grid
 
 
 def test_reliability_grid(benchmark):
-    reports = benchmark.pedantic(run_grid, rounds=1, iterations=1)
-    table = Table(
-        ["env", "family", "mean return", "reliability", "lower quartile"],
-        title="E8: DQN reliability across 3 seeds (threshold: return >= 0)",
+    block = benchmark.pedantic(
+        # benchmark measures training, not cache hits
+        lambda: e8_reliability_grid(cache=False),
+        rounds=1,
+        iterations=1,
     )
-    for r in reports:
-        table.add_row(
-            [r.env, r.family, r.mean_return, r.reliability, r.lower_quartile]
-        )
-    emit(table.render())
-    by_cell = {(r.env, r.family): r for r in reports}
+    for text in block.tables:
+        emit(text)
+    cells = {(c["env"], c["family"]): c for c in block.values["cells"]}
     # Frogger-like crossing beats the other comparable environment (snack)
     # for the CNN family — the paper's observation.
     assert (
-        by_cell[("crossing", "cnn")].mean_return
-        > by_cell[("snack", "cnn")].mean_return
+        cells[("crossing", "cnn")]["mean_return"]
+        > cells[("snack", "cnn")]["mean_return"]
     )
     # At this compute budget the CNN family is the more reliable estimator.
-    cnn_rel = np.mean([r.reliability for r in reports if r.family == "cnn"])
-    attn_rel = np.mean([r.reliability for r in reports if r.family == "attention"])
+    cnn_rel = np.mean(
+        [c["reliability"] for c in block.values["cells"] if c["family"] == "cnn"]
+    )
+    attn_rel = np.mean(
+        [c["reliability"] for c in block.values["cells"] if c["family"] == "attention"]
+    )
     assert cnn_rel >= attn_rel
 
 
 def test_cnn_learns_catch_headline(benchmark):
-    def run():
-        agent, _ = train_agent(
-            "catch", "cnn",
-            config=DQNConfig(episodes=60, epsilon_decay_episodes=40),
-            size=6, seed=0,
-        )
-        return agent.evaluate(20)
-
-    score = benchmark.pedantic(run, rounds=1, iterations=1)
-    emit(f"E8 sanity: catch + CNN greedy return = {score:.2f} (max 1.0)")
-    assert score > 0.5
+    block = benchmark.pedantic(e8_catch_headline, rounds=1, iterations=1)
+    for text in block.tables:
+        emit(text)
+    assert block.values["catch_return"] > 0.5
 
 
 def test_q_network_inference_latency(benchmark):

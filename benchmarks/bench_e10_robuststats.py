@@ -4,75 +4,48 @@ The reproduction target is the field's canonical figure: estimation error
 versus dimension at fixed contamination.  The filter algorithm (whose
 bottleneck is the SVD, as the paper notes) stays near the oracle while the
 sample mean and coordinate median grow like sqrt(d).
+
+Registered as experiment ``E10``: the logic lives in
+:mod:`repro.robuststats.study`; run it standalone with
+``python -m repro run E10``.
 """
 
 import numpy as np
 from conftest import emit
 
-from repro.parallel import Sweep, grid
-from repro.robuststats import DimensionSweepConfig, dimension_sweep, filter_mean
-from repro.utils.rng import spawn_children
+from repro.robuststats import filter_mean
 from repro.robuststats.contamination import ContaminationModel, contaminated_gaussian
-from repro.utils.tables import Table
-
-DIMS = [10, 50, 100, 200, 400]
-EPS = 0.1
-
-
-def eps_cell(eps, seed):
-    """One contamination level: sample-mean vs filter error at d=200."""
-    model = ContaminationModel(n=2000, dim=200, eps=eps)
-    x, _, mu = contaminated_gaussian(model, seed=seed)
-    return (
-        eps,
-        float(np.linalg.norm(x.mean(axis=0) - mu)),
-        float(np.linalg.norm(filter_mean(x, eps) - mu)),
-    )
+from repro.robuststats.study import e10_contamination_sweep, e10_error_vs_dimension
 
 
 def test_error_vs_dimension(benchmark):
-    sweep = benchmark.pedantic(
-        lambda: dimension_sweep(
-            DimensionSweepConfig(dims=tuple(DIMS), eps=EPS),
-            seeds=spawn_children(0, 3),
-            cache=False,  # benchmark measures compute, not cache hits
-        ),
+    block = benchmark.pedantic(
+        # benchmark measures compute, not cache hits
+        lambda: e10_error_vs_dimension(cache=False),
         rounds=1,
         iterations=1,
     )
-    table = Table(
-        ["estimator"] + [f"d={d}" for d in DIMS] + ["growth"],
-        title=f"E10: L2 estimation error vs dimension (eps = {EPS}, shifted-cluster adversary)",
+    for text in block.tables:
+        emit(text)
+    growth = block.values["growth"]
+    assert growth["filter"] < 0.5 * growth["sample_mean"]
+    ratio = np.array(block.values["mean_error"]["filter"]) / np.array(
+        block.values["mean_error"]["oracle"]
     )
-    for name in ("sample_mean", "coord_median", "filter", "oracle"):
-        errors = sweep.mean_error(name)
-        table.add_row([name, *errors.tolist(), sweep.growth_ratio(name)])
-    emit(table.render())
-    assert sweep.growth_ratio("filter") < 0.5 * sweep.growth_ratio("sample_mean")
-    ratio = sweep.mean_error("filter") / sweep.mean_error("oracle")
     assert np.all(ratio < 2.0)
 
 
 def test_contamination_level_sweep(benchmark):
-    sweep = Sweep(eps_cell, grid(eps=[0.05, 0.1, 0.2]), seeds=[1])
-
-    def run():
-        return sweep.run().values()
-
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    table = Table(
-        ["eps", "sample mean error", "filter error"],
-        title="E10: error vs contamination level (d = 200)",
-    )
-    for r in rows:
-        table.add_row(list(r))
-    emit(table.render())
-    for eps, mean_err, filter_err in rows:
-        assert filter_err < mean_err
+    block = benchmark.pedantic(e10_contamination_sweep, rounds=1, iterations=1)
+    for text in block.tables:
+        emit(text)
+    cells = block.values["cells"]
+    for cell in cells:
+        assert cell["filter_error"] < cell["mean_error"]
 
     # The sample-mean error grows with eps; the filter's barely moves.
-    mean_growth = rows[-1][1] / rows[0][1]
-    filter_growth = rows[-1][2] / rows[0][2]
+    mean_growth = cells[-1]["mean_error"] / cells[0]["mean_error"]
+    filter_growth = cells[-1]["filter_error"] / cells[0]["filter_error"]
     assert mean_growth > 1.5
     assert filter_growth < mean_growth
 

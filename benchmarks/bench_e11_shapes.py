@@ -3,67 +3,41 @@
 Paper workflow reproduced: first the synthetic spherical family with one
 mode of variation (the student's warm-up), then the left-atrium-like
 anatomy with its modes analyzed, then the ablation over particle counts.
+
+Registered as experiment ``E11``: the logic lives in
+:mod:`repro.shapes.study`; run it standalone with
+``python -m repro run E11``.
 """
 
-import numpy as np
 from conftest import emit
 
-from repro.shapes import (
-    atrium_like_family,
-    build_shape_model,
-    optimize_particles,
-    particle_count_ablation,
-    sphere_family,
-)
-from repro.utils.tables import Table
+from repro.shapes import optimize_particles, sphere_family
+from repro.shapes.study import e11_mode_structure, e11_particle_ablation
 
 SPHERES = sphere_family(n_subjects=12, n_points=400, seed=0)
-ATRIA = atrium_like_family(n_subjects=12, n_points=400, seed=1)
 
 
 def test_mode_structure(benchmark):
-    def run():
-        out = {}
-        for name, family in (("sphere", SPHERES), ("atrium-like", ATRIA)):
-            system = optimize_particles(family, n_particles=64, iterations=12, seed=2)
-            out[name] = build_shape_model(system)
-        return out
-
-    models = benchmark.pedantic(run, rounds=1, iterations=1)
-    table = Table(
-        ["anatomy", "mode1", "mode2", "mode3", "modes for 90%"],
-        title="E11: PCA modes of variation (paper: sphere has one true mode)",
-    )
-    for name, model in models.items():
-        r = model.explained_ratio
-        table.add_row([name, r[0], r[1], r[2], model.dominant_modes(0.90)])
-    emit(table.render())
-    assert models["sphere"].explained_ratio[0] > 0.6
-    assert (
-        models["atrium-like"].dominant_modes(0.90)
-        > models["sphere"].dominant_modes(0.90)
-    )
+    block = benchmark.pedantic(e11_mode_structure, rounds=1, iterations=1)
+    for text in block.tables:
+        emit(text)
+    sphere = block.values["sphere"]
+    atrium = block.values["atrium-like"]
+    assert sphere["explained_ratio"][0] > 0.6
+    assert atrium["modes_for_90"] > sphere["modes_for_90"]
     # Atrium-like variance is spread across ~3 real modes.
-    assert models["atrium-like"].explained_ratio[:3].sum() > 0.5
+    assert sum(atrium["explained_ratio"][:3]) > 0.5
 
 
 def test_particle_count_ablation(benchmark):
-    rows = benchmark.pedantic(
-        lambda: particle_count_ablation(SPHERES, [16, 32, 64, 128], seed=3),
-        rounds=1,
-        iterations=1,
-    )
-    table = Table(
-        ["particles", "mode1 share", "modes for 90%", "mean spacing"],
-        title="E11 ablation: modes of variation vs particle count (sphere family)",
-    )
-    for r in rows:
-        table.add_row([r.n_particles, r.mode1_ratio, r.modes_for_90, r.mean_spacing])
-    emit(table.render())
+    block = benchmark.pedantic(e11_particle_ablation, rounds=1, iterations=1)
+    for text in block.tables:
+        emit(text)
+    rows = block.values["rows"]
     # The mode structure is stable across particle counts...
-    assert all(r.mode1_ratio > 0.6 for r in rows)
+    assert all(r["mode1_ratio"] > 0.6 for r in rows)
     # ...while sampling density improves monotonically.
-    spacings = [r.mean_spacing for r in rows]
+    spacings = [r["mean_spacing"] for r in rows]
     assert spacings == sorted(spacings, reverse=True)
 
 

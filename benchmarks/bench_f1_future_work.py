@@ -9,118 +9,56 @@ Two forward-looking changes the paper commits to are modelled and scored:
 * **exit surveys**: "collecting responses prior to their departure and
   offering incentive would likely address this issue" — response counts
   and estimate stability under the three collection plans.
+
+Registered as experiment ``F1``: the logic lives in
+:mod:`repro.core.study` (``f1_*`` block functions); run it standalone
+with ``python -m repro run F1``.
 """
 
-import numpy as np
 from conftest import emit
 
-from repro.core import (
-    AttritionPlan,
-    ProgramConfig,
-    REUProgram,
-    all_attend_policy,
-    evaluate_curriculum,
-    narrowed_policy,
-    sample_interest_profiles,
-    table2,
-    targeted_policy,
+from repro.core.study import (
+    f1_curriculum_policies,
+    f1_exit_survey_plans,
+    f1_multi_year,
 )
-from repro.utils.tables import Table
 
 
 def test_curriculum_policies(benchmark):
-    def run():
-        profiles = sample_interest_profiles(15, seed=0)
-        return profiles, [
-            evaluate_curriculum(profiles, policy)
-            for policy in (
-                all_attend_policy(profiles),
-                targeted_policy(profiles, topics_per_student=4),
-                narrowed_policy(profiles, n_topics_kept=5),
-            )
-        ]
-
-    _, outcomes = benchmark(run)
-    table = Table(
-        ["policy", "enthusiasm", "ignored", "breadth", "topics taught"],
-        title="F1: year-one vs year-two curriculum policies",
-    )
-    for o in outcomes:
-        table.add_row(
-            [o.policy, o.mean_enthusiasm, o.ignored_fraction, o.breadth, o.instructor_load]
-        )
-    emit(table.render())
-    base, targeted, narrowed = outcomes
+    block = benchmark(f1_curriculum_policies)
+    for text in block.tables:
+        emit(text)
+    base, targeted, narrowed = block.values.values()
     # The paper's observation: under all-attend, much of the audience
     # ignores any given topic.
-    assert base.ignored_fraction > 0.4
+    assert base["ignored_fraction"] > 0.4
     # Its proposed fixes trade as expected.
-    assert targeted.mean_enthusiasm > base.mean_enthusiasm
-    assert targeted.breadth < base.breadth
-    assert narrowed.instructor_load < base.instructor_load
+    assert targeted["enthusiasm"] > base["enthusiasm"]
+    assert targeted["breadth"] < base["breadth"]
+    assert narrowed["instructor_load"] < base["instructor_load"]
 
 
 def test_exit_survey_plans(benchmark):
     """3 plans x 6 seeds, routed through the repro.parallel Sweep."""
-    from repro.core import CollectionPlanConfig, collection_plan_sweep
-
-    plans = [
-        ("year one (post-departure)", AttritionPlan()),
-        ("incentivized", AttritionPlan.incentivized(0.6)),
-        ("before departure", AttritionPlan.before_departure()),
-    ]
-
-    def run():
-        result = collection_plan_sweep(
-            CollectionPlanConfig(plans=tuple(plans)),
-            seeds=tuple(range(6)),
-            cache=False,  # benchmark measures the sweep, not cache hits
-        )
-        return [
-            (c.name, c.mean_complete, c.boost_spread) for c in result.comparisons
-        ]
-
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    table = Table(
-        ["collection plan", "complete responses (of 15)", "boost seed-spread"],
-        title="F1: exit-survey collection plans (paper: collect before departure, incentivize)",
+    block = benchmark.pedantic(
+        # benchmark measures the sweep, not cache hits
+        lambda: f1_exit_survey_plans(cache=False),
+        rounds=1,
+        iterations=1,
     )
-    for r in rows:
-        table.add_row(list(r))
-    emit(table.render())
-    year1, incentive, before = rows
-    assert before[1] > incentive[1] > year1[1]  # response counts improve
-    assert before[2] <= year1[2] * 1.05         # estimates no less stable
+    for text in block.tables:
+        emit(text)
+    year1, incentive, before = block.values["plans"]
+    assert before["mean_complete"] > incentive["mean_complete"] > year1["mean_complete"]
+    assert before["boost_spread"] <= year1["boost_spread"] * 1.05
 
 
 def test_multi_year_composition(benchmark):
     """Both year-two changes composed into a season-over-season run."""
-    from repro.core import YearPlan, run_years
-
-    plans = [
-        YearPlan("year 1 (as run)", curriculum="all_attend",
-                 attrition=AttritionPlan()),
-        YearPlan("year 2 (incentivized only)", curriculum="all_attend",
-                 attrition=AttritionPlan.before_departure()),
-        YearPlan("year 2 (full plan)", curriculum="targeted",
-                 attrition=AttritionPlan.before_departure()),
-    ]
-
-    def run():
-        return run_years(plans, base_seed=0)
-
-    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
-    table = Table(
-        ["year plan", "enthusiasm", "ignored", "complete responses", "mean conf boost"],
-        title="F1: season-over-season composition of the year-two plans",
-    )
-    for o in outcomes:
-        table.add_row(
-            [o.plan.name, o.mean_enthusiasm, o.ignored_fraction,
-             o.complete_responses, o.mean_confidence_boost]
-        )
-    emit(table.render())
-    year1, incentive_only, full = outcomes
-    assert full.mean_enthusiasm > year1.mean_enthusiasm
-    assert full.complete_responses > year1.complete_responses
-    assert incentive_only.complete_responses > year1.complete_responses
+    block = benchmark.pedantic(f1_multi_year, rounds=1, iterations=1)
+    for text in block.tables:
+        emit(text)
+    year1, incentive_only, full = block.values.values()
+    assert full["enthusiasm"] > year1["enthusiasm"]
+    assert full["complete_responses"] > year1["complete_responses"]
+    assert incentive_only["complete_responses"] > year1["complete_responses"]

@@ -3,43 +3,38 @@
 Applicant/response counts, PhD-intent shift, recommender statistics, the
 number of goals accomplished by all respondents, and the top-5 confidence
 gains, all printed paper-vs-ours.
+
+Registered as experiment ``N1``: the logic lives in
+:func:`repro.core.study.n1_statistics` and
+:func:`repro.core.study.n1_phd_intent`; run it standalone with
+``python -m repro run N1``.
 """
 
-import numpy as np
 from conftest import emit
 
-from repro.core import NARRATIVE, REUProgram, narrative_stats
-from repro.core.report import render_narrative
+from repro.core import NARRATIVE
+from repro.core.study import n1_phd_intent, n1_statistics
 
 
-def test_narrative_statistics(benchmark, season_outcome):
-    stats = benchmark(narrative_stats, season_outcome)
-    emit(render_narrative(stats))
-    emit(
-        "N1 top-5 confidence gains (ours): "
-        + ", ".join(f"{name} ({mean:.1f})" for name, mean in stats.top5_confidence_gains)
-    )
-    assert stats.n_applicants == NARRATIVE["applicants"]
-    assert stats.apriori_responses == NARRATIVE["a_priori_responses"]
-    assert stats.posthoc_responses == NARRATIVE["post_hoc_responses"]
-    assert stats.complete_posthoc_responses == NARRATIVE["complete_post_hoc_responses"]
-    assert stats.goals_accomplished_by_all >= NARRATIVE["goals_accomplished_by_all"]
+def test_narrative_statistics(benchmark):
+    block = benchmark(n1_statistics)
+    for text in block.tables:
+        emit(text)
+    stats = block.values
+    assert stats["n_applicants"] == NARRATIVE["applicants"]
+    assert stats["apriori_responses"] == NARRATIVE["a_priori_responses"]
+    assert stats["posthoc_responses"] == NARRATIVE["post_hoc_responses"]
+    assert stats["complete_posthoc_responses"] == NARRATIVE["complete_post_hoc_responses"]
+    assert stats["goals_accomplished_by_all"] >= NARRATIVE["goals_accomplished_by_all"]
 
 
 def test_phd_intent_shift_across_seeds(benchmark):
-    def sweep():
-        pre, post = [], []
-        for seed in range(6):
-            s = narrative_stats(REUProgram().run_season(seed=seed))
-            pre.append(s.phd_intent_apriori_mean)
-            post.append(s.phd_intent_posthoc_mean)
-        return float(np.mean(pre)), float(np.mean(post))
-
-    pre, post = benchmark(sweep)
-    emit(
-        f"N1 PhD intent: paper {NARRATIVE['phd_intent_apriori_mean']} -> "
-        f"{NARRATIVE['phd_intent_posthoc_mean']}; ours {pre:.1f} -> {post:.1f}"
+    block = benchmark.pedantic(
+        lambda: n1_phd_intent(cache=False), rounds=1, iterations=1
     )
+    for text in block.tables:
+        emit(text)
+    pre, post = block.values["pre"], block.values["post"]
     assert post > pre
     assert abs(pre - NARRATIVE["phd_intent_apriori_mean"]) < 0.4
     assert abs(post - NARRATIVE["phd_intent_posthoc_mean"]) < 0.4

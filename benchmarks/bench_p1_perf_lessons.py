@@ -4,96 +4,42 @@ The paper highlights its "performance measurement of parallel computations"
 lesson module for wider adoption.  This bench regenerates its teaching
 tables: the roofline placement of the five ML primitives on both machine
 models, and Amdahl/Gustafson scaling with the Karp-Flatt diagnostic.
+
+Registered as experiment ``P1``: the logic lives in
+:mod:`repro.perf.study`; run it standalone with ``python -m repro run P1``.
 """
 
-import numpy as np
 from conftest import emit
 
-from repro.autotune import lesson_kernels
-from repro.perf import (
-    amdahl_speedup,
-    efficiency,
-    gustafson_speedup,
-    karp_flatt_metric,
-    roofline_analysis,
+from repro.perf.roofline import A100_LIKE
+from repro.perf.study import (
+    p1_roofline_of_lesson_kernels,
+    p1_scaling_laws,
+    p1_vectorization_speedup,
 )
-from repro.perf.roofline import A100_LIKE, EPYC_LIKE
-from repro.utils.tables import Table
 
 
 def test_roofline_of_lesson_kernels(benchmark):
-    def run():
-        rows = []
-        for machine in (A100_LIKE, EPYC_LIKE):
-            for kernel in lesson_kernels():
-                point = roofline_analysis(
-                    machine, kernel.name, kernel.flops, kernel.compulsory_bytes
-                )
-                rows.append(
-                    (machine.name, kernel.name, point.intensity,
-                     point.attainable_gflops, point.bound)
-                )
-        return rows
-
-    rows = benchmark(run)
-    table = Table(
-        ["machine", "kernel", "FLOP/byte", "attainable GF/s", "bound"],
-        title="P1: roofline placement of the five lesson kernels",
-    )
-    for r in rows:
-        table.add_row(list(r))
-    emit(table.render())
-    by_key = {(m, k): b for m, k, _, _, b in rows}
-    assert by_key[(A100_LIKE.name, "matvec")] == "memory"
-    assert by_key[(A100_LIKE.name, "matmul")] == "compute"
+    block = benchmark(p1_roofline_of_lesson_kernels)
+    for text in block.tables:
+        emit(text)
+    bounds = {(p["machine"], p["kernel"]): p["bound"] for p in block.values["points"]}
+    assert bounds[(A100_LIKE.name, "matvec")] == "memory"
+    assert bounds[(A100_LIKE.name, "matmul")] == "compute"
 
 
 def test_scaling_laws_table(benchmark):
-    def run():
-        workers = np.array([1, 2, 4, 8, 16, 32, 64])
-        serial = 0.05
-        amdahl = amdahl_speedup(serial, workers)
-        gustafson = gustafson_speedup(serial, workers)
-        return workers, amdahl, gustafson
-
-    workers, amdahl, gustafson = benchmark(run)
-    table = Table(
-        ["workers", "Amdahl speedup", "efficiency", "Gustafson speedup"],
-        title="P1: scaling laws at 5% serial fraction",
-    )
-    for w, a, g in zip(workers, amdahl, gustafson):
-        table.add_row([int(w), float(a), float(efficiency(a, w)), float(g)])
-    emit(table.render())
-    kf = karp_flatt_metric(float(amdahl[-1]), int(workers[-1]))
-    emit(f"P1 Karp-Flatt recovered serial fraction: {kf:.3f} (true 0.050)")
-    assert abs(kf - 0.05) < 1e-9
-    assert np.all(gustafson >= amdahl)
+    block = benchmark(p1_scaling_laws)
+    for text in block.tables:
+        emit(text)
+    kf = block.values["karp_flatt"]
+    assert abs(kf - block.values["serial_fraction"]) < 1e-9
+    assert all(r["gustafson"] >= r["amdahl"] for r in block.values["rows"])
 
 
 def test_measured_speedup_of_vectorization(benchmark):
     """A live lesson: vectorized NumPy vs a Python loop on the same matvec."""
-    rng = np.random.default_rng(0)
-    a = rng.normal(size=(256, 256))
-    x = rng.normal(size=256)
-
-    def python_loop():
-        out = np.zeros(256)
-        for i in range(256):
-            s = 0.0
-            for j in range(256):
-                s += a[i, j] * x[j]
-            out[i] = s
-        return out
-
-    def vectorized():
-        return a @ x
-
-    from repro.perf import measure_pair
-
-    def compare():
-        _, _, speedup = measure_pair(python_loop, vectorized, repeats=3, warmup=1)
-        return speedup
-
-    speedup = benchmark.pedantic(compare, rounds=1, iterations=1)
-    emit(f"P1 vectorization speedup on 256x256 matvec: {speedup:.0f}x")
-    assert speedup > 10
+    block = benchmark.pedantic(p1_vectorization_speedup, rounds=1, iterations=1)
+    for text in block.tables:
+        emit(text)
+    assert block.values["speedup"] > 10

@@ -8,130 +8,65 @@ cache — on the heaviest CPU sweep in the suite:
 * serial, 4-worker, and cached re-runs are **bit-identical**;
 * with >= 4 CPUs available, ``workers=4`` is asserted >= 2x faster;
 * a 100% cache-hit re-run is asserted < 10% of the cold wall clock.
-"""
 
-import os
-import tempfile
-import time
+Registered as experiment ``P2``: the logic lives in
+:mod:`repro.parallel.selfcheck`; run it standalone with
+``python -m repro run P2``.  The machine-dependent timing assertions stay
+here, out of the registered checks.
+"""
 
 import numpy as np
 from conftest import emit
 
-from repro import obs
-from repro.parallel import ResultCache, Sweep, compare_workers, grid
+from repro.parallel import ResultCache
+from repro.parallel.selfcheck import p2_cache_rerun, p2_determinism
 from repro.robuststats import DimensionSweepConfig, dimension_sweep
 from repro.utils.rng import spawn_children
-from repro.robuststats.contamination import ContaminationModel, contaminated_gaussian
-from repro.robuststats.estimators import filter_mean, sample_mean
-from repro.utils.tables import Table
 
-DIMS = [50, 100, 200]
-EPS_GRID = [0.05, 0.1]
+DIMS = (50, 100, 200)
 N_TRIALS = 3
 
 
-def _cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # non-Linux
-        return os.cpu_count() or 1
-
-
-def robust_cell(dim, eps, seed):
-    """One d x eps cell: sample-mean and filter errors on a fresh draw."""
-    n = max(200, 10 * dim)
-    x, _, mu = contaminated_gaussian(
-        ContaminationModel(n=n, dim=dim, eps=eps), seed=seed
-    )
-    return (
-        float(np.linalg.norm(sample_mean(x) - mu)),
-        float(np.linalg.norm(filter_mean(x, eps) - mu)),
-    )
-
-
-def _sweep() -> Sweep:
-    return Sweep.spawned(
-        robust_cell,
-        grid(dim=DIMS, eps=EPS_GRID),
-        root_seed=0,
-        n_trials=N_TRIALS,
-        name="robuststats-dxeps",
-    )
-
-
 def test_parallel_speedup_on_dxeps_grid(benchmark):
-    timings = benchmark.pedantic(
-        lambda: compare_workers(_sweep(), [1, 4]), rounds=1, iterations=1
-    )
-    serial, parallel = timings[1], timings[4]
+    block = benchmark.pedantic(p2_determinism, rounds=1, iterations=1)
+    for text in block.tables:
+        emit(text)
     # The determinism contract, checked bit-for-bit.
-    assert parallel.result.values() == serial.result.values()
-    speedup = parallel.speedup_over(serial)
-    table = Table(
-        ["configuration", "wall s", "speedup"],
-        title=f"P2: robuststats d x eps sweep ({len(DIMS) * len(EPS_GRID) * N_TRIALS} cells, {_cpus()} CPUs visible)",
-    )
-    table.add_row(["serial (workers=1)", serial.wall_s, 1.0])
-    table.add_row(["workers=4", parallel.wall_s, speedup])
-    emit(table.render())
-    if _cpus() >= 4:
+    assert block.values["bit_identical"]
+    speedup = block.values["speedup"]
+    if block.values["cpus_visible"] >= 4:
         assert speedup >= 2.0, f"expected >= 2x at workers=4, got {speedup:.2f}x"
     else:
         emit(
-            f"P2: only {_cpus()} CPU(s) visible — speedup assertion skipped "
-            f"(measured {speedup:.2f}x)"
+            f"P2: only {block.values['cpus_visible']} CPU(s) visible — "
+            f"speedup assertion skipped (measured {speedup:.2f}x)"
         )
 
 
 def test_cache_hit_rerun_is_nearly_free(benchmark):
-    def run():
-        with tempfile.TemporaryDirectory() as root:
-            cache = ResultCache(root)
-            sweep = _sweep()
-            start = time.perf_counter()
-            cold = sweep.run(cache=cache)
-            cold_s = time.perf_counter() - start
-            start = time.perf_counter()
-            warm = sweep.run(cache=cache)
-            warm_s = time.perf_counter() - start
-            return cold, cold_s, warm, warm_s, cache.stats()
-
-    # Delta the repro.obs counters around the run so the hit-rate line
-    # reflects exactly this benchmark, not the whole session.
-    metrics = obs.get_metrics()
-    hits_before = metrics.counter("cache.hits").value
-    misses_before = metrics.counter("cache.misses").value
-    cold, cold_s, warm, warm_s, stats = benchmark.pedantic(
-        run, rounds=1, iterations=1
-    )
-    n_cells = len(DIMS) * len(EPS_GRID) * N_TRIALS
-    table = Table(
-        ["run", "wall s", "executed", "cache hits"],
-        title="P2: cold vs 100%-cache-hit re-run",
-    )
-    table.add_row(["cold", cold_s, cold.n_executed, cold.n_cache_hits])
-    table.add_row(["warm", warm_s, warm.n_executed, warm.n_cache_hits])
-    emit(table.render())
-    hits = metrics.counter("cache.hits").value - hits_before
-    misses = metrics.counter("cache.misses").value - misses_before
-    emit(
-        f"P2: cache hit-rate {100 * hits / (hits + misses):.1f}% "
-        f"({hits} hits / {misses} misses, {stats.bytes_written} bytes written)"
-    )
-    assert warm.values() == cold.values()  # bit-identical
-    assert warm.n_executed == 0 and warm.n_cache_hits == n_cells
-    assert stats.hits == n_cells and stats.misses == n_cells
-    assert warm_s < 0.10 * cold_s, (
-        f"cached re-run took {warm_s:.3f}s vs cold {cold_s:.3f}s "
-        f"({100 * warm_s / cold_s:.1f}% — expected < 10%)"
+    block = benchmark.pedantic(p2_cache_rerun, rounds=1, iterations=1)
+    for text in block.tables:
+        emit(text)
+    n_cells = block.values["n_cells"]
+    assert block.values["identical"]  # bit-identical
+    assert block.values["warm_executed"] == 0
+    assert block.values["warm_hits"] == n_cells
+    assert block.values["stats_hits"] == n_cells
+    assert block.values["stats_misses"] == n_cells
+    ratio = block.values["warm_over_cold"]
+    assert ratio < 0.10, (
+        f"cached re-run took {100 * ratio:.1f}% of the cold wall clock "
+        "(expected < 10%)"
     )
 
 
 def test_dimension_sweep_identical_serial_parallel_cached(benchmark):
     def run():
+        import tempfile
+
         with tempfile.TemporaryDirectory() as root:
             cache = ResultCache(root)
-            cfg = DimensionSweepConfig(dims=tuple(DIMS))
+            cfg = DimensionSweepConfig(dims=DIMS)
             seeds = spawn_children(0, N_TRIALS)
             serial = dimension_sweep(cfg, seeds=seeds, workers=1, cache=False)
             parallel = dimension_sweep(cfg, seeds=seeds, workers=4, cache=False)

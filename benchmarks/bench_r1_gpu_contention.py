@@ -5,6 +5,10 @@ GPU availability issues — something that needs to be addressed by staging
 GPU result collection across non-overlapping batches".  The harness runs
 the 11-project season workload on a small GPU pool under three submission
 policies and two scheduler disciplines, and prints the A2 ablation.
+
+Registered as experiment ``R1``: the logic lives in
+:mod:`repro.cluster.study`; run it standalone with
+``python -m repro run R1``.
 """
 
 from conftest import emit
@@ -12,102 +16,52 @@ from conftest import emit
 from repro.cluster import (
     ClusterSimulator,
     SchedulerPolicy,
-    evaluate_schedule,
     generate_workload,
     naive_deadline_submission,
-    staged_batch_submission,
-    uniform_submission,
 )
 from repro.cluster.workload import default_reu_projects
-from repro.utils.tables import Table
+from repro.cluster.study import (
+    r1_pool_size_sweep,
+    r1_scheduler_ablation,
+    r1_submission_policies,
+)
 
 PROJECTS = default_reu_projects()
 N_GPUS = 6
 
 
-def run_policy(times, policy=SchedulerPolicy.BACKFILL, seed=42):
-    jobs = generate_workload(PROJECTS, submit_times=times, seed=seed)
-    sim = ClusterSimulator(N_GPUS, policy=policy)
-    records = sim.run(jobs)
-    return evaluate_schedule(records)
-
-
 def test_submission_policies(benchmark):
-    def run_all():
-        return {
-            "naive deadline": run_policy(naive_deadline_submission(PROJECTS, seed=1)),
-            "uniform": run_policy(uniform_submission(PROJECTS, seed=1)),
-            "staged batches": run_policy(staged_batch_submission(PROJECTS)),
-        }
-
-    metrics = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    table = Table(
-        ["policy", "mean wait h", "p95 wait h", "final-week wait h", "missed", "lateness h"],
-        title=f"R1: submission policy vs contention ({N_GPUS}-GPU pool, 11 projects)",
-    )
-    for name, m in metrics.items():
-        table.add_row(
-            [name, m.mean_wait, m.p95_wait, m.mean_wait_final_week,
-             m.missed_deadlines, m.total_lateness]
-        )
-    emit(table.render())
-    naive, staged = metrics["naive deadline"], metrics["staged batches"]
-    assert naive.missed_deadlines > 0          # the paper's observed crunch
-    assert staged.missed_deadlines == 0        # the paper's proposed remedy
-    assert staged.p95_wait < naive.p95_wait
-    assert staged.mean_wait_final_week < naive.mean_wait_final_week
+    block = benchmark.pedantic(r1_submission_policies, rounds=1, iterations=1)
+    for text in block.tables:
+        emit(text)
+    naive = block.values["naive deadline"]
+    staged = block.values["staged batches"]
+    assert naive["missed_deadlines"] > 0     # the paper's observed crunch
+    assert staged["missed_deadlines"] == 0   # the paper's proposed remedy
+    assert staged["p95_wait"] < naive["p95_wait"]
+    assert staged["final_week_wait"] < naive["final_week_wait"]
 
 
 def test_scheduler_discipline_ablation(benchmark):
     """A2: FIFO vs EASY backfill under the naive crunch."""
-
-    def run_all():
-        times = naive_deadline_submission(PROJECTS, seed=1)
-        return {
-            "fifo": run_policy(times, SchedulerPolicy.FIFO),
-            "backfill": run_policy(times, SchedulerPolicy.BACKFILL),
-            "edf": run_policy(times, SchedulerPolicy.EDF),
-        }
-
-    metrics = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    table = Table(
-        ["scheduler", "mean wait h", "p95 wait h", "missed", "lateness h"],
-        title="A2 ablation: queue discipline under the end-of-program crunch",
-    )
-    for name, m in metrics.items():
-        table.add_row(
-            [name, m.mean_wait, m.p95_wait, m.missed_deadlines, m.total_lateness]
-        )
-    emit(table.render())
-    assert metrics["backfill"].mean_wait <= metrics["fifo"].mean_wait
+    block = benchmark.pedantic(r1_scheduler_ablation, rounds=1, iterations=1)
+    for text in block.tables:
+        emit(text)
+    metrics = block.values
+    assert metrics["backfill"]["mean_wait"] <= metrics["fifo"]["mean_wait"]
     # No discipline alone fixes the crunch — planning (staging) does.
     for m in metrics.values():
-        assert m.missed_deadlines > 0
+        assert m["missed_deadlines"] > 0
 
 
 def test_pool_size_sweep(benchmark):
     """How many GPUs would the naive policy need? (the 'ablate the planet'
     cost of not planning)"""
-
-    def sweep():
-        times = naive_deadline_submission(PROJECTS, seed=1)
-        rows = []
-        for n in (4, 6, 8, 12, 16):
-            jobs = generate_workload(PROJECTS, submit_times=times, seed=42)
-            sim = ClusterSimulator(n, policy=SchedulerPolicy.BACKFILL)
-            m = evaluate_schedule(sim.run(jobs))
-            rows.append((n, m.missed_deadlines, m.p95_wait))
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    table = Table(
-        ["GPUs", "missed deadlines", "p95 wait h"],
-        title="R1: pool size needed to absorb the naive crunch",
-    )
-    for r in rows:
-        table.add_row(list(r))
-    emit(table.render())
-    assert rows[0][1] >= rows[-1][1]
+    block = benchmark.pedantic(r1_pool_size_sweep, rounds=1, iterations=1)
+    for text in block.tables:
+        emit(text)
+    rows = block.values["rows"]
+    assert rows[0]["missed_deadlines"] >= rows[-1]["missed_deadlines"]
 
 
 def test_simulator_event_throughput(benchmark):

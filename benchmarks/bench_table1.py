@@ -3,28 +3,25 @@
 Paper row = published count; ours = count from the simulated season's
 complete post-hoc respondents.  The benchmark times a full season
 simulation + analysis, the unit of work behind all three tables.
+
+Registered as experiment ``T1``: the logic lives in
+:func:`repro.core.study.t1_regeneration`; run it standalone with
+``python -m repro run T1``.
 """
 
 from conftest import emit
 
-from repro.core import REUProgram, TABLE1_GOALS, render_season_report, table1
-from repro.core.report import render_table1
-
-
-def run_table1(seed: int = 42):
-    outcome = REUProgram().run_season(seed=seed)
-    return table1(outcome), outcome
+from repro.core import TABLE1_GOALS
+from repro.core.study import t1_regeneration
 
 
 def test_table1_regeneration(benchmark):
-    rows, outcome = benchmark(run_table1)
-    emit(render_table1(outcome))
-    paper = list(TABLE1_GOALS.values())
-    ours = [r.accomplished for r in rows]
-    mean_abs = sum(abs(p - o) for p, o in zip(paper, ours)) / len(paper)
-    emit(f"T1 mean |paper - ours| = {mean_abs:.2f} goals (out of 9 respondents)")
+    block = benchmark(t1_regeneration)
+    for text in block.tables:
+        emit(text)
+    ours = block.values["counts"]
     # Shape requirements: every paper 9/9 goal is 9/9 here too.
     for goal, count in TABLE1_GOALS.items():
         if count == 9:
-            assert dict(zip(TABLE1_GOALS, ours))[goal] == 9
-    assert mean_abs < 2.0
+            assert ours[goal] == 9
+    assert block.values["mean_abs_deviation"] < 2.0

@@ -5,56 +5,35 @@ with the paper's, and the paper's central finding (gain anti-correlates
 with prior confidence) present.  The ablation swaps the saturating-gain
 experience model for a constant-gain one and shows the regenerated boosts
 stop matching the paper.
+
+Registered as experiment ``T2``: the logic lives in
+:func:`repro.core.study.t2_regeneration` and
+:func:`repro.core.study.t2_constant_gain_ablation`; run it standalone
+with ``python -m repro run T2``.
 """
 
-import numpy as np
 from conftest import emit
 
-from repro.core import (
-    ConstantGainModel,
-    REUProgram,
-    TABLE2_CONFIDENCE,
-    table2,
-)
-from repro.core.report import render_table2
-
-PAPER_PRIORS = np.array([v[0] for v in TABLE2_CONFIDENCE.values()])
-PAPER_BOOSTS = np.array([v[1] for v in TABLE2_CONFIDENCE.values()])
+from repro.core.study import t2_constant_gain_ablation, t2_regeneration
 
 
-def boosts_over_seeds(model=None, n_seeds: int = 6) -> np.ndarray:
-    rows = []
-    for seed in range(n_seeds):
-        program = REUProgram(model=model) if model else REUProgram()
-        rows.append([r.boost for r in table2(program.run_season(seed=seed))])
-    return np.mean(rows, axis=0)
-
-
-def test_table2_regeneration(benchmark, season_outcome):
-    rows = benchmark(table2, season_outcome)
-    emit(render_table2(season_outcome))
-    boosts = boosts_over_seeds()
-    corr_paper = float(np.corrcoef(boosts, PAPER_BOOSTS)[0, 1])
-    corr_prior = float(np.corrcoef(boosts, PAPER_PRIORS)[0, 1])
-    emit(
-        f"T2 boost corr(ours, paper) = {corr_paper:.3f}; "
-        f"corr(boost, a-priori mean) = {corr_prior:.3f} "
-        "(paper finding: strongly negative)"
+def test_table2_regeneration(benchmark):
+    block = benchmark.pedantic(
+        lambda: t2_regeneration(cache=False), rounds=1, iterations=1
     )
-    assert len(rows) == 18
-    assert corr_paper > 0.6
-    assert corr_prior < -0.5
+    for text in block.tables:
+        emit(text)
+    assert block.values["n_rows"] == 18
+    assert block.values["corr_paper"] > 0.6
+    assert block.values["corr_prior"] < -0.5
 
 
 def test_table2_ablation_constant_gain(benchmark):
     """A1: the constant-gain model fails to reproduce Table 2."""
-    boosts = benchmark(boosts_over_seeds, ConstantGainModel(), 4)
-    corr_paper = float(np.corrcoef(boosts, PAPER_BOOSTS)[0, 1])
-    mae = float(np.abs(boosts - PAPER_BOOSTS).mean())
-    emit(
-        "A1 ablation (constant-gain learning): "
-        f"boost corr(ours, paper) = {corr_paper:.3f}, MAE = {mae:.2f} "
-        "(saturating-gain model: corr ~0.97, MAE ~0.07)"
+    block = benchmark.pedantic(
+        lambda: t2_constant_gain_ablation(4, cache=False), rounds=1, iterations=1
     )
-    assert corr_paper < 0.5
-    assert mae > 0.15
+    for text in block.tables:
+        emit(text)
+    assert block.values["corr_paper"] < 0.5
+    assert block.values["mae"] > 0.15

@@ -1,31 +1,25 @@
-"""T3 — regenerate Table 3 (topic-area knowledge)."""
+"""T3 — regenerate Table 3 (topic-area knowledge).
 
-import numpy as np
+Registered as experiment ``T3``: the logic lives in
+:func:`repro.core.study.t3_regeneration`; run it standalone with
+``python -m repro run T3``.
+"""
+
 from conftest import emit
 
-from repro.core import REUProgram, TABLE3_KNOWLEDGE, table3
-from repro.core.report import render_table3
+from repro.core.study import t3_regeneration
 
 
-def test_table3_regeneration(benchmark, season_outcome):
-    rows = benchmark(table3, season_outcome)
-    emit(render_table3(season_outcome))
-    increases = []
-    for seed in range(6):
-        o = REUProgram().run_season(seed=seed)
-        increases.append([r.increase for r in table3(o)])
-    increases = np.mean(increases, axis=0)
-    paper = np.array([v[1] for v in TABLE3_KNOWLEDGE.values()])
-    areas = list(TABLE3_KNOWLEDGE)
-    top_two = set(np.array(areas)[np.argsort(increases)[-2:]])
-    emit(
-        f"T3 mean |paper - ours| increase = {np.abs(increases - paper).mean():.2f}; "
-        f"largest gains: {sorted(top_two)}"
+def test_table3_regeneration(benchmark):
+    block = benchmark.pedantic(
+        lambda: t3_regeneration(cache=False), rounds=1, iterations=1
     )
-    assert len(rows) == 5
+    for text in block.tables:
+        emit(text)
+    assert block.values["n_rows"] == 5
     # The paper's point: trust and reproducibility are the two big gains.
-    assert top_two == {
+    assert set(block.values["top_two"]) == {
         "trust_in_computational_research",
         "reproducibility_of_research",
     }
-    assert np.abs(increases - paper).max() < 0.5
+    assert block.values["max_abs_deviation"] < 0.5

@@ -21,6 +21,10 @@ provenance
 parallel
     Deterministic process-parallel experiment runner with a
     content-addressed result cache and the Sweep grid abstraction.
+exp
+    The experiment registry and the ``python -m repro`` CLI: every paper
+    artifact (T1-T3, N1, E1-E11, R1, P1, F1) as one registered,
+    provenance-stamped experiment.
 ae, particlefilter, unlearning, trajectories, autotune, detect,
 histopath, rl, malware, robuststats, shapes
     One substrate per student project (paper sections 2.1-2.11).
@@ -35,6 +39,7 @@ __all__ = [
     "cluster",
     "provenance",
     "parallel",
+    "exp",
     "utils",
     "ae",
     "particlefilter",

@@ -1,0 +1,225 @@
+"""R1 — end-of-program GPU contention as a registered experiment.
+
+Reproduces ``benchmarks/bench_r1_gpu_contention.py`` string-for-string;
+the benchmark file is now a shim over this module.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.metrics import evaluate_schedule
+from repro.cluster.policies import (
+    naive_deadline_submission,
+    staged_batch_submission,
+    uniform_submission,
+)
+from repro.cluster.scheduler import ClusterSimulator, SchedulerPolicy
+from repro.cluster.workload import default_reu_projects, generate_workload
+from repro.exp.registry import Experiment, register
+from repro.exp.reporting import rows_table
+from repro.exp.result import Block, Check, ExpResult, Verdict
+
+__all__ = [
+    "r1_submission_policies",
+    "r1_scheduler_ablation",
+    "r1_pool_size_sweep",
+    "run_policy",
+]
+
+
+def run_policy(times, n_gpus: int = 6, policy=SchedulerPolicy.BACKFILL,
+               seed: int = 42, projects=None):
+    """One season workload under one submission-time plan and discipline."""
+    projects = default_reu_projects() if projects is None else projects
+    jobs = generate_workload(projects, submit_times=times, seed=seed)
+    sim = ClusterSimulator(n_gpus, policy=policy)
+    return evaluate_schedule(sim.run(jobs))
+
+
+def r1_submission_policies(n_gpus: int = 6, submit_seed: int = 1,
+                           workload_seed: int = 42) -> Block:
+    """Naive deadline crunch vs uniform vs the paper's staged remedy."""
+    projects = default_reu_projects()
+    metrics = {
+        "naive deadline": run_policy(
+            naive_deadline_submission(projects, seed=submit_seed),
+            n_gpus, seed=workload_seed, projects=projects,
+        ),
+        "uniform": run_policy(
+            uniform_submission(projects, seed=submit_seed),
+            n_gpus, seed=workload_seed, projects=projects,
+        ),
+        "staged batches": run_policy(
+            staged_batch_submission(projects),
+            n_gpus, seed=workload_seed, projects=projects,
+        ),
+    }
+    return Block(
+        values={
+            name: {"mean_wait": float(m.mean_wait),
+                   "p95_wait": float(m.p95_wait),
+                   "final_week_wait": float(m.mean_wait_final_week),
+                   "missed_deadlines": int(m.missed_deadlines),
+                   "total_lateness": float(m.total_lateness)}
+            for name, m in metrics.items()
+        },
+        tables=(
+            rows_table(
+                ["policy", "mean wait h", "p95 wait h", "final-week wait h",
+                 "missed", "lateness h"],
+                [
+                    [name, m.mean_wait, m.p95_wait, m.mean_wait_final_week,
+                     m.missed_deadlines, m.total_lateness]
+                    for name, m in metrics.items()
+                ],
+                title=(
+                    f"R1: submission policy vs contention ({n_gpus}-GPU "
+                    f"pool, {len(projects)} projects)"
+                ),
+            ),
+        ),
+    )
+
+
+def r1_scheduler_ablation(n_gpus: int = 6, submit_seed: int = 1,
+                          workload_seed: int = 42) -> Block:
+    """A2: FIFO vs EASY backfill vs EDF under the naive crunch."""
+    projects = default_reu_projects()
+    times = naive_deadline_submission(projects, seed=submit_seed)
+    metrics = {
+        name: run_policy(times, n_gpus, policy, seed=workload_seed,
+                         projects=projects)
+        for name, policy in (
+            ("fifo", SchedulerPolicy.FIFO),
+            ("backfill", SchedulerPolicy.BACKFILL),
+            ("edf", SchedulerPolicy.EDF),
+        )
+    }
+    return Block(
+        values={
+            name: {"mean_wait": float(m.mean_wait),
+                   "p95_wait": float(m.p95_wait),
+                   "missed_deadlines": int(m.missed_deadlines),
+                   "total_lateness": float(m.total_lateness)}
+            for name, m in metrics.items()
+        },
+        tables=(
+            rows_table(
+                ["scheduler", "mean wait h", "p95 wait h", "missed", "lateness h"],
+                [
+                    [name, m.mean_wait, m.p95_wait, m.missed_deadlines,
+                     m.total_lateness]
+                    for name, m in metrics.items()
+                ],
+                title="A2 ablation: queue discipline under the end-of-program crunch",
+            ),
+        ),
+    )
+
+
+def r1_pool_size_sweep(pool_sizes=(4, 6, 8, 12, 16), submit_seed: int = 1,
+                       workload_seed: int = 42) -> Block:
+    """How many GPUs would the naive policy need?"""
+    projects = default_reu_projects()
+    times = naive_deadline_submission(projects, seed=submit_seed)
+    rows = []
+    for n in pool_sizes:
+        jobs = generate_workload(projects, submit_times=times, seed=workload_seed)
+        sim = ClusterSimulator(n, policy=SchedulerPolicy.BACKFILL)
+        m = evaluate_schedule(sim.run(jobs))
+        rows.append((n, m.missed_deadlines, m.p95_wait))
+    return Block(
+        values={
+            "rows": [
+                {"n_gpus": int(n), "missed_deadlines": int(miss),
+                 "p95_wait": float(p95)}
+                for n, miss, p95 in rows
+            ]
+        },
+        tables=(
+            rows_table(
+                ["GPUs", "missed deadlines", "p95 wait h"],
+                rows,
+                title="R1: pool size needed to absorb the naive crunch",
+            ),
+        ),
+    )
+
+
+@register
+class ContentionExperiment(Experiment):
+    id = "R1"
+    title = "GPU contention and staged batches"
+    section = "3-4"
+    paper_claim = (
+        "an array of ML/AI projects finishing at the same time resulted "
+        "in GPU availability issues; staging GPU result collection "
+        "across non-overlapping batches addresses it"
+    )
+    DEFAULT = {
+        "n_gpus": 6,
+        "submit_seed": 1,
+        "workload_seed": 42,
+        "pool_sizes": (4, 6, 8, 12, 16),
+    }
+    SMOKE = {"pool_sizes": (4, 8)}
+
+    def _run(self, config, *, workers, cache):
+        result = ExpResult(self.id, config)
+        result.add(
+            "policies",
+            r1_submission_policies(
+                config["n_gpus"], config["submit_seed"], config["workload_seed"]
+            ),
+        )
+        result.add(
+            "disciplines",
+            r1_scheduler_ablation(
+                config["n_gpus"], config["submit_seed"], config["workload_seed"]
+            ),
+        )
+        result.add(
+            "pool_sizes",
+            r1_pool_size_sweep(
+                config["pool_sizes"], config["submit_seed"],
+                config["workload_seed"],
+            ),
+        )
+        return result
+
+    def check(self, result):
+        policies = result["policies"]
+        naive = policies["naive deadline"]
+        staged = policies["staged batches"]
+        disciplines = result["disciplines"]
+        pool = result["pool_sizes"]["rows"]
+        checks = [
+            Check(
+                "the naive crunch misses deadlines; staging misses none",
+                {"naive": naive["missed_deadlines"],
+                 "staged": staged["missed_deadlines"]},
+                naive["missed_deadlines"] > 0
+                and staged["missed_deadlines"] == 0,
+            ),
+            Check(
+                "staging cuts p95 and final-week waits",
+                {"naive": {"p95": naive["p95_wait"],
+                           "final_week": naive["final_week_wait"]},
+                 "staged": {"p95": staged["p95_wait"],
+                            "final_week": staged["final_week_wait"]}},
+                staged["p95_wait"] < naive["p95_wait"]
+                and staged["final_week_wait"] < naive["final_week_wait"],
+            ),
+            Check(
+                "no queue discipline alone fixes the crunch",
+                {name: m["missed_deadlines"] for name, m in disciplines.items()},
+                disciplines["backfill"]["mean_wait"]
+                <= disciplines["fifo"]["mean_wait"]
+                and all(m["missed_deadlines"] > 0 for m in disciplines.values()),
+            ),
+            Check(
+                "bigger pools absorb the crunch",
+                pool,
+                pool[0]["missed_deadlines"] >= pool[-1]["missed_deadlines"],
+            ),
+        ]
+        return Verdict(self.id, tuple(checks))

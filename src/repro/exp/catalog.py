@@ -1,0 +1,28 @@
+"""Import every study module so its experiments register themselves.
+
+Import order is catalog order: this is the order ``python -m repro list``
+prints and ``run all`` executes — the paper's own presentation order
+(tables, narrative, projects §2.1–§2.11, then the §3/§4 studies).
+"""
+
+# Tables 1–3, narrative statistics, and the year-two plans (F1).
+import repro.core.study  # noqa: F401  (registers T1, T2, T3, N1, F1)
+
+# Student projects, paper sections 2.1–2.11.
+import repro.ae.study  # noqa: F401  (E1)
+import repro.particlefilter.study  # noqa: F401  (E2)
+import repro.unlearning.study  # noqa: F401  (E3)
+import repro.trajectories.study  # noqa: F401  (E4)
+import repro.autotune.study  # noqa: F401  (E5)
+import repro.detect.study  # noqa: F401  (E6)
+import repro.histopath.study  # noqa: F401  (E7)
+import repro.rl.study  # noqa: F401  (E8)
+import repro.malware.study  # noqa: F401  (E9)
+import repro.robuststats.study  # noqa: F401  (E10)
+import repro.shapes.study  # noqa: F401  (E11)
+
+# Contention study, the performance lesson module, and the parallel
+# runner's own determinism/cache validation (§3/§4).
+import repro.cluster.study  # noqa: F401  (R1)
+import repro.perf.study  # noqa: F401  (P1)
+import repro.parallel.selfcheck  # noqa: F401  (P2)

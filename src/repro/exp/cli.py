@@ -1,0 +1,166 @@
+"""``python -m repro`` — the command-line front door to the catalog.
+
+Subcommands
+-----------
+``list``
+    Every registered experiment: id, paper section, title.
+``run <ids|all>``
+    Execute experiments; writes ``events.jsonl`` + ``manifest.json`` +
+    ``results.json`` under a per-run directory and prints each
+    experiment's regenerated tables and verdict.
+``report <ids|all>``
+    Print only the regenerated paper-vs-ours tables (this regenerates
+    ``bench_tables.txt``: ``python -m repro report > bench_tables.txt``).
+``check <ids|all>``
+    Evaluate every paper-shape claim; exit non-zero if any fails.
+
+Shared options: ``--smoke`` selects each experiment's CI-scale config
+tier; ``--seeds N`` overrides the trial-seed count where an experiment
+has one; ``--workers N`` and ``--no-cache`` flow to every
+:mod:`repro.parallel` call; ``--json OUT`` writes the machine-readable
+results/verdicts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.exp.registry import all_experiments
+from repro.exp.reporting import rows_table, verdict_table
+from repro.exp.runner import RunSummary, run_experiments
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run, report, and check the paper's experiment catalog.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list every registered experiment")
+
+    def add_run_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("ids", nargs="*", default=["all"], metavar="ID",
+                       help="experiment ids (default: all)")
+        p.add_argument("--smoke", action="store_true",
+                       help="use each experiment's CI-scale config tier")
+        p.add_argument("--seeds", type=int, default=None, metavar="N",
+                       help="override the trial-seed count where supported")
+        p.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="process-pool size for repro.parallel calls")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the content-addressed result cache")
+        p.add_argument("--json", dest="json_out", metavar="OUT",
+                       help="write machine-readable output to this file")
+
+    run = sub.add_parser("run", help="run experiments and write run artifacts")
+    add_run_options(run)
+    run.add_argument("--out", metavar="DIR", default=None,
+                     help="run directory (default: runs/<timestamp>)")
+    run.add_argument("--no-artifacts", action="store_true",
+                     help="skip the per-run events/manifest/results files")
+
+    report = sub.add_parser("report", help="print regenerated-vs-paper tables")
+    add_run_options(report)
+
+    check = sub.add_parser("check", help="evaluate paper-shape claims; exit 1 on failure")
+    add_run_options(check)
+    return parser
+
+
+def _execute(args: argparse.Namespace, *, out_dir: Path | None) -> RunSummary:
+    return run_experiments(
+        args.ids,
+        smoke=args.smoke,
+        seeds=args.seeds,
+        workers=args.workers,
+        cache=not args.no_cache,
+        out_dir=out_dir,
+    )
+
+
+def _write_json(path: str, payload: dict[str, Any]) -> None:
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def _cmd_list() -> int:
+    rows = [(e.id, e.section or "-", e.title) for e in all_experiments()]
+    print(rows_table(["id", "section", "title"], rows,
+                     title=f"experiment catalog ({len(rows)} registered)"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    out_dir: Path | None = None
+    if not args.no_artifacts:
+        out_dir = Path(args.out) if args.out else (
+            Path("runs") / time.strftime("run-%Y%m%d-%H%M%S")
+        )
+    summary = _execute(args, out_dir=out_dir)
+    for record in summary.records:
+        exp = record.experiment
+        print(f"\n=== {exp.id} · {exp.title} [{record.seconds:.1f}s] ===")
+        print(record.result.report())
+        if record.verdict is not None:
+            n_pass = sum(c.passed for c in record.verdict.checks)
+            status = "PASS" if record.verdict.passed else "FAIL"
+            print(f"{exp.id} verdict: {status} "
+                  f"({n_pass}/{len(record.verdict.checks)} claims)")
+    if out_dir is not None:
+        print(f"\nrun artifacts: {out_dir}/{{events.jsonl,manifest.json,results.json}}")
+    if args.json_out:
+        _write_json(args.json_out, summary.as_dict())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    summary = _execute(args, out_dir=None)
+    for record in summary.records:
+        exp = record.experiment
+        print(f"## {exp.id} — {exp.title}\n")
+        print(record.result.report())
+        print()
+    if args.json_out:
+        _write_json(args.json_out, summary.as_dict())
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    summary = _execute(args, out_dir=None)
+    verdicts = summary.verdicts()
+    print(verdict_table(verdicts))
+    n_failed = sum(not v.passed for v in verdicts)
+    checked = ", ".join(v.experiment for v in verdicts)
+    print(f"\nchecked {len(verdicts)} experiments ({checked}): "
+          f"{len(verdicts) - n_failed} passed, {n_failed} failed")
+    if args.json_out:
+        _write_json(args.json_out, {
+            "smoke": summary.smoke,
+            "verdicts": [v.as_dict() for v in verdicts],
+        })
+    return 1 if n_failed else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "check":
+        return _cmd_check(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Shared rendering helpers for experiment reports and benchmark shims.
+
+Before the registry existed every ``benchmarks/bench_*.py`` hand-rolled
+the same three lines — build a :class:`repro.utils.tables.Table`, append
+each row, render — with small copy-paste drift between files.  The study
+modules and the benchmark shims now share these helpers, so the CLI's
+``report`` output and the benchmark suite's printed tables are the same
+strings by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.exp.result import Verdict
+from repro.utils.tables import Table
+
+__all__ = ["paper_comparison", "rows_table", "verdict_table"]
+
+
+def rows_table(
+    columns: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    title: str = "",
+    decimals: int = 2,
+) -> str:
+    """Render an iterable of row sequences as one text table."""
+    table = Table(list(columns), title=title, decimals=decimals)
+    for row in rows:
+        table.add_row(list(row))
+    return table.render()
+
+
+def paper_comparison(
+    label: str,
+    entries: Iterable[tuple[str, Any, Any]],
+    *,
+    title: str = "",
+    decimals: int = 2,
+) -> str:
+    """Render ``(label, paper value, regenerated value)`` comparison rows."""
+    return rows_table(
+        [label, "paper", "ours"], entries, title=title, decimals=decimals
+    )
+
+
+def verdict_table(verdicts: Iterable[Verdict]) -> str:
+    """Render per-claim verdicts for a set of experiments."""
+    table = Table(["experiment", "claim", "observed", "verdict"], decimals=3)
+    for verdict in verdicts:
+        for check in verdict.checks:
+            table.add_row(
+                [
+                    verdict.experiment,
+                    check.claim,
+                    check.observed,
+                    "pass" if check.passed else "FAIL",
+                ]
+            )
+    return table.render()

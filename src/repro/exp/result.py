@@ -1,0 +1,89 @@
+"""Result and verdict types shared by every registered experiment.
+
+An experiment run produces an :class:`ExpResult` — the machine-readable
+half (``values``, a JSON-able nested dict) plus the human-readable half
+(``tables``, the same rendered text blocks the benchmark suite prints).
+:meth:`Experiment.check` folds the values against the paper's published
+numbers into a :class:`Verdict` of individual :class:`Check` rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Block", "Check", "ExpResult", "Verdict"]
+
+
+@dataclass
+class Block:
+    """One sub-study of an experiment: its numbers and rendered tables."""
+
+    values: dict[str, Any]
+    tables: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Check:
+    """One paper-shape claim evaluated against a regenerated value."""
+
+    claim: str
+    observed: Any
+    passed: bool
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"claim": self.claim, "observed": self.observed, "passed": self.passed}
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The pass/fail record of one experiment against the paper."""
+
+    experiment: str
+    checks: tuple[Check, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "passed": self.passed,
+            "checks": [c.as_dict() for c in self.checks],
+        }
+
+
+@dataclass
+class ExpResult:
+    """What one experiment run produced.
+
+    ``values`` maps block name -> that block's JSON-able numbers;
+    ``tables`` holds the rendered text blocks in print order (identical,
+    string for string, to what the corresponding benchmark file emits).
+    """
+
+    experiment: str
+    config: dict[str, Any]
+    values: dict[str, Any] = field(default_factory=dict)
+    tables: tuple[str, ...] = ()
+
+    def __getitem__(self, block: str) -> dict[str, Any]:
+        return self.values[block]
+
+    def add(self, name: str, block: Block) -> Block:
+        """Attach a named block's values and tables to this result."""
+        self.values[name] = block.values
+        self.tables = self.tables + tuple(block.tables)
+        return block
+
+    def report(self) -> str:
+        """All rendered tables, newline-joined (returned, never printed)."""
+        return "\n\n".join(self.tables)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "config": self.config,
+            "values": self.values,
+        }

@@ -1,0 +1,152 @@
+"""Front-door orchestration: run experiments, stamp provenance, log events.
+
+This is the layer ``python -m repro run`` calls.  Besides executing each
+requested experiment it wires the three infrastructure layers together
+under one per-run directory:
+
+* :mod:`repro.obs` — the run gets its own ``events.jsonl`` with
+  ``run_start`` / ``experiment_start`` / ``experiment_finish`` /
+  ``run_finish`` events framing whatever the experiment's own
+  :func:`repro.parallel.pmap` calls emit;
+* :mod:`repro.provenance` — a hash-chained :class:`ExperimentManifest`
+  records every experiment's config, seed ledger, and result digest, and
+  ``manifest.json`` pairs the chain with a captured environment snapshot;
+* ``results.json`` — the machine-readable values and verdicts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro import obs
+from repro.exp.registry import Experiment, get_experiment, resolve_ids
+from repro.exp.result import ExpResult, Verdict
+from repro.provenance.env import capture_environment
+from repro.provenance.manifest import ExperimentManifest
+
+__all__ = ["RunRecord", "RunSummary", "run_experiments", "seed_ledger"]
+
+
+@dataclass
+class RunRecord:
+    """One executed experiment inside a run."""
+
+    experiment: Experiment
+    result: ExpResult
+    verdict: Verdict | None
+    seconds: float
+
+
+@dataclass
+class RunSummary:
+    """Everything a run produced, plus where its artifacts landed."""
+
+    records: list[RunRecord]
+    smoke: bool
+    out_dir: Path | None = None
+    manifest: ExperimentManifest | None = None
+
+    def verdicts(self) -> list[Verdict]:
+        return [r.verdict for r in self.records if r.verdict is not None]
+
+    @property
+    def all_passed(self) -> bool:
+        return all(v.passed for v in self.verdicts())
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "smoke": self.smoke,
+            "experiments": [
+                {
+                    **record.result.as_dict(),
+                    "title": record.experiment.title,
+                    "seconds": record.seconds,
+                    "verdict": record.verdict.as_dict() if record.verdict else None,
+                }
+                for record in self.records
+            ],
+        }
+
+
+def seed_ledger(config: dict[str, Any]) -> dict[str, int]:
+    """Every seed-like knob of a config, for the manifest's seed audit."""
+    return {
+        key: int(value)
+        for key, value in config.items()
+        if "seed" in key and isinstance(value, (int, bool)) and not isinstance(value, bool)
+    }
+
+
+def run_experiments(
+    ids: Sequence[str],
+    *,
+    smoke: bool = False,
+    seeds: int | None = None,
+    workers: int | None = None,
+    cache: Any = True,
+    out_dir: str | Path | None = None,
+) -> RunSummary:
+    """Run the requested experiments (``["all"]`` for the whole catalog).
+
+    When ``out_dir`` is given the run writes ``events.jsonl``,
+    ``manifest.json``, and ``results.json`` beneath it; telemetry routing
+    is restored to its previous sink afterwards.
+    """
+    resolved = resolve_ids(ids)
+    out_path = Path(out_dir) if out_dir is not None else None
+    manifest = ExperimentManifest("repro-run")
+    previous_log: Any = None
+    if out_path is not None:
+        out_path.mkdir(parents=True, exist_ok=True)
+        previous_log = obs.configure(obs.EventLog(out_path / "events.jsonl"))
+    try:
+        obs.emit("run_start", {"experiments": resolved, "smoke": smoke})
+        records: list[RunRecord] = []
+        for exp_id in resolved:
+            exp = get_experiment(exp_id)
+            obs.emit("experiment_start", {"experiment": exp.id})
+            start = time.perf_counter()
+            result = exp.run(smoke=smoke, seeds=seeds, workers=workers, cache=cache)
+            elapsed = time.perf_counter() - start
+            verdict = exp.check(result)
+            manifest.record(
+                exp.id,
+                dict(result.config),
+                seed_ledger(result.config),
+                result=result.values,
+            )
+            obs.emit(
+                "experiment_finish",
+                {
+                    "experiment": exp.id,
+                    "n_blocks": len(result.values),
+                    "passed": None if verdict is None else verdict.passed,
+                },
+                {"dur_s": elapsed},
+            )
+            records.append(RunRecord(exp, result, verdict, elapsed))
+        obs.emit("run_finish", {"n_experiments": len(records)})
+    finally:
+        if out_path is not None:
+            obs.configure(previous_log)
+    summary = RunSummary(records, smoke, out_path, manifest)
+    if out_path is not None:
+        _write_artifacts(summary, out_path)
+    return summary
+
+
+def _write_artifacts(summary: RunSummary, out_path: Path) -> None:
+    manifest = summary.manifest
+    assert manifest is not None
+    manifest_doc = {
+        "environment": capture_environment().as_dict(),
+        "smoke": summary.smoke,
+        "chain_verified": manifest.verify_chain(),
+        "manifest": json.loads(manifest.to_json()),
+    }
+    (out_path / "manifest.json").write_text(json.dumps(manifest_doc, indent=2))
+    (out_path / "results.json").write_text(json.dumps(summary.as_dict(), indent=2))

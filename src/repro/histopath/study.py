@@ -1,0 +1,250 @@
+"""E7 — multi-task histopathology as a registered experiment.
+
+Reproduces ``benchmarks/bench_e07_histopath.py`` string-for-string; the
+benchmark file is now a shim over this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exp.registry import Experiment, register
+from repro.exp.reporting import rows_table
+from repro.exp.result import Block, Check, ExpResult, Verdict
+from repro.histopath.augment import augment_dataset
+from repro.histopath.data import make_patches
+from repro.histopath.metrics import count_mae, dice_score
+from repro.histopath.model import build_model
+from repro.histopath.train import pretrain_trunk, train_model
+
+__all__ = [
+    "e7_multitask_vs_single",
+    "e7_learning_rate_search",
+    "e7_augmentation_ablation",
+    "e7_pretraining_convergence",
+    "score_model",
+]
+
+
+def _splits(n_train: int = 48, n_test: int = 32):
+    return make_patches(n=n_train, seed=0), make_patches(n=n_test, seed=1)
+
+
+def score_model(model, test):
+    """(tissue dice, cell-count MAE) on one test set."""
+    dice = dice_score(model.predict_mask(test.images), test.tissue_masks)
+    mae = count_mae(model.predict_count(test.images), test.cell_counts)
+    return dice, mae
+
+
+def e7_multitask_vs_single(
+    epochs: int = 25, n_train: int = 48, n_test: int = 32
+) -> Block:
+    """The headline: one model for both pathologist-workflow tasks."""
+    train, test = _splits(n_train, n_test)
+    rows = []
+    for mode in ("seg", "count", "multitask"):
+        model = train_model(train, mode=mode, epochs=epochs, seed=2)
+        rows.append((mode, *score_model(model, test)))
+    return Block(
+        values={
+            mode: {"dice": float(dice), "count_mae": float(mae)}
+            for mode, dice, mae in rows
+        },
+        tables=(
+            rows_table(
+                ["mode", "tissue dice", "count MAE"],
+                rows,
+                title="E7: single-task vs multi-task (pathologist-workflow model)",
+            ),
+        ),
+    )
+
+
+def e7_learning_rate_search(
+    lrs=(3e-4, 1e-3, 3e-3, 1e-2),
+    epochs: int = 12,
+    n_train: int = 48,
+    n_test: int = 32,
+) -> Block:
+    """E7(b): the hyper-parameter axis the paper examined."""
+    train, test = _splits(n_train, n_test)
+    rows = []
+    for lr in lrs:
+        model = train_model(train, mode="multitask", epochs=epochs, lr=lr, seed=3)
+        rows.append((lr, *score_model(model, test)))
+    return Block(
+        values={
+            "cells": [
+                {"lr": float(lr), "dice": float(dice), "count_mae": float(mae)}
+                for lr, dice, mae in rows
+            ]
+        },
+        tables=(
+            rows_table(
+                ["lr", "dice", "count MAE"],
+                rows,
+                title="E7(b): learning-rate search",
+                decimals=4,
+            ),
+        ),
+    )
+
+
+def e7_augmentation_ablation(
+    epochs: int = 20, subset: int = 16, factor: int = 3,
+    n_train: int = 48, n_test: int = 32,
+) -> Block:
+    """E7(c): augmentation at low sample size."""
+    train, test = _splits(n_train, n_test)
+    small = train.subset(np.arange(subset))
+    plain = train_model(small, mode="multitask", epochs=epochs, seed=4)
+    augmented = train_model(
+        augment_dataset(small, factor=factor, seed=4),
+        mode="multitask",
+        epochs=epochs,
+        seed=4,
+    )
+    plain_dice, plain_mae = score_model(plain, test)
+    aug_dice, aug_mae = score_model(augmented, test)
+    return Block(
+        values={
+            "plain": {"dice": float(plain_dice), "count_mae": float(plain_mae)},
+            "augmented": {"dice": float(aug_dice), "count_mae": float(aug_mae)},
+        },
+        tables=(
+            rows_table(
+                ["training set", "dice", "count MAE"],
+                [
+                    [f"{subset} patches", plain_dice, plain_mae],
+                    [f"{subset} patches x{factor} augmented", aug_dice, aug_mae],
+                ],
+                title="E7(c): augmentation at low sample size",
+            ),
+        ),
+    )
+
+
+def e7_pretraining_convergence(
+    pretrain_n: int = 96,
+    pretrain_epochs: int = 15,
+    finetune_epochs: int = 6,
+    n_train: int = 48,
+    n_test: int = 32,
+) -> Block:
+    """E7(d): fine-tuning a pretrained trunk vs training from scratch."""
+    train, test = _splits(n_train, n_test)
+    state = pretrain_trunk(
+        make_patches(n=pretrain_n, seed=7), epochs=pretrain_epochs, seed=8
+    )
+    scratch = train_model(train, mode="multitask", epochs=finetune_epochs, seed=9)
+    warm = build_model(seed=9)
+    warm.load_trunk_state(state)
+    warm = train_model(
+        train, mode="multitask", epochs=finetune_epochs, seed=9, model=warm
+    )
+    s_dice, _ = score_model(scratch, test)
+    w_dice, _ = score_model(warm, test)
+    return Block(
+        values={"scratch_dice": float(s_dice), "pretrained_dice": float(w_dice)},
+        tables=(
+            f"E7(d): dice after {finetune_epochs} fine-tune epochs — scratch "
+            f"{s_dice:.3f} vs pretrained {w_dice:.3f} (paper: pretrained "
+            "backbone improves convergence)",
+        ),
+    )
+
+
+@register
+class HistopathExperiment(Experiment):
+    id = "E7"
+    title = "Multi-task histopathology"
+    section = "2.7"
+    paper_claim = (
+        "one model mimicking the pathologist workflow handles tissue "
+        "segmentation and cell counting simultaneously; learning-rate "
+        "search, augmentation, and pretraining all examined"
+    )
+    DEFAULT = {
+        "n_train": 48,
+        "n_test": 32,
+        "mt_epochs": 25,
+        "lrs": (3e-4, 1e-3, 3e-3, 1e-2),
+        "lr_epochs": 12,
+        "aug_epochs": 20,
+        "aug_subset": 16,
+        "aug_factor": 3,
+        "pretrain_n": 96,
+        "pretrain_epochs": 15,
+        "finetune_epochs": 6,
+    }
+    SMOKE = {
+        "mt_epochs": 6,
+        "lrs": (1e-3, 3e-3),
+        "lr_epochs": 4,
+        "aug_epochs": 5,
+        "pretrain_n": 48,
+        "pretrain_epochs": 4,
+        "finetune_epochs": 2,
+    }
+
+    def _run(self, config, *, workers, cache):
+        n_train, n_test = config["n_train"], config["n_test"]
+        result = ExpResult(self.id, config)
+        result.add(
+            "multitask",
+            e7_multitask_vs_single(config["mt_epochs"], n_train, n_test),
+        )
+        result.add(
+            "lr_search",
+            e7_learning_rate_search(
+                config["lrs"], config["lr_epochs"], n_train, n_test
+            ),
+        )
+        result.add(
+            "augmentation",
+            e7_augmentation_ablation(
+                config["aug_epochs"], config["aug_subset"],
+                config["aug_factor"], n_train, n_test,
+            ),
+        )
+        result.add(
+            "pretraining",
+            e7_pretraining_convergence(
+                config["pretrain_n"], config["pretrain_epochs"],
+                config["finetune_epochs"], n_train, n_test,
+            ),
+        )
+        return result
+
+    def check(self, result):
+        mt = result["multitask"]
+        dices = [c["dice"] for c in result["lr_search"]["cells"]]
+        aug = result["augmentation"]
+        pre = result["pretraining"]
+        checks = [
+            Check(
+                "multi-task matches both specialists simultaneously",
+                mt,
+                mt["multitask"]["dice"] > mt["count"]["dice"]
+                and mt["multitask"]["count_mae"] < mt["seg"]["count_mae"] + 2.0
+                and mt["multitask"]["dice"] > 0.85,
+            ),
+            Check(
+                "the learning-rate search matters (dice spread > 0.02)",
+                {"min": min(dices), "max": max(dices)},
+                max(dices) - min(dices) > 0.02,
+            ),
+            Check(
+                "augmentation does not hurt at low sample size",
+                {"plain": aug["plain"]["dice"],
+                 "augmented": aug["augmented"]["dice"]},
+                aug["augmented"]["dice"] >= aug["plain"]["dice"] - 0.05,
+            ),
+            Check(
+                "pretrained backbone converges at least as fast",
+                pre,
+                pre["pretrained_dice"] >= pre["scratch_dice"] - 0.02,
+            ),
+        ]
+        return Verdict(self.id, tuple(checks))

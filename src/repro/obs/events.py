@@ -179,15 +179,19 @@ _env_logs: dict[str, EventLog] = {}
 _quiet_depth = 0
 
 
-def configure(log: EventLog | str | os.PathLike | None) -> EventLog | None:
-    """Install the global logger; returns the previously active one.
+def configure(log: EventLog | str | os.PathLike | None) -> Any:
+    """Install the global logger; returns the previously active state.
 
     Accepts an :class:`EventLog`, a path (a log appending there is
     built), or ``None`` to disable telemetry regardless of environment.
+    Pass the return value back to ``configure`` to restore the prior
+    routing — including "resolve from the environment" when nothing had
+    been configured yet (the unset state round-trips, so a temporary
+    swap does not permanently disable env-routed telemetry).
     """
     global _active
-    previous = _active if _active is not _UNSET else get_logger()
-    if log is None or isinstance(log, EventLog):
+    previous = _active
+    if log is None or log is _UNSET or isinstance(log, EventLog):
         _active = log
     else:
         _active = EventLog(log)

@@ -1,0 +1,168 @@
+"""E2 — fast vs Gaussian particle-filter weighting as an experiment.
+
+Reproduces ``benchmarks/bench_e02_particle_filter.py`` string-for-string;
+the benchmark file is now a shim over this module.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.exp.registry import Experiment, register
+from repro.exp.reporting import rows_table
+from repro.exp.result import Block, Check, ExpResult, Verdict
+from repro.particlefilter.filter import track
+from repro.particlefilter.schedule import Performance, make_schedule
+from repro.particlefilter.weighting import (
+    EpanechnikovWeighting,
+    GaussianWeighting,
+    TriangularWeighting,
+)
+
+__all__ = ["e2_accuracy_sweep", "e2_kernel_speedup", "make_tracking_scene"]
+
+
+def make_tracking_scene(n_events: int = 12, schedule_seed: int = 3,
+                        performance_seed: int = 4):
+    """The shared concert-tracking scene: schedule, truth, observations."""
+    schedule = make_schedule(n_events=n_events, seed=schedule_seed)
+    true_pos, observations = Performance(schedule, seed=performance_seed).simulate()
+    return schedule, true_pos, observations
+
+
+def _kernels():
+    return [GaussianWeighting(0.5), TriangularWeighting(1.5),
+            EpanechnikovWeighting(1.5)]
+
+
+def e2_accuracy_sweep(
+    particle_counts: Sequence[int] = (128, 512, 2048),
+    n_events: int = 12,
+    schedule_seed: int = 3,
+    performance_seed: int = 4,
+    track_seed: int = 5,
+) -> Block:
+    """Tracking MAE per weighting kernel and particle count."""
+    schedule, true_pos, observations = make_tracking_scene(
+        n_events, schedule_seed, performance_seed
+    )
+    kernels = _kernels()
+    rows = []
+    for kernel in kernels:
+        for n in particle_counts:
+            res = track(
+                schedule, true_pos, observations,
+                n_particles=n, weighting=kernel, seed=track_seed,
+            )
+            rows.append((kernel.name, n, res.mean_abs_error, res.n_resamples))
+    return Block(
+        values={
+            "cells": [
+                {"kernel": name, "particles": int(n), "mae": float(mae),
+                 "resamples": int(resamples)}
+                for name, n, mae, resamples in rows
+            ]
+        },
+        tables=(
+            rows_table(
+                ["weighting", "particles", "MAE (s)", "resamples"],
+                rows,
+                title="E2: tracking accuracy (paper: fast kernel almost as accurate)",
+            ),
+        ),
+    )
+
+
+def e2_kernel_speedup(
+    n_samples: int = 200_000, trials: int = 5, reps: int = 20
+) -> Block:
+    """The isolated weighting cost — the quantity the project optimized."""
+    distances = np.abs(np.random.default_rng(0).normal(size=n_samples))
+    gaussian, fast = GaussianWeighting(0.5), TriangularWeighting(1.5)
+
+    def best_of(kernel):
+        times = []
+        for _ in range(trials):
+            start = time.perf_counter()
+            for _ in range(reps):
+                kernel(distances)
+            times.append((time.perf_counter() - start) / reps)
+        return min(times)
+
+    speedup = best_of(gaussian) / best_of(fast)
+    return Block(
+        values={"speedup": float(speedup)},
+        tables=(
+            f"E2 weighting-kernel speedup (fast vs Gaussian): {speedup:.2f}x "
+            "(paper: 'much faster' on GPU tensors; on a CPU with vectorized exp "
+            "the gap narrows — see EXPERIMENTS.md)",
+        ),
+    )
+
+
+@register
+class ParticleFilterExperiment(Experiment):
+    id = "E2"
+    title = "Particle filter: fast vs Gaussian weighting"
+    section = "2.2"
+    paper_claim = (
+        "the fast weighting function is much faster and almost as "
+        "accurate as the typical Gaussian weighting function"
+    )
+    DEFAULT = {
+        "particle_counts": (128, 512, 2048),
+        "n_events": 12,
+        "schedule_seed": 3,
+        "performance_seed": 4,
+        "track_seed": 5,
+        "speedup_samples": 200_000,
+        "speedup_trials": 5,
+        "speedup_reps": 20,
+    }
+    SMOKE = {
+        "particle_counts": (64, 128),
+        "speedup_samples": 20_000,
+        "speedup_trials": 2,
+        "speedup_reps": 3,
+    }
+
+    def _run(self, config, *, workers, cache):
+        result = ExpResult(self.id, config)
+        result.add(
+            "accuracy",
+            e2_accuracy_sweep(
+                config["particle_counts"], config["n_events"],
+                config["schedule_seed"], config["performance_seed"],
+                config["track_seed"],
+            ),
+        )
+        result.add(
+            "speedup",
+            e2_kernel_speedup(
+                config["speedup_samples"], config["speedup_trials"],
+                config["speedup_reps"],
+            ),
+        )
+        return result
+
+    def check(self, result):
+        cells = result["accuracy"]["cells"]
+        gaussian = {c["particles"]: c["mae"] for c in cells
+                    if c["kernel"] == "gaussian"}
+        fast_ok = all(
+            c["mae"] < gaussian[c["particles"]] * 2.0 + 0.5
+            for c in cells
+            if c["kernel"] in ("triangular", "epanechnikov")
+        )
+        speedup = result["speedup"]["speedup"]
+        checks = [
+            Check("fast kernels almost as accurate (within 2x + 0.5 s MAE)",
+                  {c["kernel"] + "@" + str(c["particles"]): c["mae"] for c in cells},
+                  fast_ok),
+            Check("fast kernel faster per evaluation (speedup > 1.05x)",
+                  speedup, speedup > 1.05),
+        ]
+        return Verdict(self.id, tuple(checks))

@@ -306,3 +306,174 @@ def dimension_sweep(
             trial_seeds.append(int(rng.integers(0, 2**63 - 1)))
     legacy_cache = None if cache is DEFAULT_CACHE else resolve_cache(cache)
     return _execute(cfg, configs, trial_seeds, n_trials, workers, legacy_cache)
+
+
+def eps_cell(eps: float, seed: int, dim: int = 200, n: int = 2000):
+    """One contamination level: sample-mean vs filter error at fixed d.
+
+    Module-level so :class:`repro.parallel.Sweep` can ship it to worker
+    processes.
+    """
+    model = ContaminationModel(n=n, dim=dim, eps=eps)
+    x, _, mu = contaminated_gaussian(model, seed=seed)
+    return (
+        eps,
+        float(np.linalg.norm(x.mean(axis=0) - mu)),
+        float(np.linalg.norm(filter_mean(x, eps) - mu)),
+    )
+
+
+def e10_error_vs_dimension(
+    dims=(10, 50, 100, 200, 400),
+    eps: float = 0.1,
+    n_seeds: int = 3,
+    *,
+    workers: int | None = None,
+    cache: Any = None,
+) -> "Block":
+    """The canonical figure: L2 error vs dimension at fixed contamination."""
+    from repro.exp.result import Block
+    from repro.utils.rng import spawn_children
+
+    sweep = dimension_sweep(
+        DimensionSweepConfig(dims=tuple(dims), eps=eps),
+        seeds=spawn_children(0, n_seeds),
+        workers=workers,
+        cache=cache,
+    )
+    estimators = ("sample_mean", "coord_median", "filter", "oracle")
+    table = Table(
+        ["estimator"] + [f"d={d}" for d in dims] + ["growth"],
+        title=(
+            f"E10: L2 estimation error vs dimension (eps = {eps}, "
+            "shifted-cluster adversary)"
+        ),
+    )
+    values: dict[str, Any] = {"growth": {}, "mean_error": {}}
+    for name in estimators:
+        errors = sweep.mean_error(name)
+        table.add_row([name, *errors.tolist(), sweep.growth_ratio(name)])
+        values["growth"][name] = float(sweep.growth_ratio(name))
+        values["mean_error"][name] = [float(e) for e in errors]
+    return Block(values=values, tables=(table.render(),))
+
+
+def e10_contamination_sweep(
+    eps_levels=(0.05, 0.1, 0.2),
+    dim: int = 200,
+    n: int = 2000,
+    seed: int = 1,
+    *,
+    workers: int | None = None,
+    cache: Any = None,
+) -> "Block":
+    """Error vs contamination level at fixed dimension."""
+    from repro.exp.result import Block
+    from repro.parallel import Sweep, grid
+
+    sweep = Sweep(eps_cell, grid(eps=list(eps_levels), dim=[dim], n=[n]), seeds=[seed])
+    rows = sweep.run(workers=workers, cache=resolve_cache(cache)).values()
+    table = Table(
+        ["eps", "sample mean error", "filter error"],
+        title=f"E10: error vs contamination level (d = {dim})",
+    )
+    for r in rows:
+        table.add_row(list(r))
+    return Block(
+        values={
+            "cells": [
+                {"eps": float(eps), "mean_error": float(m), "filter_error": float(f)}
+                for eps, m, f in rows
+            ]
+        },
+        tables=(table.render(),),
+    )
+
+
+def _register_experiment() -> None:
+    """Register E10 (deferred import keeps repro.exp optional here)."""
+    from repro.exp.registry import Experiment, register
+    from repro.exp.result import Check, ExpResult, Verdict
+
+    @register
+    class RobustStatsExperiment(Experiment):
+        id = "E10"
+        title = "Robust mean estimation in high dimension"
+        section = "2.10"
+        paper_claim = (
+            "the filter algorithm stays near the oracle while the sample "
+            "mean and coordinate median grow like sqrt(d)"
+        )
+        DEFAULT = {
+            "dims": (10, 50, 100, 200, 400),
+            "eps": 0.1,
+            "n_seeds": 3,
+            "eps_levels": (0.05, 0.1, 0.2),
+            "eps_dim": 200,
+            "eps_n": 2000,
+            "eps_seed": 1,
+        }
+        SMOKE = {
+            "dims": (10, 50, 100),
+            "n_seeds": 2,
+            "eps_levels": (0.05, 0.2),
+            "eps_dim": 100,
+            "eps_n": 800,
+        }
+
+        def _run(self, config, *, workers, cache):
+            result = ExpResult(self.id, config)
+            result.add(
+                "dimension",
+                e10_error_vs_dimension(
+                    config["dims"], config["eps"], config["n_seeds"],
+                    workers=workers, cache=cache,
+                ),
+            )
+            result.add(
+                "contamination",
+                e10_contamination_sweep(
+                    config["eps_levels"], config["eps_dim"], config["eps_n"],
+                    config["eps_seed"], workers=workers, cache=cache,
+                ),
+            )
+            return result
+
+        def check(self, result):
+            growth = result["dimension"]["growth"]
+            mean_error = result["dimension"]["mean_error"]
+            ratio_ok = all(
+                f < 2.0 * o
+                for f, o in zip(mean_error["filter"], mean_error["oracle"])
+            )
+            cells = result["contamination"]["cells"]
+            mean_growth = cells[-1]["mean_error"] / cells[0]["mean_error"]
+            filter_growth = cells[-1]["filter_error"] / cells[0]["filter_error"]
+            checks = [
+                Check(
+                    "filter error growth < half the sample mean's",
+                    {"filter": growth["filter"],
+                     "sample_mean": growth["sample_mean"]},
+                    growth["filter"] < 0.5 * growth["sample_mean"],
+                ),
+                Check(
+                    "filter stays within 2x of the oracle at every dimension",
+                    {"filter": mean_error["filter"],
+                     "oracle": mean_error["oracle"]},
+                    ratio_ok,
+                ),
+                Check(
+                    "filter beats the sample mean at every contamination level",
+                    cells,
+                    all(c["filter_error"] < c["mean_error"] for c in cells),
+                ),
+                Check(
+                    "sample-mean error grows with eps; the filter's barely moves",
+                    {"mean_growth": mean_growth, "filter_growth": filter_growth},
+                    mean_growth > 1.5 and filter_growth < mean_growth,
+                ),
+            ]
+            return Verdict(self.id, tuple(checks))
+
+
+_register_experiment()

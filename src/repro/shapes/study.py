@@ -1,0 +1,175 @@
+"""E11 — statistical shape atlases as a registered experiment.
+
+Reproduces ``benchmarks/bench_e11_shapes.py`` string-for-string; the
+benchmark file is now a shim over this module.
+"""
+
+from __future__ import annotations
+
+from repro.exp.registry import Experiment, register
+from repro.exp.reporting import rows_table
+from repro.exp.result import Block, Check, ExpResult, Verdict
+from repro.shapes.ablation import particle_count_ablation
+from repro.shapes.correspondence import optimize_particles
+from repro.shapes.generate import atrium_like_family, sphere_family
+from repro.shapes.pca import build_shape_model
+
+__all__ = ["e11_mode_structure", "e11_particle_ablation", "make_families"]
+
+
+def make_families(n_subjects: int = 12, n_points: int = 400):
+    """The two synthetic anatomy families the atlas is built for."""
+    spheres = sphere_family(n_subjects=n_subjects, n_points=n_points, seed=0)
+    atria = atrium_like_family(n_subjects=n_subjects, n_points=n_points, seed=1)
+    return spheres, atria
+
+
+def e11_mode_structure(
+    n_subjects: int = 12,
+    n_points: int = 400,
+    n_particles: int = 64,
+    iterations: int = 12,
+) -> Block:
+    """PCA modes of variation for the sphere and atrium-like anatomies."""
+    spheres, atria = make_families(n_subjects, n_points)
+    models = {}
+    for name, family in (("sphere", spheres), ("atrium-like", atria)):
+        system = optimize_particles(
+            family, n_particles=n_particles, iterations=iterations, seed=2
+        )
+        models[name] = build_shape_model(system)
+    return Block(
+        values={
+            name: {
+                "explained_ratio": [float(r) for r in model.explained_ratio[:3]],
+                "modes_for_90": int(model.dominant_modes(0.90)),
+            }
+            for name, model in models.items()
+        },
+        tables=(
+            rows_table(
+                ["anatomy", "mode1", "mode2", "mode3", "modes for 90%"],
+                [
+                    [name, model.explained_ratio[0], model.explained_ratio[1],
+                     model.explained_ratio[2], model.dominant_modes(0.90)]
+                    for name, model in models.items()
+                ],
+                title="E11: PCA modes of variation (paper: sphere has one true mode)",
+            ),
+        ),
+    )
+
+
+def e11_particle_ablation(
+    counts=(16, 32, 64, 128),
+    n_subjects: int = 12,
+    n_points: int = 400,
+    seed: int = 3,
+) -> Block:
+    """The paper's ablation over particle counts on the sphere family."""
+    spheres, _ = make_families(n_subjects, n_points)
+    rows = particle_count_ablation(spheres, list(counts), seed=seed)
+    return Block(
+        values={
+            "rows": [
+                {"n_particles": int(r.n_particles),
+                 "mode1_ratio": float(r.mode1_ratio),
+                 "modes_for_90": int(r.modes_for_90),
+                 "mean_spacing": float(r.mean_spacing)}
+                for r in rows
+            ]
+        },
+        tables=(
+            rows_table(
+                ["particles", "mode1 share", "modes for 90%", "mean spacing"],
+                [
+                    [r.n_particles, r.mode1_ratio, r.modes_for_90, r.mean_spacing]
+                    for r in rows
+                ],
+                title=(
+                    "E11 ablation: modes of variation vs particle count "
+                    "(sphere family)"
+                ),
+            ),
+        ),
+    )
+
+
+@register
+class ShapesExperiment(Experiment):
+    id = "E11"
+    title = "Statistical shape atlases"
+    section = "2.11"
+    paper_claim = (
+        "the spherical family has one true mode of variation; the "
+        "mode structure is stable across particle counts while "
+        "sampling density improves"
+    )
+    DEFAULT = {
+        "n_subjects": 12,
+        "n_points": 400,
+        "n_particles": 64,
+        "iterations": 12,
+        "ablation_counts": (16, 32, 64, 128),
+        "ablation_seed": 3,
+    }
+    SMOKE = {
+        "n_subjects": 6,
+        "n_points": 150,
+        "n_particles": 24,
+        "iterations": 5,
+        "ablation_counts": (16, 32),
+    }
+
+    def _run(self, config, *, workers, cache):
+        result = ExpResult(self.id, config)
+        result.add(
+            "modes",
+            e11_mode_structure(
+                config["n_subjects"], config["n_points"],
+                config["n_particles"], config["iterations"],
+            ),
+        )
+        result.add(
+            "ablation",
+            e11_particle_ablation(
+                config["ablation_counts"], config["n_subjects"],
+                config["n_points"], config["ablation_seed"],
+            ),
+        )
+        return result
+
+    def check(self, result):
+        sphere = result["modes"]["sphere"]
+        atrium = result["modes"]["atrium-like"]
+        rows = result["ablation"]["rows"]
+        spacings = [r["mean_spacing"] for r in rows]
+        checks = [
+            Check(
+                "the sphere family has one dominant mode (> 0.6 share)",
+                sphere["explained_ratio"][0],
+                sphere["explained_ratio"][0] > 0.6,
+            ),
+            Check(
+                "the atrium-like anatomy needs more modes for 90%",
+                {"sphere": sphere["modes_for_90"],
+                 "atrium-like": atrium["modes_for_90"]},
+                atrium["modes_for_90"] > sphere["modes_for_90"],
+            ),
+            Check(
+                "atrium-like variance spreads across ~3 real modes (> 0.5)",
+                atrium["explained_ratio"],
+                sum(atrium["explained_ratio"]) > 0.5,
+            ),
+            Check(
+                "mode structure stable across particle counts (mode1 > 0.6)",
+                {r["n_particles"]: r["mode1_ratio"] for r in rows},
+                all(r["mode1_ratio"] > 0.6 for r in rows),
+            ),
+            Check(
+                "sampling density improves monotonically with particles",
+                spacings,
+                spacings == sorted(spacings, reverse=True),
+            ),
+        ]
+        return Verdict(self.id, tuple(checks))

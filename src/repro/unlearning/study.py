@@ -1,0 +1,229 @@
+"""E3 — machine unlearning vs full retraining as a registered experiment.
+
+Reproduces ``benchmarks/bench_e03_unlearning.py`` string-for-string; the
+benchmark file is now a shim over this module.
+"""
+
+from __future__ import annotations
+
+from repro.exp.registry import Experiment, register
+from repro.exp.reporting import rows_table
+from repro.exp.result import Block, Check, ExpResult, Verdict
+from repro.unlearning.data import make_class_blobs
+from repro.unlearning.eval import assess_unlearning
+from repro.unlearning.membership import membership_inference_auc
+from repro.unlearning.methods import (
+    retrain_from_scratch,
+    scrub_unlearn,
+    train_classifier,
+)
+from repro.unlearning.sisa import SISAEnsemble
+
+__all__ = ["e3_unlearning_comparison", "e3_membership_inference"]
+
+
+def e3_unlearning_comparison(
+    n_classes: int = 4,
+    forget: int = 2,
+    n_per_class: int = 150,
+    dim: int = 16,
+    epochs: int = 20,
+    scrub_epochs: int = 8,
+    n_shards: int = 4,
+    data_seed: int = 0,
+) -> Block:
+    """Retrain-gold vs scrubbing vs SISA on one forgotten class."""
+    x, y = make_class_blobs(
+        n_classes=n_classes, n_per_class=n_per_class, dim=dim, seed=data_seed
+    )
+    split = int(0.75 * len(y))
+    xtr, ytr, xte, yte = x[:split], y[:split], x[split:], y[split:]
+    base = train_classifier(xtr, ytr, n_classes, epochs=epochs, seed=1)
+    reports = []
+    retrained = retrain_from_scratch(
+        xtr, ytr, forget, n_classes, epochs=epochs, seed=1
+    )
+    reports.append(
+        assess_unlearning(
+            "retrain (gold)",
+            lambda z: retrained.model.predict(z).argmax(1),
+            xte, yte, forget, n_classes,
+            gradient_updates=retrained.gradient_updates,
+        )
+    )
+    scrubbed = scrub_unlearn(base, xtr, ytr, forget, epochs=scrub_epochs, seed=2)
+    reports.append(
+        assess_unlearning(
+            "scrub (ours)",
+            lambda z: scrubbed.model.predict(z).argmax(1),
+            xte, yte, forget, n_classes,
+            gradient_updates=scrubbed.gradient_updates,
+        )
+    )
+    sisa = SISAEnsemble(n_shards=n_shards, n_classes=n_classes, epochs=epochs, seed=3)
+    sisa.fit(xtr, ytr)
+    spent = sisa.unlearn_class(forget)
+    reports.append(
+        assess_unlearning(
+            "sisa (exact)", sisa.predict, xte, yte, forget, n_classes,
+            gradient_updates=spent,
+        )
+    )
+    retrain, scrub, _ = reports
+    return Block(
+        values={
+            "methods": [
+                {"method": r.method, "retain_accuracy": float(r.retain_accuracy),
+                 "forget_accuracy": float(r.forget_accuracy),
+                 "gradient_updates": int(r.gradient_updates),
+                 "forgotten": bool(r.forgotten)}
+                for r in reports
+            ],
+        },
+        tables=(
+            rows_table(
+                ["method", "retain acc", "forget acc", "updates", "forgotten"],
+                [
+                    [r.method, r.retain_accuracy, r.forget_accuracy,
+                     r.gradient_updates, r.forgotten]
+                    for r in reports
+                ],
+                title=(
+                    "E3: unlearning one class (paper: comparable performance "
+                    "without complete retraining; chance = "
+                    f"{1 / n_classes:.2f})"
+                ),
+            ),
+            f"E3 scrub cost = {scrub.gradient_updates} updates vs retrain "
+            f"{retrain.gradient_updates} "
+            f"({retrain.gradient_updates / scrub.gradient_updates:.1f}x saving)",
+        ),
+    )
+
+
+def e3_membership_inference(
+    n_per_class: int = 60,
+    epochs: int = 150,
+    scrub_epochs: int = 10,
+) -> Block:
+    """The stronger criterion: does the unlearned model leak membership?"""
+    x, y = make_class_blobs(
+        n_classes=3, n_per_class=n_per_class, dim=16,
+        separation=1.8, within_std=1.3, seed=0,
+    )
+    split = 2 * n_per_class
+    xtr, ytr, xte, yte = x[:split], y[:split], x[split:], y[split:]
+    fc = 1
+    m, t = ytr == fc, yte == fc
+    base = train_classifier(xtr, ytr, 3, epochs=epochs, seed=1)
+    scrubbed = scrub_unlearn(base, xtr, ytr, fc, epochs=scrub_epochs, seed=2)
+    retrained = retrain_from_scratch(xtr, ytr, fc, 3, epochs=epochs, seed=1)
+    rows = []
+    for name, model in (
+        ("no unlearning", base.model),
+        ("scrub", scrubbed.model),
+        ("retrain", retrained.model),
+    ):
+        rep = membership_inference_auc(model, xtr[m], ytr[m], xte[t], yte[t])
+        rows.append((name, rep.attack_auc, rep.leaks_membership))
+    return Block(
+        values={
+            "auc": {name: float(auc) for name, auc, _ in rows},
+            "leaks": {name: bool(leaks) for name, _, leaks in rows},
+        },
+        tables=(
+            rows_table(
+                ["model", "attack AUC", "leaks membership"],
+                rows,
+                title=(
+                    "E3: loss-threshold membership inference on the forgotten "
+                    "class (chance = 0.50)"
+                ),
+            ),
+        ),
+    )
+
+
+@register
+class UnlearningExperiment(Experiment):
+    id = "E3"
+    title = "Machine unlearning vs full retraining"
+    section = "2.3"
+    paper_claim = (
+        "a technique avoiding complete retraining reaches comparable "
+        "performance to models never required to unlearn"
+    )
+    DEFAULT = {
+        "n_classes": 4,
+        "forget_class": 2,
+        "n_per_class": 150,
+        "dim": 16,
+        "epochs": 20,
+        "scrub_epochs": 8,
+        "n_shards": 4,
+        "data_seed": 0,
+        "mi_per_class": 60,
+        "mi_epochs": 150,
+        "mi_scrub_epochs": 10,
+    }
+    SMOKE = {
+        "n_per_class": 40,
+        "epochs": 6,
+        "scrub_epochs": 3,
+        "mi_per_class": 30,
+        "mi_epochs": 40,
+        "mi_scrub_epochs": 4,
+    }
+
+    def _run(self, config, *, workers, cache):
+        result = ExpResult(self.id, config)
+        result.add(
+            "comparison",
+            e3_unlearning_comparison(
+                config["n_classes"], config["forget_class"],
+                config["n_per_class"], config["dim"], config["epochs"],
+                config["scrub_epochs"], config["n_shards"], config["data_seed"],
+            ),
+        )
+        result.add(
+            "membership",
+            e3_membership_inference(
+                config["mi_per_class"], config["mi_epochs"],
+                config["mi_scrub_epochs"],
+            ),
+        )
+        return result
+
+    def check(self, result):
+        methods = {m["method"]: m for m in result["comparison"]["methods"]}
+        retrain = methods["retrain (gold)"]
+        scrub = methods["scrub (ours)"]
+        auc = result["membership"]["auc"]
+        checks = [
+            Check("every method forgets the class",
+                  {name: m["forgotten"] for name, m in methods.items()},
+                  all(m["forgotten"] for m in methods.values())),
+            Check(
+                "scrub retain accuracy within 0.1 of retrain",
+                {"scrub": scrub["retain_accuracy"],
+                 "retrain": retrain["retain_accuracy"]},
+                scrub["retain_accuracy"] > retrain["retain_accuracy"] - 0.1,
+            ),
+            Check(
+                "scrubbing > 2x cheaper in gradient updates",
+                {"scrub": scrub["gradient_updates"],
+                 "retrain": retrain["gradient_updates"]},
+                scrub["gradient_updates"] * 2 < retrain["gradient_updates"],
+            ),
+            Check(
+                "membership attack beats chance on the never-unlearned model",
+                auc["no unlearning"], auc["no unlearning"] > 0.6,
+            ),
+            Check(
+                "retraining drives the attack back to chance; scrubbing does not",
+                auc,
+                abs(auc["retrain"] - 0.5) < 0.12
+                and auc["scrub"] > auc["retrain"] + 0.1,
+            ),
+        ]
+        return Verdict(self.id, tuple(checks))

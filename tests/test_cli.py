@@ -1,0 +1,145 @@
+"""The ``python -m repro`` command line: subcommands, exit codes, --json."""
+
+import json
+
+import pytest
+
+from repro.exp import registry
+from repro.exp.cli import main
+from repro.exp.registry import Experiment
+from repro.exp.result import Block, Check, ExpResult, Verdict
+
+
+class _FakeExperiment(Experiment):
+    """Tiny experiment whose verdict is controlled by ``should_pass``."""
+
+    title = "fake"
+    paper_claim = "a controllable claim"
+    DEFAULT = {"x": 1}
+    should_pass = True
+
+    def _run(self, config, *, workers, cache):
+        result = ExpResult(self.id, config)
+        result.add("block", Block(values={"x": config["x"]}, tables=("fake table",)))
+        return result
+
+    def check(self, result):
+        return Verdict(
+            self.id,
+            (Check("controllable claim", result["block"]["x"], self.should_pass),),
+        )
+
+
+def _install_fake(monkeypatch, exp_id, should_pass):
+    registry.load_all()
+    exp = _FakeExperiment()
+    exp.id = exp_id
+    exp.should_pass = should_pass
+    monkeypatch.setitem(registry._REGISTRY, exp_id, exp)
+    return exp
+
+
+def test_list_shows_the_whole_catalog(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "experiment catalog (19 registered)" in out
+    for exp_id in ("T1", "T2", "T3", "N1", "F1", "E10", "E11", "R1", "P1", "P2"):
+        assert f"\n{exp_id} " in out or f"| {exp_id}" in out or exp_id in out
+
+
+def test_run_writes_artifacts_and_json(tmp_path, capsys):
+    out_dir = tmp_path / "run"
+    json_out = tmp_path / "results.json"
+    code = main([
+        "run", "T1", "--smoke", "--no-cache",
+        "--out", str(out_dir), "--json", str(json_out),
+    ])
+    assert code == 0
+    stdout = capsys.readouterr().out
+    assert "=== T1 ·" in stdout
+    assert "T1 verdict:" in stdout
+
+    for name in ("events.jsonl", "manifest.json", "results.json"):
+        assert (out_dir / name).exists(), name
+
+    events = [json.loads(line) for line in
+              (out_dir / "events.jsonl").read_text().splitlines()]
+    kinds = [e["kind"] for e in events]
+    assert kinds[0] == "run_start" and kinds[-1] == "run_finish"
+    assert "experiment_start" in kinds and "experiment_finish" in kinds
+
+    manifest = json.loads((out_dir / "manifest.json").read_text())
+    assert manifest["chain_verified"] is True
+    assert manifest["smoke"] is True
+    assert {"environment", "manifest"} <= set(manifest)
+
+    payload = json.loads(json_out.read_text())
+    assert payload["smoke"] is True
+    (record,) = payload["experiments"]
+    assert record["experiment"] == "T1"
+    assert {"config", "values", "title", "seconds", "verdict"} <= set(record)
+    assert record["verdict"]["experiment"] == "T1"
+    for check in record["verdict"]["checks"]:
+        assert {"claim", "observed", "passed"} <= set(check)
+
+
+def test_run_without_artifacts(capsys):
+    assert main(["run", "P1", "--smoke", "--no-cache", "--no-artifacts"]) == 0
+    stdout = capsys.readouterr().out
+    assert "=== P1 ·" in stdout
+    assert "run artifacts:" not in stdout
+
+
+def test_seeds_flag_reaches_the_config(tmp_path):
+    json_out = tmp_path / "out.json"
+    code = main([
+        "run", "T3", "--smoke", "--seeds", "1", "--no-cache",
+        "--no-artifacts", "--json", str(json_out),
+    ])
+    assert code == 0
+    (record,) = json.loads(json_out.read_text())["experiments"]
+    assert record["config"]["n_seeds"] == 1
+
+
+def test_report_prints_headed_tables(capsys):
+    assert main(["report", "T1", "--smoke", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("## T1 —")
+    assert "T1" in out
+
+
+def test_check_exit_zero_when_all_pass(monkeypatch, tmp_path, capsys):
+    _install_fake(monkeypatch, "ZZPASS", should_pass=True)
+    json_out = tmp_path / "verdicts.json"
+    assert main(["check", "ZZPASS", "--json", str(json_out)]) == 0
+    out = capsys.readouterr().out
+    assert "1 passed, 0 failed" in out
+    payload = json.loads(json_out.read_text())
+    (verdict,) = payload["verdicts"]
+    assert verdict == {
+        "experiment": "ZZPASS",
+        "passed": True,
+        "checks": [
+            {"claim": "controllable claim", "observed": 1, "passed": True},
+        ],
+    }
+
+
+def test_check_exit_nonzero_on_claim_failure(monkeypatch, tmp_path, capsys):
+    _install_fake(monkeypatch, "ZZFAIL", should_pass=False)
+    json_out = tmp_path / "verdicts.json"
+    assert main(["check", "ZZFAIL", "--json", str(json_out)]) == 1
+    assert "0 passed, 1 failed" in capsys.readouterr().out
+    (verdict,) = json.loads(json_out.read_text())["verdicts"]
+    assert verdict["passed"] is False
+
+
+def test_unknown_experiment_id_is_an_error():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        main(["run", "E99", "--no-artifacts"])
+
+
+def test_missing_subcommand_exits_with_usage():
+    with pytest.raises(SystemExit) as excinfo:
+        main([])
+    assert excinfo.value.code != 0
