@@ -6,6 +6,7 @@ the benchmark file is now a shim over this module.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.cluster.metrics import evaluate_schedule
 from repro.cluster.policies import (
     naive_deadline_submission,
@@ -17,12 +18,14 @@ from repro.cluster.workload import default_reu_projects, generate_workload
 from repro.exp.registry import Experiment, register
 from repro.exp.reporting import rows_table
 from repro.exp.result import Block, Check, ExpResult, Verdict
+from repro.obs.trace import TraceReader
 
 __all__ = [
     "r1_submission_policies",
     "r1_scheduler_ablation",
     "r1_pool_size_sweep",
     "run_policy",
+    "run_policy_traced",
 ]
 
 
@@ -35,31 +38,63 @@ def run_policy(times, n_gpus: int = 6, policy=SchedulerPolicy.BACKFILL,
     return evaluate_schedule(sim.run(jobs))
 
 
+def run_policy_traced(times, n_gpus: int = 6,
+                      policy=SchedulerPolicy.BACKFILL, seed: int = 42,
+                      projects=None):
+    """Like :func:`run_policy`, plus trace-derived contention analytics.
+
+    The simulator's own ``job_submit``/``job_start``/``job_finish`` events
+    are captured (teed, so a surrounding run's ``events.jsonl`` still
+    receives them) and folded by :class:`repro.obs.trace.TraceReader` into
+    utilization / queue-depth analytics — the same numbers ``repro trace``
+    reports for a recorded run.
+
+    Returns ``(ScheduleMetrics, ClusterContention)``.
+    """
+    projects = default_reu_projects() if projects is None else projects
+    jobs = generate_workload(projects, submit_times=times, seed=seed)
+    sim = ClusterSimulator(n_gpus, policy=policy)
+    with obs.capture_events(tee=True) as events:
+        records = sim.run(jobs)
+    # Under REPRO_OBS_DISABLE=1 nothing is captured; analytics degrade to
+    # None rather than fail the experiment.
+    runs = TraceReader.from_records(events).cluster_runs()
+    return evaluate_schedule(records), (runs[0] if runs else None)
+
+
 def r1_submission_policies(n_gpus: int = 6, submit_seed: int = 1,
                            workload_seed: int = 42) -> Block:
-    """Naive deadline crunch vs uniform vs the paper's staged remedy."""
+    """Naive deadline crunch vs uniform vs the paper's staged remedy.
+
+    Besides the queue-wait metrics the rendered table shows, each
+    policy's values carry trace-derived contention analytics (GPU
+    utilization, tail-window utilization, peak queue depth) computed from
+    the simulator's own event stream — the numbers ``repro trace``
+    derives for a recorded run.
+    """
     projects = default_reu_projects()
-    metrics = {
-        "naive deadline": run_policy(
-            naive_deadline_submission(projects, seed=submit_seed),
-            n_gpus, seed=workload_seed, projects=projects,
-        ),
-        "uniform": run_policy(
-            uniform_submission(projects, seed=submit_seed),
-            n_gpus, seed=workload_seed, projects=projects,
-        ),
-        "staged batches": run_policy(
-            staged_batch_submission(projects),
-            n_gpus, seed=workload_seed, projects=projects,
-        ),
+    plans = {
+        "naive deadline": naive_deadline_submission(projects, seed=submit_seed),
+        "uniform": uniform_submission(projects, seed=submit_seed),
+        "staged batches": staged_batch_submission(projects),
     }
+    metrics = {}
+    contention = {}
+    for name, times in plans.items():
+        metrics[name], contention[name] = run_policy_traced(
+            times, n_gpus, seed=workload_seed, projects=projects
+        )
     return Block(
         values={
             name: {"mean_wait": float(m.mean_wait),
                    "p95_wait": float(m.p95_wait),
                    "final_week_wait": float(m.mean_wait_final_week),
                    "missed_deadlines": int(m.missed_deadlines),
-                   "total_lateness": float(m.total_lateness)}
+                   "total_lateness": float(m.total_lateness),
+                   "contention": (
+                       contention[name].as_dict()
+                       if contention[name] is not None else None
+                   )}
             for name, m in metrics.items()
         },
         tables=(

@@ -13,12 +13,24 @@ Subcommands
     ``bench_tables.txt``: ``python -m repro report > bench_tables.txt``).
 ``check <ids|all>``
     Evaluate every paper-shape claim; exit non-zero if any fails.
+``trace <run-dir>``
+    Analyze a recorded run's ``events.jsonl``: summary plus cache
+    attribution by default, ``--utilization`` and ``--critical-path``
+    tables on demand, the whole analysis as JSON via ``--json``.
+``bench <ids|all>``
+    Time experiments (median of ``--repeats``) and either ``--record``
+    the baselines or gate ``--against`` them, exiting non-zero on
+    regression (``--record-missing`` bootstraps absent entries).
 
 Shared options: ``--smoke`` selects each experiment's CI-scale config
 tier; ``--seeds N`` overrides the trial-seed count where an experiment
 has one; ``--workers N`` and ``--no-cache`` flow to every
 :mod:`repro.parallel` call; ``--json OUT`` writes the machine-readable
 results/verdicts.
+
+Every invocation starts from a clean process-wide metrics registry, so
+cache counters and ``ResultCache.stats()``-style numbers reported by one
+command are that command's own, not process-lifetime accumulation.
 """
 
 from __future__ import annotations
@@ -30,6 +42,15 @@ import time
 from pathlib import Path
 from typing import Any, Sequence
 
+from repro import obs
+from repro.obs.baseline import BaselineStore, median
+from repro.obs.trace import (
+    TraceError,
+    TraceReader,
+    render_critical_path,
+    render_summary,
+    render_utilization,
+)
 from repro.exp.registry import all_experiments
 from repro.exp.reporting import rows_table, verdict_table
 from repro.exp.runner import RunSummary, run_experiments
@@ -72,6 +93,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = sub.add_parser("check", help="evaluate paper-shape claims; exit 1 on failure")
     add_run_options(check)
+
+    trace = sub.add_parser(
+        "trace", help="analyze a recorded run's events.jsonl"
+    )
+    trace.add_argument("run_dir", metavar="RUN_DIR",
+                       help="run directory (or the events.jsonl itself)")
+    trace.add_argument("--utilization", action="store_true",
+                       help="per-worker utilization and cluster contention")
+    trace.add_argument("--critical-path", action="store_true",
+                       help="the dominant span chain through the run")
+    trace.add_argument("--json", dest="json_out", nargs="?", const="-",
+                       metavar="OUT",
+                       help="emit the full analysis as JSON (to stdout, "
+                            "or to OUT when given)")
+
+    bench = sub.add_parser(
+        "bench",
+        help="time experiments against BENCH_baselines.json; exit 1 on regression",
+    )
+    add_run_options(bench)
+    bench.add_argument("--repeats", type=int, default=3, metavar="K",
+                       help="timing repeats per experiment (median-of-K, "
+                            "default 3)")
+    bench.add_argument("--record", metavar="FILE",
+                       help="record baselines into FILE and exit")
+    bench.add_argument("--against", metavar="FILE",
+                       help="compare against the baselines in FILE")
+    bench.add_argument("--threshold", type=float, default=None, metavar="R",
+                       help="relative regression threshold (default 0.25)")
+    bench.add_argument("--record-missing", action="store_true",
+                       help="with --against: record entries for experiments "
+                            "the baseline file lacks (bootstraps a fresh "
+                            "file) instead of reporting them as new")
     return parser
 
 
@@ -149,8 +203,87 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1 if n_failed else 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        reader = TraceReader.load(args.run_dir)
+    except TraceError as exc:
+        print(f"repro trace: {exc}", file=sys.stderr)
+        return 2
+    if args.json_out:
+        payload = reader.summary()
+        if args.json_out == "-":
+            print(json.dumps(payload, indent=2))
+        else:
+            _write_json(args.json_out, payload)
+        return 0
+    sections = [render_summary(reader)]
+    if args.critical_path:
+        sections.append(render_critical_path(reader))
+    if args.utilization:
+        sections.append(render_utilization(reader))
+    print("\n\n".join(sections))
+    return 0
+
+
+def _bench_timings(args: argparse.Namespace) -> dict[str, list[float]]:
+    """Median-of-k source data: each repeat's event-derived wall times."""
+    repeats = max(1, args.repeats)
+    timings: dict[str, list[float]] = {}
+    for _ in range(repeats):
+        summary = _execute(args, out_dir=None)
+        for exp_id, seconds in summary.timings().items():
+            timings.setdefault(exp_id, []).append(seconds)
+    return timings
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if bool(args.record) == bool(args.against):
+        print("repro bench: pass exactly one of --record FILE / --against FILE",
+              file=sys.stderr)
+        return 2
+    tier = "smoke" if args.smoke else "default"
+    timings = _bench_timings(args)
+
+    if args.record:
+        store = BaselineStore.load(args.record)
+        for exp_id, samples in sorted(timings.items()):
+            store.record(tier, exp_id, samples)
+        store.save()
+        rows = [(e, f"{min(s):.3f}", f"{median(s):.3f}")
+                for e, s in sorted(timings.items())]
+        print(rows_table(["experiment", "min s", "median s"], rows,
+                         title=f"recorded {len(rows)} baselines "
+                               f"(tier={tier}) -> {args.record}"))
+        return 0
+
+    store = BaselineStore.load(args.against)
+    kwargs: dict[str, Any] = {}
+    if args.threshold is not None:
+        kwargs["threshold"] = args.threshold
+    report = store.compare(tier, timings, **kwargs)
+    if args.record_missing and report.new:
+        for comparison in report.new:
+            store.record(tier, comparison.experiment,
+                         timings[comparison.experiment])
+        store.save()
+        print(f"bootstrapped {len(report.new)} baseline entries "
+              f"into {args.against}")
+    print(report.to_table())
+    n_reg = len(report.regressions)
+    print(f"\nperf gate: {'PASS' if report.passed else 'FAIL'} "
+          f"({n_reg} regression{'s' if n_reg != 1 else ''}, "
+          f"{len(report.new)} new)")
+    if args.json_out:
+        _write_json(args.json_out, report.as_dict())
+    return 1 if report.regressions else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    # Per-invocation observability: cache/pmap counters and the metrics
+    # report must describe this command, not the process's lifetime (a
+    # REPL or test process may drive several invocations back to back).
+    obs.get_metrics().reset()
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
@@ -159,6 +292,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

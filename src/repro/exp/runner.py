@@ -11,7 +11,11 @@ under one per-run directory:
 * :mod:`repro.provenance` — a hash-chained :class:`ExperimentManifest`
   records every experiment's config, seed ledger, and result digest, and
   ``manifest.json`` pairs the chain with a captured environment snapshot;
-* ``results.json`` — the machine-readable values and verdicts.
+* ``results.json`` — the machine-readable values, verdicts, and
+  per-experiment wall times (the same numbers the ``experiment_finish``
+  events carry, so ``repro trace`` and ``repro bench`` share one timing
+  source);
+* ``metrics.prom`` — the metrics registry in Prometheus text format.
 """
 
 from __future__ import annotations
@@ -57,14 +61,25 @@ class RunSummary:
     def all_passed(self) -> bool:
         return all(v.passed for v in self.verdicts())
 
+    def timings(self) -> dict[str, float]:
+        """Per-experiment wall seconds — the run's single timing source.
+
+        The same numbers ride in each ``experiment_finish`` event's
+        ``wall.dur_s``, so ``repro trace`` and ``repro bench`` agree with
+        ``results.json`` to the digit.
+        """
+        return {r.experiment.id: r.seconds for r in self.records}
+
     def as_dict(self) -> dict[str, Any]:
         return {
             "smoke": self.smoke,
+            "timings": self.timings(),
             "experiments": [
                 {
                     **record.result.as_dict(),
                     "title": record.experiment.title,
                     "seconds": record.seconds,
+                    "wall_s": record.seconds,
                     "verdict": record.verdict.as_dict() if record.verdict else None,
                 }
                 for record in self.records
@@ -110,7 +125,12 @@ def run_experiments(
             exp = get_experiment(exp_id)
             obs.emit("experiment_start", {"experiment": exp.id})
             start = time.perf_counter()
-            result = exp.run(smoke=smoke, seeds=seeds, workers=workers, cache=cache)
+            # The span makes each experiment a node of the run's call tree,
+            # so `repro trace --critical-path` names the dominant one.
+            with obs.span(exp.id):
+                result = exp.run(
+                    smoke=smoke, seeds=seeds, workers=workers, cache=cache
+                )
             elapsed = time.perf_counter() - start
             verdict = exp.check(result)
             manifest.record(
@@ -150,3 +170,6 @@ def _write_artifacts(summary: RunSummary, out_path: Path) -> None:
     }
     (out_path / "manifest.json").write_text(json.dumps(manifest_doc, indent=2))
     (out_path / "results.json").write_text(json.dumps(summary.as_dict(), indent=2))
+    prom = obs.render_prometheus(obs.get_metrics())
+    if prom:
+        (out_path / "metrics.prom").write_text(prom)

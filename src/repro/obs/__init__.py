@@ -1,6 +1,6 @@
 """repro.obs — structured run telemetry for every layer of the library.
 
-Three coordinated instruments, all no-ops until switched on:
+Write side — three coordinated instruments, all no-ops until switched on:
 
 * **Events** (:mod:`repro.obs.events`) — schema-versioned JSONL records
   appended atomically, split into a deterministic payload half and a
@@ -11,13 +11,31 @@ Three coordinated instruments, all no-ops until switched on:
   pairs with monotonic durations, reconstructing the run's call tree from
   the stream alone.
 * **Metrics** (:mod:`repro.obs.metrics`) — process-local counters,
-  gauges, and timing histograms with a text report renderer.
+  gauges, and timing histograms with a text report renderer and a
+  Prometheus exposition-format exporter
+  (:mod:`repro.obs.prometheus`).
+
+Read side — what the streams are *for*:
+
+* **Trace analytics** (:mod:`repro.obs.trace`) — :class:`TraceReader`
+  loads a run's ``events.jsonl`` and derives the span tree, critical
+  path, per-worker utilization, cluster contention, and per-experiment
+  cache attribution (the ``repro trace`` subcommand).
+* **Perf baselines** (:mod:`repro.obs.baseline`) — a JSON store of
+  median-of-k experiment wall times with a noise-tolerant regression
+  verdict (the ``repro bench`` subcommand and its CI gate).
 
 Knobs: ``REPRO_OBS_DIR`` points the default logger at a directory
 (``events.jsonl`` inside it); ``REPRO_OBS_DISABLE=1`` silences
 everything.  With neither set, telemetry costs one dict lookup per emit.
 """
 
+from repro.obs.baseline import (
+    BaselineEntry,
+    BaselineStore,
+    Comparison,
+    RegressionReport,
+)
 from repro.obs.events import (
     SCHEMA_VERSION,
     EventLog,
@@ -36,7 +54,9 @@ from repro.obs.metrics import (
     TimingHistogram,
     get_metrics,
 )
+from repro.obs.prometheus import render_prometheus
 from repro.obs.spans import current_span_path, span
+from repro.obs.trace import TraceError, TraceReader
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -55,4 +75,11 @@ __all__ = [
     "get_metrics",
     "current_span_path",
     "span",
+    "TraceError",
+    "TraceReader",
+    "BaselineEntry",
+    "BaselineStore",
+    "Comparison",
+    "RegressionReport",
+    "render_prometheus",
 ]

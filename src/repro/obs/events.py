@@ -249,9 +249,40 @@ def quiet() -> Iterator[None]:
         _quiet_depth -= 1
 
 
+class _FanoutLog(EventLog):
+    """Forward every emit to several sinks (used by ``capture_events(tee=)``).
+
+    The first sink's record is returned; each sink keeps its own ``seq``
+    numbering, so teeing into a file-backed log does not disturb that
+    log's sequence.
+    """
+
+    def __init__(self, sinks: tuple[EventLog, ...]) -> None:
+        super().__init__()
+        self._sinks = sinks
+
+    def emit(
+        self,
+        kind: str,
+        payload: Mapping[str, Any] | None = None,
+        wall: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        first: dict[str, Any] | None = None
+        for sink in self._sinks:
+            record = sink.emit(kind, payload, wall)
+            if first is None:
+                first = record
+        assert first is not None
+        return first
+
+
 @contextmanager
-def capture_events() -> Iterator[list[dict[str, Any]]]:
+def capture_events(*, tee: bool = False) -> Iterator[list[dict[str, Any]]]:
     """Route global emits into a fresh in-memory log for the block.
+
+    With ``tee=True`` emits are *also* forwarded to whatever logger was
+    active before the block (e.g. a run's ``events.jsonl``), so analysis
+    code can observe a sub-stream without stealing it from the run record.
 
     Examples
     --------
@@ -261,7 +292,10 @@ def capture_events() -> Iterator[list[dict[str, Any]]]:
     ['demo']
     """
     log = EventLog()
-    previous = configure(log)
+    upstream = get_logger() if tee else None
+    previous = configure(
+        log if upstream is None else _FanoutLog((log, upstream))
+    )
     try:
         yield log.records
     finally:

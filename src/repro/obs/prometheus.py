@@ -1,0 +1,94 @@
+"""Prometheus text-format exporter for the metrics registry.
+
+The registry (:mod:`repro.obs.metrics`) already accumulates counters,
+gauges, and timing histograms; this module renders one snapshot in the
+Prometheus exposition format so a run's metrics can be scraped, pushed to
+a gateway, or just diffed as text.  ``repro run`` writes the rendering to
+``metrics.prom`` next to ``events.jsonl``.
+
+Mapping: counters become ``repro_<name>_total``; gauges become
+``repro_<name>`` (NaN gauges — never set — are skipped); each timing
+histogram becomes a summary pair ``repro_<name>_seconds_count`` /
+``repro_<name>_seconds_sum`` plus a ``..._seconds_max`` gauge.  Names are
+sanitized to the Prometheus charset (dots map to underscores).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Mapping
+
+from repro.obs.metrics import Metrics
+
+__all__ = ["render_prometheus"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str, *, prefix: str) -> str:
+    sanitized = _NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = f"_{sanitized}"
+    return f"{prefix}_{sanitized}"
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(
+    metrics: Metrics | Mapping[str, Any] | None = None,
+    *,
+    prefix: str = "repro",
+) -> str:
+    """Render a metrics snapshot in the Prometheus text format.
+
+    Accepts a :class:`Metrics` registry, an existing ``snapshot()`` dict,
+    or ``None`` for the process-wide registry.  Returns the exposition
+    text (ends with a newline; empty registry renders to '').
+
+    Examples
+    --------
+    >>> m = Metrics()
+    >>> _ = m.counter("cache.hits").inc(3)
+    >>> print(render_prometheus(m), end="")
+    # HELP repro_cache_hits_total counter cache.hits
+    # TYPE repro_cache_hits_total counter
+    repro_cache_hits_total 3
+    """
+    if metrics is None:
+        from repro.obs.metrics import get_metrics
+
+        metrics = get_metrics()
+    snapshot = metrics.snapshot() if isinstance(metrics, Metrics) else metrics
+    lines: list[str] = []
+
+    for name, value in snapshot.get("counters", {}).items():
+        metric = f"{_metric_name(name, prefix=prefix)}_total"
+        lines.append(f"# HELP {metric} counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {int(value)}")
+
+    for name, value in snapshot.get("gauges", {}).items():
+        if isinstance(value, float) and math.isnan(value):
+            continue  # a gauge that was never set carries no information
+        metric = _metric_name(name, prefix=prefix)
+        lines.append(f"# HELP {metric} gauge {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name, stats in snapshot.get("timers", {}).items():
+        metric = f"{_metric_name(name, prefix=prefix)}_seconds"
+        lines.append(f"# HELP {metric} timing summary {name}")
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_count {int(stats['count'])}")
+        lines.append(f"{metric}_sum {_format_value(stats['total_s'])}")
+        lines.append(f"# TYPE {metric}_max gauge")
+        lines.append(f"{metric}_max {_format_value(stats['max_s'])}")
+
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,750 @@
+"""Trace analytics: the read side of the run-telemetry layer.
+
+:mod:`repro.obs.events` writes schema-versioned JSONL streams; this module
+reads them back and answers the questions the paper's §3–§4 resource
+lesson was really about — *where did the time go, who was idle, and did
+everything pile up at the end?*  A :class:`TraceReader` loads one
+``events.jsonl`` (or the run directory containing it), validates it, and
+derives:
+
+* the **span tree** and its **critical path** — which nested region of
+  the run dominates wall time;
+* **per-worker utilization** for every :func:`repro.parallel.pmap` call —
+  busy/idle fractions per worker pid, cell-duration tails, and straggler
+  cells (the single slow trial that holds the pool hostage);
+* **cluster contention** for every simulated scheduler run — GPU busy
+  fraction, queue-depth peaks, and the tail-window utilization spike that
+  is the end-of-program crunch in miniature;
+* **cache attribution** — hit/miss/store counts per experiment, so a
+  warm re-run can prove *which* experiment the cache actually served.
+
+Loading is deliberately forgiving in exactly one way: a truncated final
+line (the writer died mid-record) is dropped and flagged, because an
+append-only log's last record is the only one that can legally be torn.
+Everything else — a corrupt interior line, an unknown schema version — is
+a hard :class:`TraceError`, never a silent skip.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.obs.events import SCHEMA_VERSION
+from repro.utils.tables import Table
+
+__all__ = [
+    "TraceError",
+    "SpanNode",
+    "PmapCall",
+    "WorkerSlice",
+    "ClusterContention",
+    "CacheAttribution",
+    "TraceReader",
+    "render_summary",
+    "render_utilization",
+    "render_critical_path",
+]
+
+#: A cell counts as a straggler when it runs this many times the median.
+STRAGGLER_FACTOR = 2.0
+
+#: The "end of program" window: the last quarter of a cluster run.
+TAIL_WINDOW_FRACTION = 0.25
+
+
+class TraceError(ValueError):
+    """The event stream is unreadable: corrupt record or unknown schema."""
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an unsorted sequence (0 when empty)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return float(ordered[rank])
+
+
+def _median(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return float((ordered[mid - 1] + ordered[mid]) / 2)
+
+
+# ---------------------------------------------------------------------------
+# Derived structures
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span and its children (a node of the call tree)."""
+
+    name: str
+    path: str
+    depth: int
+    payload: dict[str, Any]
+    dur_s: float | None = None  # None when the span never closed
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def total_s(self) -> float:
+        """The span's duration, or the sum of its children when unclosed."""
+        if self.dur_s is not None:
+            return self.dur_s
+        return sum(child.total_s for child in self.children)
+
+    @property
+    def self_s(self) -> float:
+        """Time spent in this span outside any child span."""
+        return max(0.0, self.total_s - sum(c.total_s for c in self.children))
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "dur_s": self.dur_s,
+            "self_s": self.self_s,
+            "children": [c.as_dict() for c in self.children],
+        }
+
+
+@dataclass(frozen=True)
+class WorkerSlice:
+    """One worker's share of one ``pmap`` call."""
+
+    worker: str  # the worker pid as a string, or "?" on legacy streams
+    cells: int
+    busy_s: float
+
+    def idle_fraction(self, wall_s: float) -> float:
+        if wall_s <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.busy_s / wall_s)
+
+
+@dataclass
+class PmapCall:
+    """Utilization analytics for one ``pmap_start``..``pmap_finish`` frame."""
+
+    fn: str
+    n_cells: int
+    n_executed: int
+    n_cache_hits: int
+    workers: int
+    mode: str
+    wall_s: float
+    cell_durations: dict[int, float] = field(default_factory=dict)
+    worker_slices: list[WorkerSlice] = field(default_factory=list)
+
+    @property
+    def busy_s(self) -> float:
+        return float(sum(self.cell_durations.values()))
+
+    @property
+    def utilization(self) -> float:
+        """Busy worker-seconds over available worker-seconds (0..1)."""
+        capacity = self.workers * self.wall_s
+        if capacity <= 0:
+            return 0.0
+        return min(1.0, self.busy_s / capacity)
+
+    @property
+    def median_cell_s(self) -> float:
+        return _median(list(self.cell_durations.values()))
+
+    @property
+    def p95_cell_s(self) -> float:
+        return _percentile(list(self.cell_durations.values()), 0.95)
+
+    def stragglers(self, factor: float = STRAGGLER_FACTOR) -> list[dict[str, Any]]:
+        """Cells whose duration exceeds ``factor`` x the median cell time."""
+        median = self.median_cell_s
+        if median <= 0:
+            return []
+        return [
+            {"index": i, "dur_s": d, "ratio": d / median}
+            for i, d in sorted(self.cell_durations.items())
+            if d > factor * median
+        ]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "fn": self.fn,
+            "n_cells": self.n_cells,
+            "n_executed": self.n_executed,
+            "n_cache_hits": self.n_cache_hits,
+            "workers": self.workers,
+            "mode": self.mode,
+            "wall_s": self.wall_s,
+            "busy_s": self.busy_s,
+            "utilization": self.utilization,
+            "median_cell_s": self.median_cell_s,
+            "p95_cell_s": self.p95_cell_s,
+            "stragglers": self.stragglers(),
+            "per_worker": [
+                {
+                    "worker": w.worker,
+                    "cells": w.cells,
+                    "busy_s": w.busy_s,
+                    "idle_fraction": w.idle_fraction(self.wall_s),
+                }
+                for w in self.worker_slices
+            ],
+        }
+
+
+@dataclass
+class ClusterContention:
+    """Contention analytics for one simulated cluster run.
+
+    All times are deterministic *simulation* hours (they ride in event
+    payloads, not the volatile wall section), so these numbers are
+    reproducible across hosts — the trace-side mirror of the paper's
+    staged-collection remedy.
+    """
+
+    policy: str
+    n_gpus: int
+    n_jobs: int
+    makespan: float
+    busy_gpu_hours: float
+    peak_queue_depth: int
+    peak_queue_time: float
+    mean_wait: float
+    p95_wait: float
+    tail_utilization: float  # utilization inside the final window
+
+    @property
+    def utilization(self) -> float:
+        capacity = self.n_gpus * self.makespan
+        if capacity <= 0:
+            return 0.0
+        return min(1.0, self.busy_gpu_hours / capacity)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "n_gpus": self.n_gpus,
+            "n_jobs": self.n_jobs,
+            "makespan": self.makespan,
+            "utilization": self.utilization,
+            "tail_utilization": self.tail_utilization,
+            "peak_queue_depth": self.peak_queue_depth,
+            "peak_queue_time": self.peak_queue_time,
+            "mean_wait": self.mean_wait,
+            "p95_wait": self.p95_wait,
+        }
+
+
+@dataclass
+class CacheAttribution:
+    """Cache traffic attributed to one experiment (or the run preamble)."""
+
+    scope: str
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "scope": self.scope,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": self.hit_rate,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Loading and validation
+
+
+def _parse_stream(text: str) -> tuple[list[dict[str, Any]], bool]:
+    """Parse JSONL text into records, tolerating one truncated final line."""
+    lines = text.splitlines()
+    last_content = -1
+    for index, line in enumerate(lines):
+        if line.strip():
+            last_content = index
+    records: list[dict[str, Any]] = []
+    truncated = False
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if index == last_content:
+                truncated = True
+                break
+            raise TraceError(
+                f"corrupt event record on line {index + 1}: {exc.msg}"
+            ) from exc
+        if not isinstance(record, dict):
+            raise TraceError(
+                f"event record on line {index + 1} is not a JSON object"
+            )
+        records.append(record)
+    return records, truncated
+
+
+def _validate(records: Iterable[Mapping[str, Any]]) -> list[dict[str, Any]]:
+    out: list[dict[str, Any]] = []
+    for number, record in enumerate(records, start=1):
+        schema = record.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise TraceError(
+                f"record {number} has event schema {schema!r}; this reader "
+                f"understands schema {SCHEMA_VERSION} — re-record the run or "
+                "upgrade repro"
+            )
+        if "kind" not in record or "seq" not in record:
+            raise TraceError(f"record {number} is missing 'kind'/'seq' fields")
+        out.append(dict(record))
+    # Stable sort restores writer order even if concurrent appenders
+    # interleaved lines; ties (distinct writers sharing seq) keep file order.
+    out.sort(key=lambda r: r["seq"])
+    return out
+
+
+class TraceReader:
+    """Load one event stream and derive run analytics from it.
+
+    Construct with :meth:`load` (a path to ``events.jsonl`` or to the run
+    directory that contains it) or :meth:`from_records` (in-memory event
+    dicts, e.g. from :func:`repro.obs.capture_events`).
+
+    Examples
+    --------
+    >>> from repro import obs
+    >>> with obs.capture_events() as events:
+    ...     with obs.span("outer"):
+    ...         with obs.span("inner"):
+    ...             pass
+    >>> reader = TraceReader.from_records(events)
+    >>> [node.path for node in reader.span_tree()]
+    ['outer']
+    >>> [hop["path"] for hop in reader.critical_path()]
+    ['outer', 'outer/inner']
+    """
+
+    def __init__(
+        self,
+        records: Sequence[Mapping[str, Any]],
+        *,
+        truncated: bool = False,
+        source: str | None = None,
+    ) -> None:
+        self.events = _validate(records)
+        self.truncated = truncated
+        self.source = source
+
+    @classmethod
+    def load(cls, source: str | os.PathLike) -> "TraceReader":
+        """Read ``events.jsonl`` from a file path or a run directory."""
+        path = Path(source)
+        if path.is_dir():
+            path = path / "events.jsonl"
+        if not path.exists():
+            raise TraceError(f"no event stream at {path}")
+        records, truncated = _parse_stream(path.read_text(encoding="utf-8"))
+        return cls(records, truncated=truncated, source=str(path))
+
+    @classmethod
+    def from_records(
+        cls, records: Sequence[Mapping[str, Any]]
+    ) -> "TraceReader":
+        """Wrap already-parsed event dicts (validated the same way)."""
+        return cls(records)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def kinds(self) -> dict[str, int]:
+        """Event count per kind, in first-appearance order."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event["kind"]] = counts.get(event["kind"], 0) + 1
+        return counts
+
+    # -- span tree and critical path ------------------------------------
+
+    def span_tree(self) -> list[SpanNode]:
+        """Reconstruct the span forest from ``span_start``/``span_end`` pairs.
+
+        A span left open by a truncated stream keeps ``dur_s=None`` and
+        reports the sum of its children instead.
+        """
+        roots: list[SpanNode] = []
+        stack: list[SpanNode] = []
+        for event in self.events:
+            kind = event["kind"]
+            payload = event.get("payload", {})
+            if kind == "span_start":
+                node = SpanNode(
+                    name=payload.get("span", "?"),
+                    path=payload.get("path", payload.get("span", "?")),
+                    depth=int(payload.get("depth", len(stack))),
+                    payload={
+                        k: v
+                        for k, v in payload.items()
+                        if k not in ("span", "path", "depth")
+                    },
+                )
+                (stack[-1].children if stack else roots).append(node)
+                stack.append(node)
+            elif kind == "span_end":
+                path = payload.get("path")
+                # Pop to the matching span; tolerate ends whose starts were
+                # lost to truncation by ignoring unmatched paths.
+                while stack:
+                    node = stack.pop()
+                    if node.path == path:
+                        wall = event.get("wall", {})
+                        dur = wall.get("dur_s")
+                        node.dur_s = float(dur) if dur is not None else None
+                        break
+        return roots
+
+    def critical_path(self) -> list[dict[str, Any]]:
+        """The heaviest root-to-leaf chain through the span tree.
+
+        Spans on one stream run sequentially (only the coordinator emits),
+        so the critical path follows, at each level, the child with the
+        largest subtree duration.  Each hop reports its total and self
+        time plus its fraction of the root.
+        """
+        roots = self.span_tree()
+        if not roots:
+            return []
+        node = max(roots, key=lambda n: n.total_s)
+        root_s = node.total_s
+        hops: list[dict[str, Any]] = []
+        while True:
+            hops.append(
+                {
+                    "path": node.path,
+                    "dur_s": node.total_s,
+                    "self_s": node.self_s,
+                    "fraction": node.total_s / root_s if root_s > 0 else 0.0,
+                }
+            )
+            if not node.children:
+                return hops
+            node = max(node.children, key=lambda n: n.total_s)
+
+    # -- pmap utilization -----------------------------------------------
+
+    def pmap_calls(self) -> list[PmapCall]:
+        """One :class:`PmapCall` per ``pmap_start``..``pmap_finish`` frame."""
+        calls: list[PmapCall] = []
+        cells: dict[int, float] = {}
+        workers_of_cell: dict[int, str] = {}
+        open_frame = False
+        for event in self.events:
+            kind = event["kind"]
+            payload = event.get("payload", {})
+            wall = event.get("wall", {})
+            if kind == "pmap_start":
+                open_frame = True
+                cells = {}
+                workers_of_cell = {}
+            elif kind == "cell_finish" and open_frame:
+                index = int(payload.get("index", len(cells)))
+                cells[index] = float(wall.get("dur_s", 0.0) or 0.0)
+                pid = wall.get("pid")
+                workers_of_cell[index] = str(pid) if pid is not None else "?"
+            elif kind == "pmap_finish" and open_frame:
+                open_frame = False
+                by_worker: dict[str, list[float]] = {}
+                for index, dur in cells.items():
+                    by_worker.setdefault(workers_of_cell[index], []).append(dur)
+                slices = [
+                    WorkerSlice(worker=w, cells=len(durs), busy_s=sum(durs))
+                    for w, durs in sorted(by_worker.items())
+                ]
+                calls.append(
+                    PmapCall(
+                        fn=payload.get("fn", "?"),
+                        n_cells=int(payload.get("n_cells", len(cells))),
+                        n_executed=int(payload.get("n_executed", len(cells))),
+                        n_cache_hits=int(payload.get("n_cache_hits", 0)),
+                        workers=int(wall.get("workers", 1) or 1),
+                        mode=str(wall.get("mode", "?")),
+                        wall_s=float(wall.get("wall_s", 0.0) or 0.0),
+                        cell_durations=cells,
+                        worker_slices=slices,
+                    )
+                )
+        return calls
+
+    # -- cluster contention ----------------------------------------------
+
+    def cluster_runs(self) -> list[ClusterContention]:
+        """One :class:`ClusterContention` per simulated scheduler run."""
+        runs: list[ClusterContention] = []
+        frame: dict[str, Any] | None = None
+        for event in self.events:
+            kind = event["kind"]
+            payload = event.get("payload", {})
+            if kind == "cluster_run_start":
+                frame = {
+                    "n_jobs": int(payload.get("n_jobs", 0)),
+                    "n_gpus": int(payload.get("n_gpus", 0)),
+                    "policy": str(payload.get("policy", "?")),
+                    "gpus_of": {},
+                    "starts": {},
+                    "waits": [],
+                    "intervals": [],
+                    "queue_events": [],  # (t, +1 submit / -1 start)
+                }
+            elif frame is None:
+                continue
+            elif kind == "job_submit":
+                frame["gpus_of"][payload["job_id"]] = int(payload.get("n_gpus", 1))
+                frame["queue_events"].append((float(payload["t"]), 1))
+            elif kind == "job_start":
+                frame["starts"][payload["job_id"]] = float(payload["t"])
+                frame["waits"].append(float(payload.get("wait", 0.0)))
+                frame["queue_events"].append((float(payload["t"]), -1))
+            elif kind == "job_finish":
+                job_id = payload["job_id"]
+                start = frame["starts"].get(job_id)
+                if start is not None:
+                    frame["intervals"].append(
+                        (start, float(payload["t"]),
+                         frame["gpus_of"].get(job_id, 1))
+                    )
+            elif kind == "cluster_run_finish":
+                makespan = float(payload.get("makespan", 0.0))
+                runs.append(self._fold_cluster(frame, makespan))
+                frame = None
+        return runs
+
+    @staticmethod
+    def _fold_cluster(
+        frame: dict[str, Any], makespan: float
+    ) -> ClusterContention:
+        busy = sum(g * (end - start) for start, end, g in frame["intervals"])
+        # Queue depth: submissions push, starts pop; starts sort first at
+        # equal times so depth never counts a job both queued and running.
+        depth = peak = 0
+        peak_t = 0.0
+        for t, delta in sorted(frame["queue_events"], key=lambda e: (e[0], e[1])):
+            depth += delta
+            if depth > peak:
+                peak, peak_t = depth, t
+        window = makespan * (1.0 - TAIL_WINDOW_FRACTION)
+        tail_span = makespan - window
+        tail_busy = sum(
+            g * (min(end, makespan) - max(start, window))
+            for start, end, g in frame["intervals"]
+            if end > window
+        )
+        tail_capacity = frame["n_gpus"] * tail_span
+        return ClusterContention(
+            policy=frame["policy"],
+            n_gpus=frame["n_gpus"],
+            n_jobs=frame["n_jobs"],
+            makespan=makespan,
+            busy_gpu_hours=busy,
+            peak_queue_depth=peak,
+            peak_queue_time=peak_t,
+            mean_wait=(
+                sum(frame["waits"]) / len(frame["waits"]) if frame["waits"] else 0.0
+            ),
+            p95_wait=_percentile(frame["waits"], 0.95),
+            tail_utilization=(
+                min(1.0, tail_busy / tail_capacity) if tail_capacity > 0 else 0.0
+            ),
+        )
+
+    # -- cache attribution ------------------------------------------------
+
+    def cache_attribution(self) -> list[CacheAttribution]:
+        """Cache hit/miss/store counts per experiment frame.
+
+        Events outside any ``experiment_start``..``experiment_finish``
+        frame are attributed to the ``"(run)"`` scope.
+        """
+        scopes: dict[str, CacheAttribution] = {}
+        current = "(run)"
+
+        def bucket(scope: str) -> CacheAttribution:
+            if scope not in scopes:
+                scopes[scope] = CacheAttribution(scope)
+            return scopes[scope]
+
+        for event in self.events:
+            kind = event["kind"]
+            payload = event.get("payload", {})
+            if kind == "experiment_start":
+                current = str(payload.get("experiment", "?"))
+            elif kind == "experiment_finish":
+                current = "(run)"
+            elif kind == "cache_hit":
+                bucket(current).hits += 1
+            elif kind == "cache_miss":
+                bucket(current).misses += 1
+            elif kind == "cache_store":
+                bucket(current).stores += 1
+        return list(scopes.values())
+
+    # -- experiments and summary ------------------------------------------
+
+    def experiment_timings(self) -> dict[str, dict[str, Any]]:
+        """Per-experiment wall time and verdict from the run framing events."""
+        out: dict[str, dict[str, Any]] = {}
+        for event in self.events:
+            if event["kind"] != "experiment_finish":
+                continue
+            payload = event.get("payload", {})
+            exp = str(payload.get("experiment", "?"))
+            out[exp] = {
+                "wall_s": float(event.get("wall", {}).get("dur_s", 0.0) or 0.0),
+                "passed": payload.get("passed"),
+            }
+        return out
+
+    def summary(self) -> dict[str, Any]:
+        """The whole analysis as one JSON-able document."""
+        calls = self.pmap_calls()
+        total_cells = sum(c.n_cells for c in calls)
+        executed = sum(c.n_executed for c in calls)
+        utilizations = [c.utilization for c in calls if c.wall_s > 0]
+        return {
+            "schema": SCHEMA_VERSION,
+            "source": self.source,
+            "n_events": len(self.events),
+            "truncated": self.truncated,
+            "kinds": self.kinds(),
+            "experiments": self.experiment_timings(),
+            "critical_path": self.critical_path(),
+            "pmap": {
+                "n_calls": len(calls),
+                "n_cells": total_cells,
+                "n_executed": executed,
+                "n_cache_hits": sum(c.n_cache_hits for c in calls),
+                "mean_utilization": (
+                    sum(utilizations) / len(utilizations) if utilizations else 0.0
+                ),
+                "n_stragglers": sum(len(c.stragglers()) for c in calls),
+                "calls": [c.as_dict() for c in calls],
+            },
+            "cluster": [run.as_dict() for run in self.cluster_runs()],
+            "cache": [a.as_dict() for a in self.cache_attribution()],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Text renderers (used by ``repro trace``; returned, never printed)
+
+
+def render_summary(reader: TraceReader) -> str:
+    """The headline view: stream shape, experiments, cache attribution."""
+    blocks: list[str] = []
+    head = Table(["field", "value"], title="trace summary", decimals=4)
+    head.add_row(["source", reader.source or "(in-memory)"])
+    head.add_row(["events", len(reader)])
+    head.add_row(["truncated tail", reader.truncated])
+    for kind, count in reader.kinds().items():
+        head.add_row([f"kind: {kind}", count])
+    blocks.append(head.render())
+
+    timings = reader.experiment_timings()
+    if timings:
+        exps = Table(["experiment", "wall s", "passed"],
+                     title="experiments", decimals=3)
+        for exp, info in timings.items():
+            passed = info["passed"]
+            exps.add_row([exp, info["wall_s"],
+                          "-" if passed is None else passed])
+        blocks.append(exps.render())
+
+    attribution = reader.cache_attribution()
+    if any(a.lookups or a.stores for a in attribution):
+        cache = Table(["scope", "hits", "misses", "stores", "hit rate"],
+                      title="cache attribution", decimals=3)
+        for a in attribution:
+            cache.add_row([a.scope, a.hits, a.misses, a.stores, a.hit_rate])
+        blocks.append(cache.render())
+    return "\n\n".join(blocks)
+
+
+def render_utilization(reader: TraceReader) -> str:
+    """Per-pmap-call worker utilization plus cluster contention tables."""
+    blocks: list[str] = []
+    calls = reader.pmap_calls()
+    if calls:
+        table = Table(
+            ["fn", "cells", "workers", "mode", "wall s", "busy s",
+             "util", "p95 cell s", "stragglers"],
+            title="pmap utilization", decimals=3,
+        )
+        for call in calls:
+            table.add_row([
+                call.fn.rsplit(".", 1)[-1], call.n_cells, call.workers,
+                call.mode, call.wall_s, call.busy_s, call.utilization,
+                call.p95_cell_s, len(call.stragglers()),
+            ])
+        blocks.append(table.render())
+        workers = Table(
+            ["fn", "worker", "cells", "busy s", "idle frac"],
+            title="per-worker timeline", decimals=3,
+        )
+        for call in calls:
+            for w in call.worker_slices:
+                workers.add_row([
+                    call.fn.rsplit(".", 1)[-1], w.worker, w.cells,
+                    w.busy_s, w.idle_fraction(call.wall_s),
+                ])
+        if workers.rows:
+            blocks.append(workers.render())
+    runs = reader.cluster_runs()
+    if runs:
+        table = Table(
+            ["policy", "jobs", "GPUs", "makespan h", "util",
+             "tail util", "peak queue", "p95 wait h"],
+            title="cluster contention", decimals=3,
+        )
+        for run in runs:
+            table.add_row([
+                run.policy, run.n_jobs, run.n_gpus, run.makespan,
+                run.utilization, run.tail_utilization,
+                run.peak_queue_depth, run.p95_wait,
+            ])
+        blocks.append(table.render())
+    if not blocks:
+        return "no pmap or cluster events in this trace"
+    return "\n\n".join(blocks)
+
+
+def render_critical_path(reader: TraceReader) -> str:
+    """The dominant root-to-leaf span chain as a table."""
+    hops = reader.critical_path()
+    if not hops:
+        return "no spans in this trace"
+    table = Table(["span path", "total s", "self s", "of root"],
+                  title="critical path", decimals=3)
+    for hop in hops:
+        table.add_row([
+            hop["path"], hop["dur_s"] if hop["dur_s"] is not None else 0.0,
+            hop["self_s"], f"{100 * hop['fraction']:.0f}%",
+        ])
+    return table.render()

@@ -31,8 +31,9 @@ Every ``pmap`` call narrates itself through :mod:`repro.obs`:
 ``pmap_start``, per-cell ``cache_hit``/``cache_miss``, paired
 ``cell_start``/``cell_finish``, ``cache_store``, and ``pmap_finish``
 events, all emitted **from this process in submission order** regardless
-of worker count or completion order.  Durations, worker counts, and the
-dispatch mode travel in the volatile ``wall`` section, so the event
+of worker count or completion order.  Durations (measured inside the
+executing process), the executing pid, worker counts, and the dispatch
+mode travel in the volatile ``wall`` section, so the event
 sequences of ``workers=1`` and ``workers=8`` runs are byte-identical once
 volatile fields are stripped.  Worker processes are born with telemetry
 disabled and the serial path mutes cell interiors with
@@ -77,6 +78,22 @@ def _invoke(fn: Callable[..., Any], config: Any, seed: Any) -> Any:
     if seed is _SENTINEL or seed is None:
         return fn(config)
     return fn(config, seed)
+
+
+def _invoke_timed(
+    fn: Callable[..., Any], config: Any, seed: Any
+) -> tuple[Any, int, float]:
+    """Run one cell and report ``(value, worker_pid, dur_s)``.
+
+    Measuring inside the worker gives the cell's true execution time (the
+    coordinator can only observe gather latency); the pid lets trace
+    analytics attribute busy time to individual workers.  Both travel in
+    the volatile ``wall`` section of the cell events, outside the
+    determinism contract.
+    """
+    start = time.perf_counter()
+    value = _invoke(fn, config, seed)
+    return value, os.getpid(), time.perf_counter() - start
 
 
 def _worker_init() -> None:
@@ -194,6 +211,7 @@ def pmap(
         n_workers = resolve_workers(workers)
         executed: dict[int, Any] | None = None
         durations: dict[int, float] = {}
+        cell_pids: dict[int, int] = {}
         if n_workers > 1 and len(pending) > 1 and _picklable(
             fn, *(configs[i] for i in pending[:1])
         ):
@@ -201,17 +219,15 @@ def pmap(
                 with ProcessPoolExecutor(
                     max_workers=n_workers, initializer=_worker_init
                 ) as pool:
-                    submitted = time.perf_counter()
                     futures = {
-                        i: pool.submit(_invoke, fn, configs[i], cell_seeds[i])
+                        i: pool.submit(
+                            _invoke_timed, fn, configs[i], cell_seeds[i]
+                        )
                         for i in pending
                     }
                     executed = {}
                     for i, future in futures.items():
-                        executed[i] = future.result()
-                        # Latency until this result was gathered — an
-                        # upper bound on the cell's own duration.
-                        durations[i] = time.perf_counter() - submitted
+                        executed[i], cell_pids[i], durations[i] = future.result()
                 mode = "pool"
             except (BrokenProcessPool, pickle.PicklingError, TypeError, AttributeError) as exc:
                 # Pool-level failure (unpicklable payload, dead worker):
@@ -224,11 +240,13 @@ def pmap(
         if executed is None:
             mode = "serial"
             executed = {}
+            own_pid = os.getpid()
             for i in pending:
                 cell_start = time.perf_counter()
                 with obs.quiet():
                     executed[i] = _invoke(fn, configs[i], cell_seeds[i])
                 durations[i] = time.perf_counter() - cell_start
+                cell_pids[i] = own_pid
         # Per-cell events are replayed in submission order whatever the
         # completion order was — the determinism contract of the stream.
         for i in pending:
@@ -237,7 +255,7 @@ def pmap(
             obs.emit(
                 "cell_finish",
                 payload={"index": i},
-                wall={"dur_s": durations.get(i, 0.0)},
+                wall={"dur_s": durations.get(i, 0.0), "pid": cell_pids.get(i)},
             )
         for i, value in executed.items():
             results[i] = value

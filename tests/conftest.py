@@ -12,6 +12,11 @@ def reset_obs_metrics():
     Library code increments :mod:`repro.obs` counters as a side effect
     (cache hits, pmap calls, training gauges); without a reset, one
     test's counts would leak into the next test's assertions.
+
+    The CLI path has its own guard: ``repro.exp.cli.main`` resets the
+    registry at the start of every invocation, so a test that drives
+    ``main()`` several times still sees per-invocation counters — this
+    fixture only has to isolate *tests* from each other.
     """
     from repro.obs.metrics import get_metrics
 
