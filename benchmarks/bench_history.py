@@ -1,0 +1,111 @@
+"""Cross-run history at scale (`repro.obs.history`).
+
+The registry's promise is that asking "what ran, and did it reproduce?"
+stays interactive however many runs have accumulated.  Three harnesses
+over a synthetic 60-run root (each run carrying a realistic value
+payload):
+
+* a **cold scan** — every directory parsed from JSON and indexed;
+* a **warm rescan** — the same root served straight from
+  ``runs_index.jsonl`` without re-reading any run's artifacts, which must
+  be markedly cheaper than the cold scan;
+* a **flakiness audit** — the full cross-run bit-identity comparison over
+  all indexed runs.
+"""
+
+import json
+
+from conftest import emit
+
+from repro.obs.history import RunDiff, RunRegistry, detect_flakiness
+
+N_RUNS = 60
+N_EXPERIMENTS = 8
+N_VALUES = 40
+
+
+def _make_root(tmp_path):
+    root = tmp_path / "runs"
+    for run in range(N_RUNS):
+        run_dir = root / f"run-{run:03d}"
+        run_dir.mkdir(parents=True)
+        experiments = []
+        for e in range(N_EXPERIMENTS):
+            experiments.append({
+                "experiment": f"E{e}",
+                "config": {"n": 100 + e, "depth": 3},
+                "values": {f"metric_{v}": (e * 1000 + v) / 7 for v in range(N_VALUES)},
+                "wall_s": 0.5 + e,
+                "volatile_values": ["speedup*"],
+                "verdict": {"passed": True},
+            })
+        (run_dir / "results.json").write_text(json.dumps({
+            "smoke": True,
+            "repro_version": "1.1.0",
+            "experiments": experiments,
+        }))
+        (run_dir / "manifest.json").write_text(json.dumps({
+            "environment": {"python": "3.12", "platform": "linux"},
+            "chain_verified": True,
+            "manifest": {"entries": [
+                {"name": f"E{e}", "seed_audit": {"seed": 0}, "result_digest": "d"}
+                for e in range(N_EXPERIMENTS)
+            ]},
+        }))
+    return root
+
+
+def test_cold_scan_indexes_every_run(benchmark, tmp_path):
+    root = _make_root(tmp_path)
+
+    records = benchmark.pedantic(
+        lambda: RunRegistry(root).scan(), rounds=1, iterations=1
+    )
+    assert len(records) == N_RUNS
+    assert (root / "runs_index.jsonl").is_file()
+    assert all(len(r.experiments) == N_EXPERIMENTS for r in records)
+    emit(
+        f"history: cold scan parsed + indexed {N_RUNS} runs "
+        f"({N_RUNS * N_EXPERIMENTS} experiment snapshots)"
+    )
+
+
+def test_warm_rescan_serves_from_the_index(benchmark, tmp_path):
+    import time
+
+    root = _make_root(tmp_path)
+    start = time.perf_counter()
+    RunRegistry(root).scan()  # cold: builds the index
+    cold_s = time.perf_counter() - start
+
+    registry = RunRegistry(root)
+    records = benchmark.pedantic(registry.scan, rounds=1, iterations=1)
+    warm_s = benchmark.stats.stats.min
+    assert len(records) == N_RUNS
+    assert registry.stale == [] and registry.unparseable == []
+    # Index-served rescans must not degenerate into re-parsing.
+    assert warm_s < cold_s
+    emit(
+        f"history: warm rescan of {N_RUNS} runs served from the index in "
+        f"{warm_s * 1e3:.1f} ms (cold scan {cold_s * 1e3:.1f} ms, "
+        f"{cold_s / warm_s:.1f}x)"
+    )
+
+
+def test_flakiness_audit_throughput(benchmark, tmp_path):
+    root = _make_root(tmp_path)
+    records = RunRegistry(root).scan()
+
+    report = benchmark.pedantic(
+        detect_flakiness, args=(records,), rounds=1, iterations=1
+    )
+    assert report.passed
+    assert report.n_runs == N_RUNS
+    assert report.n_compared == N_EXPERIMENTS
+    diff = RunDiff.between(records[0], records[-1])
+    assert diff.clean
+    emit(
+        f"history: flakiness audit compared {N_EXPERIMENTS} experiment "
+        f"identities x {N_VALUES} values across {N_RUNS} runs — "
+        f"{'no flakes' if report.passed else 'FLAKY'}"
+    )

@@ -30,7 +30,28 @@ histopath, rl, malware, robuststats, shapes
     One substrate per student project (paper sections 2.1-2.11).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def package_version() -> str:
+    """The version of the code actually running.
+
+    ``repro --version`` and every run's ``manifest.json``/``results.json``
+    use this.  The source tree's ``__version__`` is authoritative — under
+    ``PYTHONPATH=src`` the installed distribution's metadata can describe
+    an older install than the code being executed — with
+    ``importlib.metadata`` only as the fallback for a packaged install
+    whose source attribute went missing.
+    """
+    if __version__:
+        return __version__
+    try:  # pragma: no cover - unreachable while __version__ is set
+        from importlib import metadata
+
+        return metadata.version("repro")
+    except Exception:
+        return "0.0.0"
+
 
 __all__ = [
     "core",

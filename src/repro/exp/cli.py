@@ -21,12 +21,22 @@ Subcommands
     Time experiments (median of ``--repeats``) and either ``--record``
     the baselines or gate ``--against`` them, exiting non-zero on
     regression (``--record-missing`` bootstraps absent entries).
+``runs list|diff|flaky``
+    Cross-run history via :mod:`repro.obs.history`: list every indexed
+    run under ``--root`` (default ``REPRO_RUNS_DIR`` or ``runs/``),
+    structurally diff two runs (exit 1 on deterministic-value deltas or
+    verdict flips), or audit repeated runs for flaky values (exit 1 when
+    any non-volatile value is not bit-identical across reruns).
+``watch <run-dir>``
+    Live view of an in-progress run: follows ``events.jsonl`` and renders
+    progress, cache counters, and sampled resource usage in place.
 
 Shared options: ``--smoke`` selects each experiment's CI-scale config
 tier; ``--seeds N`` overrides the trial-seed count where an experiment
 has one; ``--workers N`` and ``--no-cache`` flow to every
 :mod:`repro.parallel` call; ``--json OUT`` writes the machine-readable
-results/verdicts.
+results/verdicts.  ``repro run --sample-resources [SEC]`` starts the
+:class:`repro.obs.resources.ResourceSampler` for the run.
 
 Every invocation starts from a clean process-wide metrics registry, so
 cache counters and ``ResultCache.stats()``-style numbers reported by one
@@ -42,8 +52,12 @@ import time
 from pathlib import Path
 from typing import Any, Sequence
 
+import repro
 from repro import obs
 from repro.obs.baseline import BaselineStore, median
+from repro.obs.history import HistoryError, RunDiff, RunRegistry, detect_flakiness
+from repro.obs.resources import DEFAULT_INTERVAL_S
+from repro.obs.watch import watch_run
 from repro.obs.trace import (
     TraceError,
     TraceReader,
@@ -62,6 +76,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Run, report, and check the paper's experiment catalog.",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"repro {repro.package_version()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -87,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run directory (default: runs/<timestamp>)")
     run.add_argument("--no-artifacts", action="store_true",
                      help="skip the per-run events/manifest/results files")
+    run.add_argument("--sample-resources", nargs="?", type=float,
+                     const=DEFAULT_INTERVAL_S, default=None, metavar="SEC",
+                     help="sample RSS/CPU of the run into events.jsonl "
+                          f"every SEC seconds (bare flag: every "
+                          f"{DEFAULT_INTERVAL_S}s; also via "
+                          "REPRO_OBS_SAMPLE)")
 
     report = sub.add_parser("report", help="print regenerated-vs-paper tables")
     add_run_options(report)
@@ -126,6 +150,52 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --against: record entries for experiments "
                             "the baseline file lacks (bootstraps a fresh "
                             "file) instead of reporting them as new")
+
+    runs = sub.add_parser(
+        "runs", help="cross-run history: list, diff, and flakiness audit"
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+
+    def add_runs_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--root", metavar="DIR", default=None,
+                       help="runs root (default: $REPRO_RUNS_DIR or runs/)")
+        p.add_argument("--json", dest="json_out", nargs="?", const="-",
+                       metavar="OUT",
+                       help="emit machine-readable output (to stdout, or "
+                            "to OUT when given)")
+
+    runs_list = runs_sub.add_parser("list", help="every indexed run")
+    add_runs_options(runs_list)
+
+    runs_diff = runs_sub.add_parser(
+        "diff",
+        help="structural diff of two runs; exit 1 on deterministic drift",
+    )
+    runs_diff.add_argument("run_a", metavar="RUN_A",
+                           help="run id or run directory")
+    runs_diff.add_argument("run_b", metavar="RUN_B",
+                           help="run id or run directory")
+    add_runs_options(runs_diff)
+
+    runs_flaky = runs_sub.add_parser(
+        "flaky",
+        help="audit repeated runs for non-bit-identical values; exit 1 "
+             "when any are found",
+    )
+    add_runs_options(runs_flaky)
+
+    watch = sub.add_parser(
+        "watch", help="live view of an in-progress run's events.jsonl"
+    )
+    watch.add_argument("run_dir", metavar="RUN_DIR",
+                       help="run directory (or the events.jsonl itself)")
+    watch.add_argument("--interval", type=float, default=0.5, metavar="SEC",
+                       help="poll cadence in seconds (default 0.5)")
+    watch.add_argument("--once", action="store_true",
+                       help="render a single frame and exit (scriptable)")
+    watch.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                       help="stop after SEC seconds; exit 2 if no events "
+                            "arrived by then")
     return parser
 
 
@@ -137,6 +207,7 @@ def _execute(args: argparse.Namespace, *, out_dir: Path | None) -> RunSummary:
         workers=args.workers,
         cache=not args.no_cache,
         out_dir=out_dir,
+        sample_resources=getattr(args, "sample_resources", None),
     )
 
 
@@ -278,6 +349,75 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 1 if report.regressions else 0
 
 
+def _emit_json(json_out: str, payload: Any) -> None:
+    if json_out == "-":
+        print(json.dumps(payload, indent=2))
+    else:
+        _write_json(json_out, payload)
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    registry = RunRegistry(args.root)
+
+    if args.runs_command == "list":
+        records = registry.scan()
+        if args.json_out:
+            _emit_json(args.json_out, {
+                "root": str(registry.root),
+                "stale": registry.stale,
+                "unparseable": registry.unparseable,
+                "runs": [r.as_dict() for r in records],
+            })
+            return 0
+        rows = [
+            (r.run_id, r.tier, f"{r.total_wall_s:.1f}",
+             f"{r.n_passed}/{r.n_checked}", len(r.experiments),
+             r.repro_version or "-")
+            for r in records
+        ]
+        print(rows_table(
+            ["run", "tier", "wall s", "passed", "exps", "version"], rows,
+            title=f"{len(rows)} runs under {registry.root}",
+        ))
+        for label, names in (("stale (indexed, now gone)", registry.stale),
+                             ("unparseable", registry.unparseable)):
+            if names:
+                print(f"{label}: {', '.join(names)}")
+        return 0
+
+    if args.runs_command == "diff":
+        try:
+            diff = RunDiff.between(registry.get(args.run_a),
+                                   registry.get(args.run_b))
+        except HistoryError as exc:
+            print(f"repro runs diff: {exc}", file=sys.stderr)
+            return 2
+        if args.json_out:
+            _emit_json(args.json_out, diff.as_dict())
+        else:
+            print(diff.to_table())
+        return 0 if diff.clean else 1
+
+    if args.runs_command == "flaky":
+        report = detect_flakiness(registry.scan())
+        if args.json_out:
+            _emit_json(args.json_out, report.as_dict())
+        else:
+            print(report.to_table())
+        return 0 if report.passed else 1
+
+    raise AssertionError(f"unhandled runs command {args.runs_command!r}")
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    return watch_run(
+        args.run_dir,
+        interval_s=args.interval,
+        once=args.once,
+        timeout_s=args.timeout,
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     # Per-invocation observability: cache/pmap counters and the metrics
@@ -296,6 +436,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "runs":
+        return _cmd_runs(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

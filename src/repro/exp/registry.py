@@ -53,6 +53,12 @@ class Experiment:
     DEFAULT: Mapping[str, Any] = {}
     #: Overrides that shrink the run to CI scale.
     SMOKE: Mapping[str, Any] = {}
+    #: Result values that are wall-clock-derived and therefore exempt from
+    #: the determinism contract (fnmatch globs over the flattened dotted
+    #: value keys, e.g. ``"vectorization.speedup"`` or ``"cache.*_s"``).
+    #: ``results.json`` carries the declaration so cross-run diffing and
+    #: flakiness detection (:mod:`repro.obs.history`) skip exactly these.
+    VOLATILE_VALUES: tuple[str, ...] = ()
 
     def resolve_config(
         self,

@@ -11,24 +11,38 @@ under one per-run directory:
 * :mod:`repro.provenance` — a hash-chained :class:`ExperimentManifest`
   records every experiment's config, seed ledger, and result digest, and
   ``manifest.json`` pairs the chain with a captured environment snapshot;
-* ``results.json`` — the machine-readable values, verdicts, and
-  per-experiment wall times (the same numbers the ``experiment_finish``
-  events carry, so ``repro trace`` and ``repro bench`` share one timing
-  source);
-* ``metrics.prom`` — the metrics registry in Prometheus text format.
+* ``results.json`` — the machine-readable values, verdicts, declared
+  volatile-value globs, and per-experiment wall times (the same numbers
+  the ``experiment_finish`` events carry, so ``repro trace`` and
+  ``repro bench`` share one timing source);
+* ``metrics.prom`` — the metrics registry in Prometheus text format,
+  labelled with the run id;
+* the cross-run index — a finished run registers itself with
+  :class:`repro.obs.history.RunRegistry`, so ``repro runs list/diff/flaky``
+  see it without a rescan.
+
+Artifacts are written atomically (a temp file + ``os.replace``), so a
+concurrent ``repro watch`` or registry scan can never observe a
+half-written ``results.json``.  With resource sampling enabled
+(``--sample-resources`` or ``REPRO_OBS_SAMPLE``), a
+:class:`repro.obs.resources.ResourceSampler` runs for the duration of the
+run and its samples land in the same ``events.jsonl``.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Sequence
 
+import repro
 from repro import obs
 from repro.exp.registry import Experiment, get_experiment, resolve_ids
 from repro.exp.result import ExpResult, Verdict
+from repro.obs.resources import ResourceSampler, resolve_sample_interval
 from repro.provenance.env import capture_environment
 from repro.provenance.manifest import ExperimentManifest
 
@@ -73,6 +87,7 @@ class RunSummary:
     def as_dict(self) -> dict[str, Any]:
         return {
             "smoke": self.smoke,
+            "repro_version": repro.package_version(),
             "timings": self.timings(),
             "experiments": [
                 {
@@ -80,6 +95,10 @@ class RunSummary:
                     "title": record.experiment.title,
                     "seconds": record.seconds,
                     "wall_s": record.seconds,
+                    # Declared wall-clock-derived values ride with the data,
+                    # so `repro runs diff/flaky` can exempt them without
+                    # importing the experiment class.
+                    "volatile_values": list(record.experiment.VOLATILE_VALUES),
                     "verdict": record.verdict.as_dict() if record.verdict else None,
                 }
                 for record in self.records
@@ -104,20 +123,31 @@ def run_experiments(
     workers: int | None = None,
     cache: Any = True,
     out_dir: str | Path | None = None,
+    sample_resources: float | str | None = None,
 ) -> RunSummary:
     """Run the requested experiments (``["all"]`` for the whole catalog).
 
     When ``out_dir`` is given the run writes ``events.jsonl``,
     ``manifest.json``, and ``results.json`` beneath it; telemetry routing
-    is restored to its previous sink afterwards.
+    is restored to its previous sink afterwards.  ``sample_resources``
+    (seconds between samples; ``None`` defers to ``REPRO_OBS_SAMPLE``)
+    starts a :class:`ResourceSampler` for the duration of the run.
     """
     resolved = resolve_ids(ids)
     out_path = Path(out_dir) if out_dir is not None else None
     manifest = ExperimentManifest("repro-run")
     previous_log: Any = None
+    sampler: ResourceSampler | None = None
     if out_path is not None:
         out_path.mkdir(parents=True, exist_ok=True)
-        previous_log = obs.configure(obs.EventLog(out_path / "events.jsonl"))
+        run_log = obs.EventLog(out_path / "events.jsonl")
+        previous_log = obs.configure(run_log)
+        interval = resolve_sample_interval(sample_resources)
+        if interval > 0:
+            # A direct log reference, so samples keep flowing even while
+            # obs.quiet() silences the module-level emitter inside cells.
+            sampler = ResourceSampler(interval, log=run_log)
+            sampler.start()
     try:
         obs.emit("run_start", {"experiments": resolved, "smoke": smoke})
         records: list[RunRecord] = []
@@ -151,12 +181,33 @@ def run_experiments(
             records.append(RunRecord(exp, result, verdict, elapsed))
         obs.emit("run_finish", {"n_experiments": len(records)})
     finally:
+        if sampler is not None:
+            sampler.stop()
         if out_path is not None:
             obs.configure(previous_log)
     summary = RunSummary(records, smoke, out_path, manifest)
     if out_path is not None:
         _write_artifacts(summary, out_path)
+        _register_run(out_path)
     return summary
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` so readers only ever see the old or the new file."""
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def _register_run(out_path: Path) -> None:
+    """Index the finished run so ``repro runs`` sees it without a rescan."""
+    from repro.obs.history import RunRegistry
+
+    root = os.environ.get("REPRO_RUNS_DIR") or out_path.parent
+    try:
+        RunRegistry(root).register(out_path)
+    except (OSError, ValueError):
+        pass  # an unwritable index must never fail the run itself
 
 
 def _write_artifacts(summary: RunSummary, out_path: Path) -> None:
@@ -165,11 +216,15 @@ def _write_artifacts(summary: RunSummary, out_path: Path) -> None:
     manifest_doc = {
         "environment": capture_environment().as_dict(),
         "smoke": summary.smoke,
+        "repro_version": repro.package_version(),
         "chain_verified": manifest.verify_chain(),
         "manifest": json.loads(manifest.to_json()),
     }
-    (out_path / "manifest.json").write_text(json.dumps(manifest_doc, indent=2))
-    (out_path / "results.json").write_text(json.dumps(summary.as_dict(), indent=2))
-    prom = obs.render_prometheus(obs.get_metrics())
+    _atomic_write_text(out_path / "manifest.json", json.dumps(manifest_doc, indent=2))
+    _atomic_write_text(out_path / "results.json", json.dumps(summary.as_dict(), indent=2))
+    prom = obs.render_prometheus(
+        obs.get_metrics(),
+        labels={"run_id": out_path.name, "tier": "smoke" if summary.smoke else "default"},
+    )
     if prom:
-        (out_path / "metrics.prom").write_text(prom)
+        _atomic_write_text(out_path / "metrics.prom", prom)

@@ -24,6 +24,17 @@ Read side — what the streams are *for*:
 * **Perf baselines** (:mod:`repro.obs.baseline`) — a JSON store of
   median-of-k experiment wall times with a noise-tolerant regression
   verdict (the ``repro bench`` subcommand and its CI gate).
+* **Run history** (:mod:`repro.obs.history`) — :class:`RunRegistry`
+  indexes every recorded run under a root, :class:`RunDiff` compares two
+  runs structurally, and :func:`detect_flakiness` audits repeated runs
+  for values that are not bit-identical (the ``repro runs`` subcommand).
+* **Live watch** (:mod:`repro.obs.watch`) — follow an in-progress run's
+  ``events.jsonl`` and render progress and resource usage in place (the
+  ``repro watch`` subcommand).
+* **Resource sampling** (:mod:`repro.obs.resources`) — an opt-in daemon
+  thread emitting ``resource_sample`` events (RSS/CPU of the coordinator
+  and pmap workers) into the run's event log; :class:`TraceReader`
+  attributes peak RSS per worker and per span.
 
 Knobs: ``REPRO_OBS_DIR`` points the default logger at a directory
 (``events.jsonl`` inside it); ``REPRO_OBS_DISABLE=1`` silences
@@ -47,6 +58,14 @@ from repro.obs.events import (
     read_events,
     strip_volatile,
 )
+from repro.obs.history import (
+    FlakinessReport,
+    HistoryError,
+    RunDiff,
+    RunRecord,
+    RunRegistry,
+    detect_flakiness,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -54,9 +73,17 @@ from repro.obs.metrics import (
     TimingHistogram,
     get_metrics,
 )
-from repro.obs.prometheus import render_prometheus
+from repro.obs.prometheus import escape_label_value, render_prometheus
+from repro.obs.resources import (
+    ResourceSampler,
+    forget_worker_pids,
+    note_worker_pids,
+    sample_processes,
+    strip_samples,
+)
 from repro.obs.spans import current_span_path, span
-from repro.obs.trace import TraceError, TraceReader
+from repro.obs.trace import ResourceUsage, TraceError, TraceReader
+from repro.obs.watch import EventFollower, WatchState, watch_run
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -77,9 +104,25 @@ __all__ = [
     "span",
     "TraceError",
     "TraceReader",
+    "ResourceUsage",
     "BaselineEntry",
     "BaselineStore",
     "Comparison",
     "RegressionReport",
     "render_prometheus",
+    "escape_label_value",
+    "RunRecord",
+    "RunRegistry",
+    "RunDiff",
+    "FlakinessReport",
+    "HistoryError",
+    "detect_flakiness",
+    "ResourceSampler",
+    "sample_processes",
+    "note_worker_pids",
+    "forget_worker_pids",
+    "strip_samples",
+    "EventFollower",
+    "WatchState",
+    "watch_run",
 ]

@@ -49,6 +49,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
@@ -128,6 +129,10 @@ class EventLog:
         self.records: list[dict[str, Any]] = []
         self._seq = 0
         self._fd: int | None = None
+        # Emits must be safe from helper threads too: the resource
+        # sampler (repro.obs.resources) shares a run's log with the
+        # coordinating thread, and seq assignment must never race.
+        self._lock = threading.Lock()
 
     def _descriptor(self) -> int:
         if self._fd is None:
@@ -145,21 +150,22 @@ class EventLog:
         wall: Mapping[str, Any] | None = None,
     ) -> dict[str, Any]:
         """Append one event; returns the record as written."""
-        record: dict[str, Any] = {
-            "schema": SCHEMA_VERSION,
-            "seq": self._seq,
-            "kind": str(kind),
-            "ts": time.time(),
-            "payload": dict(payload or {}),
-            "wall": dict(wall or {}),
-        }
-        self._seq += 1
-        if self.capture:
-            self.records.append(record)
-        if self.path is not None:
-            line = json.dumps(record, sort_keys=True, default=_jsonable) + "\n"
-            os.write(self._descriptor(), line.encode())
-        return record
+        with self._lock:
+            record: dict[str, Any] = {
+                "schema": SCHEMA_VERSION,
+                "seq": self._seq,
+                "kind": str(kind),
+                "ts": time.time(),
+                "payload": dict(payload or {}),
+                "wall": dict(wall or {}),
+            }
+            self._seq += 1
+            if self.capture:
+                self.records.append(record)
+            if self.path is not None:
+                line = json.dumps(record, sort_keys=True, default=_jsonable) + "\n"
+                os.write(self._descriptor(), line.encode())
+            return record
 
     def close(self) -> None:
         """Release the file descriptor (subsequent emits reopen it)."""

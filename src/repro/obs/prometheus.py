@@ -11,6 +11,11 @@ Mapping: counters become ``repro_<name>_total``; gauges become
 histogram becomes a summary pair ``repro_<name>_seconds_count`` /
 ``repro_<name>_seconds_sum`` plus a ``..._seconds_max`` gauge.  Names are
 sanitized to the Prometheus charset (dots map to underscores).
+
+Constant labels (e.g. ``run_id``) may be attached to every sample; label
+*values* are escaped per the exposition format — backslash, newline, and
+double quote become ``\\\\``, ``\\n``, and ``\\"`` — so an arbitrary run
+directory name can never corrupt the rendering.
 """
 
 from __future__ import annotations
@@ -21,9 +26,10 @@ from typing import Any, Mapping
 
 from repro.obs.metrics import Metrics
 
-__all__ = ["render_prometheus"]
+__all__ = ["escape_label_value", "render_prometheus"]
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
 
 
 def _metric_name(name: str, *, prefix: str) -> str:
@@ -31,6 +37,37 @@ def _metric_name(name: str, *, prefix: str) -> str:
     if sanitized and sanitized[0].isdigit():
         sanitized = f"_{sanitized}"
     return f"{prefix}_{sanitized}"
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash first, so escapes introduced for newline/quote are not
+    themselves re-escaped.
+
+    Examples
+    --------
+    >>> escape_label_value('run "a"\\nb\\\\c')
+    'run \\\\"a\\\\"\\\\nb\\\\\\\\c'
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _label_block(labels: Mapping[str, str] | None) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for name, value in sorted(labels.items()):
+        label = _LABEL_NAME_RE.sub("_", str(name))
+        if label and label[0].isdigit():
+            label = f"_{label}"
+        parts.append(f'{label}="{escape_label_value(value)}"')
+    return "{" + ",".join(parts) + "}"
 
 
 def _format_value(value: float) -> str:
@@ -45,11 +82,13 @@ def render_prometheus(
     metrics: Metrics | Mapping[str, Any] | None = None,
     *,
     prefix: str = "repro",
+    labels: Mapping[str, str] | None = None,
 ) -> str:
     """Render a metrics snapshot in the Prometheus text format.
 
     Accepts a :class:`Metrics` registry, an existing ``snapshot()`` dict,
-    or ``None`` for the process-wide registry.  Returns the exposition
+    or ``None`` for the process-wide registry.  ``labels`` attaches a
+    constant (escaped) label set to every sample.  Returns the exposition
     text (ends with a newline; empty registry renders to '').
 
     Examples
@@ -60,19 +99,22 @@ def render_prometheus(
     # HELP repro_cache_hits_total counter cache.hits
     # TYPE repro_cache_hits_total counter
     repro_cache_hits_total 3
+    >>> print(render_prometheus(m, labels={"run_id": "run-1"}).splitlines()[-1])
+    repro_cache_hits_total{run_id="run-1"} 3
     """
     if metrics is None:
         from repro.obs.metrics import get_metrics
 
         metrics = get_metrics()
     snapshot = metrics.snapshot() if isinstance(metrics, Metrics) else metrics
+    block = _label_block(labels)
     lines: list[str] = []
 
     for name, value in snapshot.get("counters", {}).items():
         metric = f"{_metric_name(name, prefix=prefix)}_total"
         lines.append(f"# HELP {metric} counter {name}")
         lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {int(value)}")
+        lines.append(f"{metric}{block} {int(value)}")
 
     for name, value in snapshot.get("gauges", {}).items():
         if isinstance(value, float) and math.isnan(value):
@@ -80,15 +122,15 @@ def render_prometheus(
         metric = _metric_name(name, prefix=prefix)
         lines.append(f"# HELP {metric} gauge {name}")
         lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {_format_value(value)}")
+        lines.append(f"{metric}{block} {_format_value(value)}")
 
     for name, stats in snapshot.get("timers", {}).items():
         metric = f"{_metric_name(name, prefix=prefix)}_seconds"
         lines.append(f"# HELP {metric} timing summary {name}")
         lines.append(f"# TYPE {metric} summary")
-        lines.append(f"{metric}_count {int(stats['count'])}")
-        lines.append(f"{metric}_sum {_format_value(stats['total_s'])}")
+        lines.append(f"{metric}_count{block} {int(stats['count'])}")
+        lines.append(f"{metric}_sum{block} {_format_value(stats['total_s'])}")
         lines.append(f"# TYPE {metric}_max gauge")
-        lines.append(f"{metric}_max {_format_value(stats['max_s'])}")
+        lines.append(f"{metric}_max{block} {_format_value(stats['max_s'])}")
 
     return "\n".join(lines) + "\n" if lines else ""

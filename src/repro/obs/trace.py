@@ -16,7 +16,10 @@ derives:
   fraction, queue-depth peaks, and the tail-window utilization spike that
   is the end-of-program crunch in miniature;
 * **cache attribution** — hit/miss/store counts per experiment, so a
-  warm re-run can prove *which* experiment the cache actually served.
+  warm re-run can prove *which* experiment the cache actually served;
+* **resource usage** — when the run was sampled
+  (:mod:`repro.obs.resources`), peak RSS and CPU per pid (coordinator and
+  each pool worker) and peak RSS per open span.
 
 Loading is deliberately forgiving in exactly one way: a truncated final
 line (the writer died mid-record) is dropped and flagged, because an
@@ -43,6 +46,7 @@ __all__ = [
     "WorkerSlice",
     "ClusterContention",
     "CacheAttribution",
+    "ResourceUsage",
     "TraceReader",
     "render_summary",
     "render_utilization",
@@ -267,6 +271,34 @@ class CacheAttribution:
             "misses": self.misses,
             "stores": self.stores,
             "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class ResourceUsage:
+    """Sampled resource footprint of one process across a run.
+
+    ``cpu_s`` is the growth of the cumulative CPU counter between the
+    first and last sample of the pid (procfs counters and getrusage are
+    both cumulative), so it approximates CPU time spent *during* the
+    sampled window.
+    """
+
+    pid: str
+    role: str
+    source: str
+    n_samples: int
+    peak_rss_bytes: float
+    cpu_s: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "pid": self.pid,
+            "role": self.role,
+            "source": self.source,
+            "n_samples": self.n_samples,
+            "peak_rss_bytes": self.peak_rss_bytes,
+            "cpu_s": self.cpu_s,
         }
 
 
@@ -606,6 +638,94 @@ class TraceReader:
                 bucket(current).stores += 1
         return list(scopes.values())
 
+    # -- resource usage ----------------------------------------------------
+
+    def resource_usage(self) -> list[ResourceUsage]:
+        """Per-pid peak RSS and CPU growth from ``resource_sample`` events.
+
+        Workers are distinguished from the coordinator by the ``role``
+        the sampler stamped on each sample (``worker`` pids come from the
+        pmap pool roster).  Returns one entry per pid, coordinator first.
+        """
+        per_pid: dict[str, dict[str, Any]] = {}
+        for event in self.events:
+            if event["kind"] != "resource_sample":
+                continue
+            wall = event.get("wall", {})
+            pid = str(wall.get("pid", "?"))
+            slot = per_pid.setdefault(
+                pid,
+                {
+                    "role": str(wall.get("role", "?")),
+                    "source": str(wall.get("source", "?")),
+                    "n": 0,
+                    "peak_rss": 0.0,
+                    "cpu_first": None,
+                    "cpu_last": None,
+                },
+            )
+            slot["n"] += 1
+            slot["peak_rss"] = max(
+                slot["peak_rss"], float(wall.get("rss_bytes", 0.0) or 0.0)
+            )
+            cpu = wall.get("cpu_s")
+            if cpu is not None:
+                if slot["cpu_first"] is None:
+                    slot["cpu_first"] = float(cpu)
+                slot["cpu_last"] = float(cpu)
+
+        def order(item: tuple[str, dict[str, Any]]) -> tuple[int, str]:
+            return (0 if item[1]["role"] == "coordinator" else 1, item[0])
+
+        out: list[ResourceUsage] = []
+        for pid, slot in sorted(per_pid.items(), key=order):
+            first, last = slot["cpu_first"], slot["cpu_last"]
+            out.append(
+                ResourceUsage(
+                    pid=pid,
+                    role=slot["role"],
+                    source=slot["source"],
+                    n_samples=slot["n"],
+                    peak_rss_bytes=slot["peak_rss"],
+                    cpu_s=(last - first) if first is not None else 0.0,
+                )
+            )
+        return out
+
+    def span_resources(self) -> dict[str, dict[str, Any]]:
+        """Peak RSS attributed to the innermost span open at each sample.
+
+        Samples arriving outside any span are attributed to ``"(run)"``.
+        Only the coordinator's own samples count toward a span (worker
+        processes outlive span boundaries), so this answers "which region
+        of the run was resident memory highest in?".
+        """
+        open_paths: list[str] = []
+        out: dict[str, dict[str, Any]] = {}
+        for event in self.events:
+            kind = event["kind"]
+            payload = event.get("payload", {})
+            if kind == "span_start":
+                open_paths.append(payload.get("path", payload.get("span", "?")))
+            elif kind == "span_end":
+                path = payload.get("path")
+                if path in open_paths:
+                    del open_paths[open_paths.index(path):]
+            elif kind == "resource_sample":
+                wall = event.get("wall", {})
+                if wall.get("role") not in (None, "coordinator"):
+                    continue
+                scope = open_paths[-1] if open_paths else "(run)"
+                slot = out.setdefault(
+                    scope, {"n_samples": 0, "peak_rss_bytes": 0.0}
+                )
+                slot["n_samples"] += 1
+                slot["peak_rss_bytes"] = max(
+                    slot["peak_rss_bytes"],
+                    float(wall.get("rss_bytes", 0.0) or 0.0),
+                )
+        return out
+
     # -- experiments and summary ------------------------------------------
 
     def experiment_timings(self) -> dict[str, dict[str, Any]]:
@@ -649,6 +769,10 @@ class TraceReader:
             },
             "cluster": [run.as_dict() for run in self.cluster_runs()],
             "cache": [a.as_dict() for a in self.cache_attribution()],
+            "resources": {
+                "per_pid": [u.as_dict() for u in self.resource_usage()],
+                "per_span": self.span_resources(),
+            },
         }
 
 
@@ -730,8 +854,35 @@ def render_utilization(reader: TraceReader) -> str:
                 run.peak_queue_depth, run.p95_wait,
             ])
         blocks.append(table.render())
+    usage = reader.resource_usage()
+    if usage:
+        table = Table(
+            ["pid", "role", "source", "samples", "peak RSS MB", "cpu s"],
+            title="resource usage (sampled)", decimals=3,
+        )
+        for u in usage:
+            table.add_row([
+                u.pid, u.role, u.source, u.n_samples,
+                u.peak_rss_bytes / (1024 * 1024), u.cpu_s,
+            ])
+        blocks.append(table.render())
+        spans = reader.span_resources()
+        if spans:
+            table = Table(
+                ["span", "samples", "peak RSS MB"],
+                title="peak RSS by span", decimals=3,
+            )
+            for path, slot in sorted(
+                spans.items(),
+                key=lambda kv: kv[1]["peak_rss_bytes"], reverse=True,
+            ):
+                table.add_row([
+                    path, slot["n_samples"],
+                    slot["peak_rss_bytes"] / (1024 * 1024),
+                ])
+            blocks.append(table.render())
     if not blocks:
-        return "no pmap or cluster events in this trace"
+        return "no pmap, cluster, or resource events in this trace"
     return "\n\n".join(blocks)
 
 

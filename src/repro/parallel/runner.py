@@ -51,6 +51,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Sequence
 
 from repro import obs
+from repro.obs import resources as obs_resources
 from repro.parallel.cache import ResultCache, cache_key, code_salt
 from repro.utils.rng import spawn_children
 
@@ -225,9 +226,18 @@ def pmap(
                         )
                         for i in pending
                     }
-                    executed = {}
-                    for i, future in futures.items():
-                        executed[i], cell_pids[i], durations[i] = future.result()
+                    # The submit loop spawned the pool's processes, so
+                    # their pids exist now; publish them for the lifetime
+                    # of the gather so an active ResourceSampler can
+                    # attribute RSS/CPU to individual workers.
+                    roster = tuple(sorted(getattr(pool, "_processes", None) or ()))
+                    obs_resources.note_worker_pids(roster)
+                    try:
+                        executed = {}
+                        for i, future in futures.items():
+                            executed[i], cell_pids[i], durations[i] = future.result()
+                    finally:
+                        obs_resources.forget_worker_pids(roster)
                 mode = "pool"
             except (BrokenProcessPool, pickle.PicklingError, TypeError, AttributeError) as exc:
                 # Pool-level failure (unpicklable payload, dead worker):

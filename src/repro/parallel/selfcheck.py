@@ -150,6 +150,9 @@ class ParallelRunnerExperiment(Experiment):
         "parallel_workers": 4,
     }
     SMOKE = {"dims": (50, 100), "n_trials": 2, "parallel_workers": 2}
+    # Measured speedups and the warm/cold wall-time ratio are wall-clock
+    # quantities; the *result values* they summarize stay deterministic.
+    VOLATILE_VALUES = ("determinism.speedup", "cache.warm_over_cold")
 
     def _run(self, config, *, workers, cache):
         result = ExpResult(self.id, config)

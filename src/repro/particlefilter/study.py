@@ -122,12 +122,18 @@ class ParticleFilterExperiment(Experiment):
         "speedup_trials": 5,
         "speedup_reps": 20,
     }
+    # 20k-sample speedup timings proved too noisy to support the >1.05x
+    # claim (observed spread 0.94-1.75x under load); 100k samples with
+    # min-of-3 trials stay above 1.2x while adding <10 ms to the run.
     SMOKE = {
         "particle_counts": (64, 128),
-        "speedup_samples": 20_000,
-        "speedup_trials": 2,
-        "speedup_reps": 3,
+        "speedup_samples": 100_000,
+        "speedup_trials": 3,
+        "speedup_reps": 5,
     }
+    # The measured kernel speedup is wall-clock-derived; `repro runs
+    # diff/flaky` must not treat run-to-run variation in it as drift.
+    VOLATILE_VALUES = ("speedup.speedup",)
 
     def _run(self, config, *, workers, cache):
         result = ExpResult(self.id, config)

@@ -143,6 +143,9 @@ class PerfLessonExperiment(Experiment):
         "warmup": 1,
     }
     SMOKE = {"matvec_n": 96, "repeats": 1, "warmup": 0}
+    # The vectorization lesson times real code; the measured speedup is
+    # wall-clock-derived and legitimately varies between runs.
+    VOLATILE_VALUES = ("vectorization.speedup",)
 
     def _run(self, config, *, workers, cache):
         result = ExpResult(self.id, config)

@@ -143,3 +143,90 @@ def test_missing_subcommand_exits_with_usage():
     with pytest.raises(SystemExit) as excinfo:
         main([])
     assert excinfo.value.code != 0
+
+
+def test_version_flag_reports_the_package_version(capsys):
+    import repro
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert capsys.readouterr().out.strip() == f"repro {repro.package_version()}"
+
+
+class TestRunsAndWatch:
+    """The cross-run subcommands on two real (T1 smoke) recorded runs."""
+
+    @pytest.fixture()
+    def runs_root(self, tmp_path, capsys):
+        root = tmp_path / "runs"
+        for run_id in ("run-a", "run-b"):
+            assert main(["run", "T1", "--smoke", "--no-cache",
+                         "--out", str(root / run_id)]) == 0
+        capsys.readouterr()
+        return root
+
+    def test_finished_runs_self_register_into_the_index(self, runs_root):
+        assert (runs_root / "runs_index.jsonl").is_file()
+        lines = (runs_root / "runs_index.jsonl").read_text().splitlines()
+        ids = {json.loads(line)["run_id"] for line in lines}
+        assert ids == {"run-a", "run-b"}
+
+    def test_runs_list_names_both_runs(self, runs_root, capsys):
+        assert main(["runs", "list", "--root", str(runs_root)]) == 0
+        out = capsys.readouterr().out
+        assert "2 runs under" in out
+        assert "run-a" in out and "run-b" in out
+
+    def test_runs_list_json(self, runs_root, capsys):
+        assert main(["runs", "list", "--root", str(runs_root), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [r["run_id"] for r in doc["runs"]] == ["run-a", "run-b"]
+        assert doc["stale"] == [] and doc["unparseable"] == []
+
+    def test_diff_of_same_seed_smoke_runs_is_clean(self, runs_root, capsys):
+        code = main(["runs", "diff", str(runs_root / "run-a"),
+                     str(runs_root / "run-b"), "--root", str(runs_root)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "runs agree on every deterministic value" in out
+
+    def test_diff_resolves_run_ids_via_the_index(self, runs_root, capsys):
+        assert main(["runs", "diff", "run-a", "run-b",
+                     "--root", str(runs_root), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["clean"] is True
+        assert doc["value_deltas"] == [] and doc["verdict_flips"] == []
+
+    def test_diff_exit_1_on_deterministic_drift(self, runs_root, capsys):
+        results = runs_root / "run-b" / "results.json"
+        doc = json.loads(results.read_text())
+        doc["experiments"][0]["values"]["n_students"] = 99999
+        results.write_text(json.dumps(doc))
+        code = main(["runs", "diff", str(runs_root / "run-a"),
+                     str(runs_root / "run-b"), "--root", str(runs_root)])
+        assert code == 1
+        assert "value delta" in capsys.readouterr().out
+
+    def test_diff_unknown_run_exits_2(self, runs_root, capsys):
+        assert main(["runs", "diff", "run-a", "run-nope",
+                     "--root", str(runs_root)]) == 2
+        assert "no run 'run-nope'" in capsys.readouterr().err
+
+    def test_flaky_audit_passes_across_repeated_runs(self, runs_root, capsys):
+        assert main(["runs", "flaky", "--root", str(runs_root)]) == 0
+        assert "determinism contract holds" in capsys.readouterr().out
+
+    def test_flaky_audit_exit_1_on_injected_flake(self, runs_root, capsys):
+        results = runs_root / "run-b" / "results.json"
+        doc = json.loads(results.read_text())
+        doc["experiments"][0]["values"]["n_students"] = 99999
+        results.write_text(json.dumps(doc))
+        assert main(["runs", "flaky", "--root", str(runs_root)]) == 1
+        assert "FLAKY VALUES" in capsys.readouterr().out
+
+    def test_watch_once_renders_the_finished_run(self, runs_root, capsys):
+        assert main(["watch", str(runs_root / "run-a"), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "run finished" in out
+        assert "T1" in out

@@ -187,3 +187,44 @@ class TestEventSequenceDeterminism:
         kinds = [e["kind"] for e in events]
         assert kinds[0] == "span_start" and kinds[-1] == "sweep_finish"
         assert "pmap_start" in kinds and "pmap_finish" in kinds
+
+
+class TestPrometheusExport:
+    def test_label_value_escaping_per_exposition_format(self):
+        from repro.obs.prometheus import escape_label_value
+
+        # Backslash must be escaped first, or the escapes introduced for
+        # newline/quote would themselves be doubled.
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert escape_label_value("two\nlines") == "two\\nlines"
+        assert escape_label_value('\\n"') == '\\\\n\\"'
+
+    def test_rendered_labels_survive_hostile_values(self):
+        from repro.obs.metrics import Metrics
+        from repro.obs.prometheus import render_prometheus
+
+        metrics = Metrics()
+        metrics.counter("cache.hits").inc(2)
+        text = render_prometheus(
+            metrics, labels={"run_id": 'run "a"\nb\\c', "tier": "smoke"}
+        )
+        line = [l for l in text.splitlines() if not l.startswith("#")][0]
+        assert line == (
+            'repro_cache_hits_total'
+            '{run_id="run \\"a\\"\\nb\\\\c",tier="smoke"} 2'
+        )
+        # Escaped output stays a single exposition line per sample.
+        assert "\n\n" not in text
+
+    def test_labels_attach_to_every_sample_kind(self):
+        from repro.obs.metrics import Metrics
+        from repro.obs.prometheus import render_prometheus
+
+        metrics = Metrics()
+        metrics.counter("c").inc()
+        metrics.gauge("g").set(1.5)
+        metrics.timer("t").observe(0.5)
+        text = render_prometheus(metrics, labels={"run_id": "r1"})
+        samples = [l for l in text.splitlines() if not l.startswith("#")]
+        assert samples and all('{run_id="r1"}' in l for l in samples)

@@ -313,7 +313,8 @@ class TestTraceCLI:
     def test_run_dir_carries_prometheus_metrics(self, run_dir):
         text = (run_dir / "metrics.prom").read_text()
         assert "# TYPE repro_span_T1_seconds summary" in text
-        assert "repro_span_T1_seconds_count 1" in text
+        # Every sample line carries the run's identity labels.
+        assert 'repro_span_T1_seconds_count{run_id="run",tier="smoke"} 1' in text
 
     def test_unreadable_stream_exits_2(self, tmp_path, capsys):
         (tmp_path / "events.jsonl").write_text(
