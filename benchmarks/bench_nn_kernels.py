@@ -1,0 +1,34 @@
+"""P3 — the nn substrate's own conv kernels, measured and tuned.
+
+The GEMM rewrite of :mod:`repro.nn.conv` is a performance claim like any
+other in this repo, so it goes through the same gate: every Conv2D shape
+the experiment suite trains (E6, E7, E8) is measured naive-vs-GEMM on the
+wall clock, its im2col GEMM is tuned on the analytic cost model, and both
+paths are placed on the roofline — making explicit that im2col *lowers*
+arithmetic intensity (patch duplication) and still wins on real hardware.
+
+Registered as experiment ``P3``: the logic lives in
+:mod:`repro.autotune.study` / :mod:`repro.nn.kernelbench`; run it
+standalone with ``python -m repro run P3``.
+"""
+
+from conftest import emit
+
+from repro.autotune.study import p3_kernel_roofline
+
+
+def test_kernel_roofline(benchmark):
+    measured, tuned = benchmark.pedantic(
+        p3_kernel_roofline, rounds=1, iterations=1
+    )
+    for block in (measured, tuned):
+        for text in block.tables:
+            emit(text)
+    # The GEMM path must beat the retained naive path on every shape ...
+    for label, m in measured.values["cases"].items():
+        assert m["speedup"] > 1.0, f"{label}: GEMM slower than naive"
+    for label, t in tuned.values["cases"].items():
+        # ... while its im2col lowering costs arithmetic intensity ...
+        assert t["direct_intensity"] > t["gemm_intensity"], label
+        # ... and schedule deployment never regresses the hand default.
+        assert t["deployed_gflops"] >= 0.999 * t["default_gflops"], label

@@ -58,17 +58,30 @@ class PatchDataset:
         )
 
 
+def _box_blur_rows(field: np.ndarray, taps: int = 5) -> np.ndarray:
+    """Zero-padded ``taps``-point box blur along axis 1, fully vectorized."""
+    rows, n = field.shape
+    half = taps // 2
+    pad = np.zeros((rows, n + 2 * half))
+    pad[:, half:-half] = field
+    out = pad[:, 0:n] / taps
+    for k in range(1, taps):
+        out += pad[:, k : k + n] / taps
+    return out
+
+
 def _smooth_noise(shape: tuple[int, int], rng: np.random.Generator, passes: int = 3) -> np.ndarray:
-    """Cheap smooth random field: box-blurred white noise (separable)."""
+    """Cheap smooth random field: box-blurred white noise (separable).
+
+    The blur runs as ``taps`` shifted strided adds over the whole field
+    (one vector op per tap) rather than a per-row/per-column
+    ``np.convolve`` loop — same separable box filter, two orders of
+    magnitude fewer Python-level calls.
+    """
     field = rng.normal(size=shape)
-    kernel = np.ones(5) / 5.0
     for _ in range(passes):
-        field = np.apply_along_axis(
-            lambda r: np.convolve(r, kernel, mode="same"), 1, field
-        )
-        field = np.apply_along_axis(
-            lambda c: np.convolve(c, kernel, mode="same"), 0, field
-        )
+        field = _box_blur_rows(field)
+        field = _box_blur_rows(field.T).T
     return field
 
 

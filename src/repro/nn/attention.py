@@ -76,14 +76,21 @@ class MultiHeadSelfAttention(Layer):
         b, h, t, d = x.shape
         return x.transpose(0, 2, 1, 3).reshape(b, t, h * d)
 
+    @staticmethod
+    def _swap(x: np.ndarray) -> np.ndarray:
+        """Transpose the last two axes (view, no copy)."""
+        return x.transpose(0, 1, 3, 2)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         q = self._split(self.wq(x))
         k = self._split(self.wk(x))
         v = self._split(self.wv(x))
         scale = 1.0 / np.sqrt(self.head_dim)
-        scores = np.einsum("bhqd,bhkd->bhqk", q, k, optimize=True) * scale
+        # All contractions are batched GEMMs over (b, h) slices — matmul
+        # stays on the BLAS fast path and needs no per-call path search.
+        scores = (q @ self._swap(k)) * scale
         attn = softmax(scores, axis=-1)
-        ctx = np.einsum("bhqk,bhkd->bhqd", attn, v, optimize=True)
+        ctx = attn @ v
         self._cache = (q, k, v, attn, scale)
         return self.wo(self._merge(ctx))
 
@@ -92,13 +99,13 @@ class MultiHeadSelfAttention(Layer):
             raise RuntimeError("backward called before forward")
         q, k, v, attn, scale = self._cache
         dctx = self._split(self.wo.backward(grad))
-        dattn = np.einsum("bhqd,bhkd->bhqk", dctx, v, optimize=True)
-        dv = np.einsum("bhqk,bhqd->bhkd", attn, dctx, optimize=True)
+        dattn = dctx @ self._swap(v)
+        dv = self._swap(attn) @ dctx
         # Softmax Jacobian applied row-wise.
         dscores = attn * (dattn - (dattn * attn).sum(axis=-1, keepdims=True))
         dscores *= scale
-        dq = np.einsum("bhqk,bhkd->bhqd", dscores, k, optimize=True)
-        dk = np.einsum("bhqk,bhqd->bhkd", dscores, q, optimize=True)
+        dq = dscores @ k
+        dk = self._swap(dscores) @ q
         dx = self.wq.backward(self._merge(dq))
         dx = dx + self.wk.backward(self._merge(dk))
         dx = dx + self.wv.backward(self._merge(dv))

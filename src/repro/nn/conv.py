@@ -1,10 +1,22 @@
-"""Convolution and pooling layers (channels-last, vectorized).
+"""Convolution and pooling layers (channels-last, GEMM-backed).
 
-Forward passes use :func:`numpy.lib.stride_tricks.sliding_window_view`, which
-creates a zero-copy view of all receptive fields, and a single ``einsum``
-contraction — no Python loop over the batch or spatial positions (guide
-idiom: vectorize; use views, not copies).  Backward passes loop only over the
-kernel taps (K or K*K iterations, each a full-batch GEMM).
+Forward passes gather all receptive fields into an explicit im2col patch
+matrix (one strided copy) and run the whole contraction as a single BLAS
+GEMM — ``cols @ weight`` — instead of an ``einsum`` over a non-contiguous
+6-D window view, which falls off the BLAS fast path.  Backward passes are
+two more GEMMs: the weight gradient reuses the forward's cached patch
+matrix (``colsᵀ @ grad``), and the input gradient is one GEMM back into
+patch space (``grad @ weightᵀ``) followed by a col2im scatter — K (or
+K²) strided vector adds instead of the naive path's K/K² small GEMMs.
+
+The original einsum/tap-loop implementation is retained as the ``naive``
+backend (``REPRO_NN_NAIVE=1`` or :func:`repro.nn.kernels.use_naive`) and
+serves as the semantic reference for the equivalence property tests.
+Patch matrices and padded inputs live in a per-layer
+:class:`~repro.nn.kernels.ScratchCache`, so steady-state training
+allocates only the returned output/gradient arrays; the channels-inner
+``(k, c)`` / ``(i, j, c)`` patch layout makes the packed weight a free
+reshape view of the ``(K, C, O)`` / ``(K, K, C, O)`` parameter.
 """
 
 from __future__ import annotations
@@ -12,10 +24,25 @@ from __future__ import annotations
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.nn.kernels import (
+    ScratchCache,
+    backend,
+    cached_einsum,
+    col2im_1d,
+    col2im_2d,
+    im2col_1d,
+    im2col_2d,
+)
 from repro.nn.layers import Layer, Parameter, he_normal
 from repro.utils.rng import as_generator
 
-__all__ = ["Conv1D", "Conv2D", "MaxPool2D", "GlobalAveragePool"]
+__all__ = [
+    "Conv1D",
+    "Conv2D",
+    "GlobalAveragePool",
+    "GlobalMaxPool",
+    "MaxPool2D",
+]
 
 
 def _pad_amount(size: int, kernel: int, stride: int, padding: str) -> int:
@@ -67,7 +94,17 @@ class Conv1D(Layer):
             he_normal((kernel_size, in_channels, out_channels), rng, fan_in=fan_in),
         )
         self.bias = Parameter("bias", np.zeros(out_channels))
-        self._cache: tuple[np.ndarray, int] | None = None
+        self._scratch = ScratchCache()
+        self._cache: tuple | None = None
+
+    def _padded(self, x: np.ndarray) -> tuple[np.ndarray, int]:
+        pad = _pad_amount(x.shape[1], self.kernel_size, self.stride, self.padding)
+        if not pad:
+            return x, 0
+        b, t, c = x.shape
+        buf = self._scratch.zeros("xpad", (b, t + pad, c))
+        buf[:, pad // 2 : pad // 2 + t] = x
+        return buf, pad
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=float)
@@ -75,21 +112,76 @@ class Conv1D(Layer):
             raise ValueError(
                 f"Conv1D expected (B, T, {self.in_channels}), got {x.shape}"
             )
-        pad = _pad_amount(x.shape[1], self.kernel_size, self.stride, self.padding)
-        if pad:
-            x = np.pad(x, ((0, 0), (pad // 2, pad - pad // 2), (0, 0)))
-        self._cache = (x, pad)
-        # (B, T_pad - K + 1, C, K) -> stride slice -> contract taps+channels.
-        win = sliding_window_view(x, self.kernel_size, axis=1)[:, :: self.stride]
-        out = np.einsum("btck,kco->bto", win, self.weight.value, optimize=True)
-        return out + self.bias.value
+        if backend() == "naive":
+            return self._forward_naive(x)
+        k, s, c, o = self.kernel_size, self.stride, self.in_channels, self.out_channels
+        if k == 1 and s == 1:
+            # Pointwise conv: a plain GEMM, no padding, no patch gather.
+            x = np.ascontiguousarray(x)
+            b, t, _ = x.shape
+            self._cache = ("gemm1x1", x, b, t)
+            out = x.reshape(b * t, c) @ self.weight.value.reshape(c, o)
+            out += self.bias.value
+            return out.reshape(b, t, o)
+        x_pad, pad = self._padded(x)
+        b, t_pad, _ = x_pad.shape
+        t_out = (t_pad - k) // s + 1
+        cols = im2col_1d(x_pad, k, s, self._scratch)  # (B*T_out, K*C)
+        # (k, c) patch layout: the packed weight is a free reshape view.
+        w2 = self.weight.value.reshape(k * c, o)
+        self._cache = ("im2col", t_pad, pad, t_out, b)
+        out = cols @ w2
+        out += self.bias.value
+        return out.reshape(b, t_out, o)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
-        x_pad, pad = self._cache
+        if self._cache[0] == "naive":
+            return self._backward_naive(grad)
+        c, o = self.in_channels, self.out_channels
+        if self._cache[0] == "gemm1x1":
+            _, x, b, t = self._cache
+            g2 = np.ascontiguousarray(grad).reshape(b * t, o)
+            x2 = x.reshape(b * t, c)
+            self.weight.grad += (x2.T @ g2).reshape(1, c, o)
+            self.bias.grad += g2.sum(axis=0)
+            return (g2 @ self.weight.value.reshape(c, o).T).reshape(b, t, c)
+        _, t_pad, pad, t_out, b = self._cache
+        k, s, c, o = self.kernel_size, self.stride, self.in_channels, self.out_channels
+        grad = np.ascontiguousarray(grad)
+        g2 = grad.reshape(b * t_out, o)
+        cols = self._scratch.get("cols", (b * t_out, k * c))
+        # dW = colsᵀ @ grad, already laid out (k, c, o).
+        dw2 = cols.T @ g2
+        self.weight.grad += dw2.reshape(k, c, o)
+        self.bias.grad += g2.sum(axis=0)
+        # dx: one GEMM into patch space, then a K-tap col2im scatter.
+        w2 = self.weight.value.reshape(k * c, o)
+        dcols = self._scratch.get("dcols", (b * t_out, k * c))
+        np.matmul(g2, w2.T, out=dcols)
+        dx = col2im_1d(dcols, (b, t_pad, c), k, s, t_out)
+        if pad == 0:
+            return dx
+        lo = pad // 2
+        return dx[:, lo : t_pad - (pad - lo)]
+
+    # -- naive reference path (einsum + tap loop) -----------------------
+
+    def _forward_naive(self, x: np.ndarray) -> np.ndarray:
+        pad = _pad_amount(x.shape[1], self.kernel_size, self.stride, self.padding)
+        if pad:
+            x = np.pad(x, ((0, 0), (pad // 2, pad - pad // 2), (0, 0)))
+        self._cache = ("naive", x, pad)
+        # (B, T_pad - K + 1, C, K) -> stride slice -> contract taps+channels.
+        win = sliding_window_view(x, self.kernel_size, axis=1)[:, :: self.stride]
+        out = cached_einsum("btck,kco->bto", win, self.weight.value)
+        return out + self.bias.value
+
+    def _backward_naive(self, grad: np.ndarray) -> np.ndarray:
+        _, x_pad, pad = self._cache
         win = sliding_window_view(x_pad, self.kernel_size, axis=1)[:, :: self.stride]
-        self.weight.grad += np.einsum("btck,bto->kco", win, grad, optimize=True)
+        self.weight.grad += cached_einsum("btck,bto->kco", win, grad)
         self.bias.grad += grad.sum(axis=(0, 1))
         dx = np.zeros_like(x_pad)
         t_out = grad.shape[1]
@@ -137,7 +229,19 @@ class Conv2D(Layer):
             ),
         )
         self.bias = Parameter("bias", np.zeros(out_channels))
-        self._cache: tuple[np.ndarray, int, int] | None = None
+        self._scratch = ScratchCache()
+        self._cache: tuple | None = None
+
+    def _padded(self, x: np.ndarray) -> tuple[np.ndarray, int, int]:
+        k, s = self.kernel_size, self.stride
+        pad_h = _pad_amount(x.shape[1], k, s, self.padding)
+        pad_w = _pad_amount(x.shape[2], k, s, self.padding)
+        if not (pad_h or pad_w):
+            return x, 0, 0
+        b, h, w, c = x.shape
+        buf = self._scratch.zeros("xpad", (b, h + pad_h, w + pad_w, c))
+        buf[:, pad_h // 2 : pad_h // 2 + h, pad_w // 2 : pad_w // 2 + w] = x
+        return buf, pad_h, pad_w
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=float)
@@ -145,6 +249,82 @@ class Conv2D(Layer):
             raise ValueError(
                 f"Conv2D expected (B, H, W, {self.in_channels}), got {x.shape}"
             )
+        if backend() == "naive":
+            return self._forward_naive(x)
+        k, s, c, o = self.kernel_size, self.stride, self.in_channels, self.out_channels
+        if k == 1 and s == 1:
+            # Pointwise conv: a plain GEMM, no padding, no patch gather.
+            x = np.ascontiguousarray(x)
+            b, h, w, _ = x.shape
+            self._cache = ("gemm1x1", x, b, h, w)
+            out = x.reshape(b * h * w, c) @ self.weight.value.reshape(c, o)
+            out += self.bias.value
+            return out.reshape(b, h, w, o)
+        x_pad, pad_h, pad_w = self._padded(x)
+        b, h_pad, w_pad, _ = x_pad.shape
+        h_out = (h_pad - k) // s + 1
+        w_out = (w_pad - k) // s + 1
+        cols = im2col_2d(x_pad, k, s, self._scratch)  # (B*H_out*W_out, K*K*C)
+        # (i, j, c) patch layout: the packed weight is a free reshape view.
+        w2 = self.weight.value.reshape(k * k * c, o)
+        self._cache = ("im2col", h_pad, w_pad, pad_h, pad_w, h_out, w_out, b)
+        out = cols @ w2
+        out += self.bias.value
+        return out.reshape(b, h_out, w_out, o)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        if self._cache[0] == "naive":
+            return self._backward_naive(grad)
+        c, o = self.in_channels, self.out_channels
+        if self._cache[0] == "gemm1x1":
+            _, x, b, h, w = self._cache
+            g2 = np.ascontiguousarray(grad).reshape(b * h * w, o)
+            x2 = x.reshape(b * h * w, c)
+            self.weight.grad += (x2.T @ g2).reshape(1, 1, c, o)
+            self.bias.grad += g2.sum(axis=0)
+            return (g2 @ self.weight.value.reshape(c, o).T).reshape(b, h, w, c)
+        _, h_pad, w_pad, pad_h, pad_w, h_out, w_out, b = self._cache
+        k, s, c, o = self.kernel_size, self.stride, self.in_channels, self.out_channels
+        grad = np.ascontiguousarray(grad)
+        g2 = grad.reshape(b * h_out * w_out, o)
+        cols = self._scratch.get("cols", (b * h_out * w_out, k * k * c))
+        # dW = colsᵀ @ grad, already laid out (i, j, c, o).
+        dw2 = cols.T @ g2
+        self.weight.grad += dw2.reshape(k, k, c, o)
+        self.bias.grad += g2.sum(axis=0)
+        # dx: either one GEMM into patch space + a K²-tap col2im scatter,
+        # or — when the patch-gradient matrix would blow the cache (large,
+        # or merely big while the GEMM is too thin to amortize it) — K²
+        # small GEMMs accumulated straight into the padded gradient.
+        dcols_bytes = b * h_out * w_out * k * k * c * grad.dtype.itemsize
+        if dcols_bytes > 2**22 or (dcols_bytes > 2**20 and k * k * c <= 32):
+            dx = np.zeros((b, h_pad, w_pad, c), dtype=grad.dtype)
+            for i in range(k):
+                for j in range(k):
+                    dx[
+                        :,
+                        i : i + h_out * s : s,
+                        j : j + w_out * s : s,
+                    ] += grad @ self.weight.value[i, j].T
+        else:
+            w2 = self.weight.value.reshape(k * k * c, o)
+            dcols = self._scratch.get("dcols", (b * h_out * w_out, k * k * c))
+            np.matmul(g2, w2.T, out=dcols)
+            dx = col2im_2d(dcols, (b, h_pad, w_pad, c), k, s, h_out, w_out)
+        if pad_h == 0 and pad_w == 0:
+            return dx
+        lo_h, lo_w = pad_h // 2, pad_w // 2
+        return dx[
+            :,
+            lo_h : h_pad - (pad_h - lo_h),
+            lo_w : w_pad - (pad_w - lo_w),
+        ]
+
+    # -- naive reference path (einsum + tap loop) -----------------------
+
+    def _forward_naive(self, x: np.ndarray) -> np.ndarray:
         k, s = self.kernel_size, self.stride
         pad_h = _pad_amount(x.shape[1], k, s, self.padding)
         pad_w = _pad_amount(x.shape[2], k, s, self.padding)
@@ -158,19 +338,17 @@ class Conv2D(Layer):
                     (0, 0),
                 ),
             )
-        self._cache = (x, pad_h, pad_w)
+        self._cache = ("naive", x, pad_h, pad_w)
         win = sliding_window_view(x, (k, k), axis=(1, 2))[:, ::s, ::s]
         # win: (B, H_out, W_out, C, k, k); weight: (k, k, C, O).
-        out = np.einsum("bhwcij,ijco->bhwo", win, self.weight.value, optimize=True)
+        out = cached_einsum("bhwcij,ijco->bhwo", win, self.weight.value)
         return out + self.bias.value
 
-    def backward(self, grad: np.ndarray) -> np.ndarray:
-        if self._cache is None:
-            raise RuntimeError("backward called before forward")
-        x_pad, pad_h, pad_w = self._cache
+    def _backward_naive(self, grad: np.ndarray) -> np.ndarray:
+        _, x_pad, pad_h, pad_w = self._cache
         k, s = self.kernel_size, self.stride
         win = sliding_window_view(x_pad, (k, k), axis=(1, 2))[:, ::s, ::s]
-        self.weight.grad += np.einsum("bhwcij,bhwo->ijco", win, grad, optimize=True)
+        self.weight.grad += cached_einsum("bhwcij,bhwo->ijco", win, grad)
         self.bias.grad += grad.sum(axis=(0, 1, 2))
         dx = np.zeros_like(x_pad)
         h_out, w_out = grad.shape[1], grad.shape[2]
@@ -203,29 +381,40 @@ class MaxPool2D(Layer):
         if pool < 1:
             raise ValueError("pool must be >= 1")
         self.pool = int(pool)
-        self._cache: tuple[np.ndarray, tuple[int, ...]] | None = None
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        # Elementwise max over the p^2 strided window slices — no block
+        # transpose copy and no argmax reduction; the winner is recovered
+        # in backward by comparing each slice against the pooled value.
         p = self.pool
-        b, h, w, c = x.shape
+        _, h, w, _ = x.shape
         if h % p or w % p:
             raise ValueError(f"spatial dims {h}x{w} not divisible by pool {p}")
-        blocks = x.reshape(b, h // p, p, w // p, p, c)
-        flat = blocks.transpose(0, 1, 3, 5, 2, 4).reshape(b, h // p, w // p, c, p * p)
-        arg = flat.argmax(axis=-1)
-        self._cache = (arg, x.shape)
-        return np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+        out = x[:, ::p, ::p, :].copy()
+        for i in range(p):
+            for j in range(p):
+                if i or j:
+                    np.maximum(out, x[:, i::p, j::p, :], out=out)
+        self._cache = (x, out)
+        return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
-        arg, shape = self._cache
-        b, h, w, c = shape
+        x, out = self._cache
         p = self.pool
-        flat = np.zeros((b, h // p, w // p, c, p * p))
-        np.put_along_axis(flat, arg[..., None], grad[..., None], axis=-1)
-        blocks = flat.reshape(b, h // p, w // p, c, p, p).transpose(0, 1, 4, 2, 5, 3)
-        return blocks.reshape(b, h, w, c)
+        dx = np.zeros(x.shape, dtype=grad.dtype)
+        # `taken` routes ties to the first maximal element in (i, j) order,
+        # matching the row-major argmax semantics documented above.
+        taken = np.zeros(out.shape, dtype=bool)
+        for i in range(p):
+            for j in range(p):
+                hit = x[:, i::p, j::p, :] == out
+                hit &= ~taken
+                np.copyto(dx[:, i::p, j::p, :], grad, where=hit)
+                taken |= hit
+        return dx
 
 
 class GlobalMaxPool(Layer):
@@ -250,7 +439,9 @@ class GlobalMaxPool(Layer):
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         arg, shape = self._cache
-        flat = np.zeros((shape[0], int(np.prod(shape[1:-1])), shape[-1]))
+        flat = np.zeros(
+            (shape[0], int(np.prod(shape[1:-1])), shape[-1]), dtype=grad.dtype
+        )
         np.put_along_axis(flat, arg[:, None, :], grad[:, None, :], axis=1)
         return flat.reshape(shape)
 
@@ -272,4 +463,6 @@ class GlobalAveragePool(Layer):
         shape = self._shape
         spatial = int(np.prod(shape[1:-1]))
         expand = grad.reshape(shape[0], *(1,) * (len(shape) - 2), shape[-1])
-        return np.broadcast_to(expand / spatial, shape).copy()
+        out = np.empty(shape, dtype=grad.dtype)
+        np.copyto(out, expand / spatial)
+        return out

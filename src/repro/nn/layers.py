@@ -188,6 +188,15 @@ class Dropout(Layer):
         self._rng = as_generator(seed)
         self._mask: np.ndarray | None = None
 
+    def reseed(self, seed: int) -> None:
+        """Rebase the mask stream on ``seed``.
+
+        Data-parallel training reseeds every dropout per (step, shard) so the
+        mask stream is a pure function of the shard — not of which process
+        computed it or what ran before.
+        """
+        self._rng = as_generator(int(seed))
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         if not self.training or self.rate == 0.0:
             self._mask = None
@@ -316,9 +325,12 @@ class LayerNorm(Layer):
         if x.shape[-1] != self.dim:
             raise ValueError(f"LayerNorm expected last dim {self.dim}, got {x.shape}")
         mean = x.mean(axis=-1, keepdims=True)
-        var = x.var(axis=-1, keepdims=True)
+        centered = x - mean
+        # One pass over the centered values; np.var computes the identical
+        # mean(centered**2), but re-derives `centered` internally.
+        var = np.mean(centered * centered, axis=-1, keepdims=True)
         inv_std = 1.0 / np.sqrt(var + self.eps)
-        xhat = (x - mean) * inv_std
+        xhat = centered * inv_std
         self._cache = (xhat, inv_std, x)
         return xhat * self.gamma.value + self.beta.value
 

@@ -16,8 +16,12 @@ __all__ = ["softmax", "log_softmax", "softmax_cross_entropy", "mse_loss"]
 def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
     """Numerically stable softmax along ``axis``."""
     shifted = logits - logits.max(axis=axis, keepdims=True)
-    e = np.exp(shifted)
-    return e / e.sum(axis=axis, keepdims=True)
+    if shifted.dtype.kind != "f":
+        shifted = shifted.astype(float)
+    # The shifted copy is ours: exponentiate and normalize in place.
+    np.exp(shifted, out=shifted)
+    shifted /= shifted.sum(axis=axis, keepdims=True)
+    return shifted
 
 
 def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:

@@ -57,6 +57,10 @@ class Sequential(Layer):
         was_training = self.training
         self.eval()
         try:
+            if len(x) <= batch_size:
+                # Single-chunk fast path: skip the list + concatenate round
+                # trip (matters for batch-1 predicts in the RL action loop).
+                return self.forward(x)
             outputs = [
                 self.forward(x[i : i + batch_size])
                 for i in range(0, len(x), batch_size)

@@ -1,18 +1,40 @@
-"""Mini-batch training loop and evaluation helpers."""
+"""Mini-batch training loop and evaluation helpers.
+
+:func:`fit` has two execution modes:
+
+* ``workers=None`` (default) — the classic single-process loop: one
+  forward/backward per mini-batch.
+* ``workers=N`` — deterministic data-parallel mode.  Every mini-batch is
+  split into ``TrainConfig.grad_shards`` fixed shards (a pure function of
+  the config, *never* of the worker count), per-shard gradients are
+  computed — serially in-process or fanned out over the
+  :func:`repro.parallel.pmap` pool — and combined by fixed-order
+  :func:`repro.parallel.tree_reduce`.  Dropout layers are reseeded per
+  ``(epoch, step, shard)`` via the library seed discipline, so the result
+  is bit-identical for *any* worker count, including 1.
+
+Sharded mode refuses models containing :class:`~repro.nn.layers.BatchNorm`
+(its running statistics depend on whole-batch moments that sharding would
+silently change).
+"""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterator
 
 import numpy as np
 
 from repro import obs
+from repro.nn.kernels import backend as gemm_backend
+from repro.nn.layers import BatchNorm, Dropout, Layer
 from repro.nn.losses import softmax_cross_entropy
 from repro.nn.network import Sequential
 from repro.nn.optim import Optimizer
-from repro.utils.rng import as_generator
+from repro.parallel.reduction import tree_reduce
+from repro.parallel.runner import pmap, resolve_workers
+from repro.utils.rng import as_generator, spawn_children
 
 __all__ = ["TrainConfig", "History", "fit", "evaluate_accuracy"]
 
@@ -28,12 +50,15 @@ class TrainConfig:
     shuffle: bool = True
     clip_norm: float = 0.0  # 0 disables clipping
     seed: int = 0
+    grad_shards: int = 4  # shard grain for data-parallel mode
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
             raise ValueError(f"epochs must be >= 1, got {self.epochs}")
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.grad_shards < 1:
+            raise ValueError(f"grad_shards must be >= 1, got {self.grad_shards}")
 
 
 @dataclass
@@ -61,6 +86,43 @@ def evaluate_accuracy(
     return float((logits.argmax(axis=1) == np.asarray(y)).mean())
 
 
+def _walk_layers(layer: Layer) -> Iterator[Layer]:
+    """Yield ``layer`` and every nested sub-layer (containers and attributes)."""
+    yield layer
+    sub = getattr(layer, "layers", None)
+    if isinstance(sub, list):
+        for child in sub:
+            if isinstance(child, Layer):
+                yield from _walk_layers(child)
+    for value in vars(layer).values():
+        if isinstance(value, Layer):
+            yield from _walk_layers(value)
+
+
+def _shard_step(cell: tuple) -> tuple[float, np.ndarray, int]:
+    """Compute one shard's (loss, flat gradient, correct-count).
+
+    Runs either in-process (serial) or in a worker after a pickle round
+    trip; both see bit-identical parameter values, and dropout streams are
+    rebased on the shard seed so prior history is irrelevant.
+    """
+    model, xb, yb, loss_fn, classification, shard_seed = cell
+    model.train()
+    drops = [lyr for lyr in _walk_layers(model) if isinstance(lyr, Dropout)]
+    if drops:
+        for lyr, s in zip(drops, spawn_children(shard_seed, len(drops))):
+            lyr.reseed(s)
+    params = model.parameters()
+    for p in params:
+        p.grad[...] = 0.0
+    logits = model.forward(xb)
+    loss, dlogits = loss_fn(logits, yb)
+    model.backward(dlogits)
+    flat = np.concatenate([p.grad.ravel() for p in params])
+    correct = int((logits.argmax(axis=1) == yb).sum()) if classification else 0
+    return float(loss), flat, correct
+
+
 def fit(
     model: Sequential,
     optimizer: Optimizer,
@@ -70,6 +132,7 @@ def fit(
     *,
     loss_fn: LossFn = softmax_cross_entropy,
     validation: tuple[np.ndarray, np.ndarray] | None = None,
+    workers: int | None = None,
 ) -> History:
     """Train ``model`` with mini-batch gradient descent.
 
@@ -84,9 +147,15 @@ def fit(
         :class:`TrainConfig`; defaults are suitable for the toy scales used
         in the test-suite.
     loss_fn:
-        Fused loss returning ``(scalar, dlogits)``.
+        Fused loss returning ``(scalar, dlogits)``.  Must be a module-level
+        (picklable) function when ``workers > 1``.
     validation:
         Optional ``(x_val, y_val)`` evaluated at the end of every epoch.
+    workers:
+        ``None`` for the classic loop; an integer enables deterministic
+        data-parallel sharding (``TrainConfig.grad_shards`` shards per
+        batch, tree-reduced in fixed order).  The trained parameters are
+        bit-identical for every value of ``workers``.
 
     Returns
     -------
@@ -100,6 +169,13 @@ def fit(
         raise ValueError(f"x and y disagree on sample count: {len(x)} vs {len(y)}")
     if len(x) == 0:
         raise ValueError("training set is empty")
+    sharded = workers is not None
+    if sharded and any(isinstance(lyr, BatchNorm) for lyr in _walk_layers(model)):
+        raise ValueError(
+            "fit(workers=...) cannot shard models containing BatchNorm: "
+            "running statistics depend on whole-batch moments"
+        )
+    n_workers = resolve_workers(workers) if sharded else 1
     rng = as_generator(cfg.seed)
     history = History()
     classification = loss_fn is softmax_cross_entropy
@@ -107,22 +183,60 @@ def fit(
     model.train()
     for epoch in range(cfg.epochs):
         epoch_t0 = time.perf_counter()
+        reduce_s = 0.0
         order = rng.permutation(len(x)) if cfg.shuffle else np.arange(len(x))
         losses: list[float] = []
         correct = 0
-        for start in range(0, len(x), cfg.batch_size):
+        for step, start in enumerate(range(0, len(x), cfg.batch_size)):
             idx = order[start : start + cfg.batch_size]
-            xb, yb = x[idx], y[idx]
-            logits = model.forward(xb)
-            loss, dlogits = loss_fn(logits, yb)
+            if not sharded:
+                xb, yb = x[idx], y[idx]
+                logits = model.forward(xb)
+                loss, dlogits = loss_fn(logits, yb)
+                optimizer.zero_grad()
+                model.backward(dlogits)
+                if cfg.clip_norm > 0:
+                    optimizer.clip_grad_norm(cfg.clip_norm)
+                optimizer.step()
+                losses.append(loss)
+                if classification:
+                    correct += int((logits.argmax(axis=1) == yb).sum())
+                continue
+            # Data-parallel path: fixed shard grain, fixed reduction order.
+            n_shards = min(cfg.grad_shards, len(idx))
+            shard_idx = np.array_split(idx, n_shards)
+            shard_seeds = spawn_children(
+                np.random.SeedSequence((cfg.seed, epoch, step)), n_shards
+            )
+            cells = [
+                (model, x[si], y[si], loss_fn, classification, s)
+                for si, s in zip(shard_idx, shard_seeds)
+            ]
+            if n_workers > 1 and n_shards > 1:
+                results = pmap(_shard_step, cells, workers=n_workers)
+            else:
+                results = [_shard_step(cell) for cell in cells]
+            batch_loss = 0.0
+            flats: list[np.ndarray] = []
+            for (shard_loss, flat, shard_correct), si in zip(results, shard_idx):
+                weight = len(si) / len(idx)
+                flat *= weight  # flat is shard-private: scale in place
+                flats.append(flat)
+                batch_loss += shard_loss * weight
+                correct += shard_correct
+            t_reduce = time.perf_counter()
+            reduced = tree_reduce(flats)
             optimizer.zero_grad()
-            model.backward(dlogits)
+            offset = 0
+            for p in model.parameters():
+                n = p.value.size
+                p.grad[...] = reduced[offset : offset + n].reshape(p.value.shape)
+                offset += n
+            reduce_s += time.perf_counter() - t_reduce
             if cfg.clip_norm > 0:
                 optimizer.clip_grad_norm(cfg.clip_norm)
             optimizer.step()
-            losses.append(loss)
-            if classification:
-                correct += int((logits.argmax(axis=1) == yb).sum())
+            losses.append(batch_loss)
         history.loss.append(float(np.mean(losses)))
         history.accuracy.append(correct / len(x) if classification else float("nan"))
         if validation is not None:
@@ -139,11 +253,14 @@ def fit(
                 "val_accuracy": (
                     history.val_accuracy[-1] if validation is not None else None
                 ),
+                "gemm_backend": gemm_backend(),
             },
             wall={"dur_s": time.perf_counter() - epoch_t0},
         )
         metrics.gauge("train.loss").set(history.loss[-1])
         metrics.gauge("train.accuracy").set(history.accuracy[-1])
         metrics.timer("train.epoch_s").observe(time.perf_counter() - epoch_t0)
+        if sharded:
+            metrics.timer("train.grad_reduce_s").observe(reduce_s)
     model.eval()
     return history

@@ -23,6 +23,7 @@ path, ``REPRO_CACHE_DISABLE=1`` disables cache reads and writes, and
 """
 
 from repro.parallel.cache import CacheStats, ResultCache, cache_key, code_salt
+from repro.parallel.reduction import tree_reduce
 from repro.parallel.runner import pmap, resolve_workers
 from repro.parallel.study import StudyRecord, StudyResult, resolve_cache
 from repro.parallel.sweep import Sweep, SweepRecord, SweepResult, grid
@@ -35,6 +36,7 @@ __all__ = [
     "code_salt",
     "pmap",
     "resolve_workers",
+    "tree_reduce",
     "StudyRecord",
     "StudyResult",
     "resolve_cache",

@@ -1,0 +1,52 @@
+"""Fixed-order tree reduction for deterministic gradient aggregation.
+
+Floating-point addition is not associative, so the *order* in which
+per-shard gradients are combined is part of a training run's identity.
+:func:`tree_reduce` combines a list of arrays by pairwise rounds —
+``(a+b), (c+d), ...`` then ``((a+b)+(c+d)), ...`` — a pure function of the
+list order and length.  Because the reduction order never depends on which
+process produced which shard or how many workers ran, data-parallel
+training is bit-identical for any worker count (the property the
+``runs flaky`` gate audits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["tree_reduce"]
+
+
+def tree_reduce(arrays: list[np.ndarray]) -> np.ndarray:
+    """Sum ``arrays`` by fixed-order pairwise (tree) reduction.
+
+    Parameters
+    ----------
+    arrays:
+        Non-empty list of same-shaped arrays.  The inputs are not modified.
+
+    Returns
+    -------
+    np.ndarray
+        A new array holding the tree-ordered sum.
+    """
+    if not arrays:
+        raise ValueError("tree_reduce requires at least one array")
+    shape = arrays[0].shape
+    for a in arrays[1:]:
+        if a.shape != shape:
+            raise ValueError(f"shape mismatch in tree_reduce: {a.shape} vs {shape}")
+    if len(arrays) == 1:
+        return arrays[0].copy()
+    level: list[np.ndarray] = list(arrays)
+    first_round = True
+    while len(level) > 1:
+        paired: list[np.ndarray] = []
+        for i in range(0, len(level) - 1, 2):
+            paired.append(np.add(level[i], level[i + 1]))
+        if len(level) % 2:
+            odd = level[-1]
+            paired.append(odd.copy() if first_round else odd)
+        level = paired
+        first_round = False
+    return level[0]
