@@ -1,0 +1,235 @@
+"""``repro serve`` under a zipf-distributed synthetic client fleet.
+
+The ROADMAP's north star is a catalog that holds up under heavy traffic;
+real request streams are skewed (a few popular experiments dominate), so
+the fleet draws its requests from a zipf distribution over smoke-tier
+experiments and hammers one server from many concurrent client threads.
+The shared content-addressed result store should turn that skew into
+cache hits: the first request for each (experiment, config) executes,
+every repeat is answered in milliseconds.
+
+Output: a per-experiment table (requests, hit rate, p50/p95 latency) plus
+fleet totals (throughput, overall hit rate), both printed and — with
+``--out`` — written to a file CI uploads as an artifact.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py \
+        --requests 60 --clients 8 --workers 2 --out serve-bench.txt
+
+``--assert-hit-rate R`` exits non-zero when the overall hit rate lands
+below ``R`` — CI's smoke-serve gate.  Under pytest the small
+:func:`test_zipf_fleet_hits_the_shared_store` variant runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import random
+import statistics
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.api import RunRequest
+from repro.exp.reporting import rows_table
+from repro.serve import CatalogServer, ServeClient
+
+#: Smoke-tier experiments the fleet draws from, most popular first
+#: (zipf rank 1 is the hottest).
+FLEET_IDS = ("T1", "T2", "T3", "P1", "N1")
+
+
+@dataclass
+class _Sample:
+    exp_id: str
+    latency_s: float
+    cached: bool
+    state: str
+
+
+@dataclass
+class FleetReport:
+    """Everything the fleet measured, plus the rendered table."""
+
+    n_requests: int
+    wall_s: float
+    samples: list[_Sample] = field(default_factory=list)
+
+    @property
+    def hits(self) -> int:
+        return sum(s.cached for s in self.samples)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / len(self.samples) if self.samples else 0.0
+
+    @property
+    def throughput(self) -> float:
+        return self.n_requests / self.wall_s if self.wall_s else 0.0
+
+    @property
+    def failed(self) -> int:
+        return sum(s.state != "done" for s in self.samples)
+
+    def to_table(self) -> str:
+        def row(exp_id: str, samples: list[_Sample]) -> tuple:
+            lat = sorted(s.latency_s for s in samples)
+            hits = sum(s.cached for s in samples)
+            return (
+                exp_id,
+                len(samples),
+                hits,
+                f"{100 * hits / len(samples):.0f}%",
+                f"{1e3 * statistics.median(lat):.1f}",
+                f"{1e3 * lat[min(len(lat) - 1, int(0.95 * len(lat)))]:.1f}",
+            )
+
+        by_id: dict[str, list[_Sample]] = {}
+        for sample in self.samples:
+            by_id.setdefault(sample.exp_id, []).append(sample)
+        rows = [row(exp_id, by_id[exp_id])
+                for exp_id in sorted(by_id, key=lambda e: -len(by_id[e]))]
+        table = rows_table(
+            ["experiment", "requests", "hits", "hit rate", "p50 ms", "p95 ms"],
+            rows,
+            title=f"repro serve under a zipf fleet "
+                  f"({self.n_requests} requests)",
+        )
+        summary = (
+            f"fleet: {self.n_requests} requests in {self.wall_s:.2f}s "
+            f"({self.throughput:.1f} req/s) · "
+            f"{self.hits} cache hits ({100 * self.hit_rate:.0f}%) · "
+            f"{self.failed} failed"
+        )
+        return f"{table}\n{summary}"
+
+
+def zipf_schedule(
+    ids: Sequence[str], n_requests: int, *, s: float, seed: int
+) -> list[str]:
+    """``n_requests`` draws from a zipf(s) distribution over ``ids``."""
+    weights = [1.0 / (rank + 1) ** s for rank in range(len(ids))]
+    rng = random.Random(seed)
+    return rng.choices(list(ids), weights=weights, k=n_requests)
+
+
+def run_fleet(
+    url: str,
+    schedule: Sequence[str],
+    *,
+    clients: int,
+    timeout_s: float = 300.0,
+) -> FleetReport:
+    """Replay ``schedule`` against ``url`` from ``clients`` threads."""
+
+    def one(exp_id: str) -> _Sample:
+        client = ServeClient(url, timeout_s=timeout_s)
+        t0 = time.perf_counter()
+        status = client.submit(RunRequest(ids=(exp_id,), smoke=True))
+        if not status.terminal:
+            status = client.wait(status.run_id, timeout_s=timeout_s)
+        return _Sample(
+            exp_id=exp_id,
+            latency_s=time.perf_counter() - t0,
+            cached=status.cached,
+            state=status.state,
+        )
+
+    t0 = time.perf_counter()
+    with concurrent.futures.ThreadPoolExecutor(max_workers=clients) as pool:
+        samples = list(pool.map(one, schedule))
+    return FleetReport(
+        n_requests=len(schedule),
+        wall_s=time.perf_counter() - t0,
+        samples=samples,
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=60,
+                        help="fleet size (default 60)")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent client threads (default 8)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="server worker processes (default 2)")
+    parser.add_argument("--zipf", type=float, default=1.2,
+                        help="zipf skew exponent (default 1.2)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="schedule RNG seed (default 0)")
+    parser.add_argument("--root", default=None, metavar="DIR",
+                        help="server root (default: a temp directory)")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="also write the table to FILE")
+    parser.add_argument("--assert-hit-rate", type=float, default=None,
+                        metavar="R",
+                        help="exit 1 unless the overall hit rate >= R")
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    root = args.root or tempfile.mkdtemp(prefix="repro-serve-bench-")
+    schedule = zipf_schedule(
+        FLEET_IDS, args.requests, s=args.zipf, seed=args.seed
+    )
+    with CatalogServer(root, workers=args.workers) as server:
+        report = run_fleet(server.url, schedule, clients=args.clients)
+        metrics = ServeClient(server.url).metrics_text()
+
+    served_hits = [line for line in metrics.splitlines()
+                   if line.startswith("repro_serve_cache_hits_total")]
+    text = report.to_table()
+    if served_hits:
+        text += f"\nserver metrics: {served_hits[0]}"
+    print(text)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"table written to {args.out}")
+
+    if report.failed:
+        print(f"bench_serve: {report.failed} requests failed", file=sys.stderr)
+        return 1
+    if args.assert_hit_rate is not None and report.hit_rate < args.assert_hit_rate:
+        print(
+            f"bench_serve: hit rate {report.hit_rate:.2f} below the "
+            f"required {args.assert_hit_rate:.2f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _metric(text: str, name: str) -> float:
+    for line in text.splitlines():
+        if line.startswith(name):
+            return float(line.rsplit(" ", 1)[1])
+    return 0.0
+
+
+def test_zipf_fleet_hits_the_shared_store(tmp_path):
+    """Small fleet: repeats of a skewed schedule must not re-execute."""
+    from conftest import emit
+
+    schedule = zipf_schedule(("T1", "P1"), 10, s=1.5, seed=7)
+    with CatalogServer(tmp_path / "srv", workers=2) as server:
+        report = run_fleet(server.url, schedule, clients=4)
+        metrics = ServeClient(server.url).metrics_text()
+    emit(report.to_table())
+    assert report.failed == 0
+    assert report.n_requests == 10
+    # 10 requests over <= 2 distinct (experiment, config) cells: at most 2
+    # executions — everything else is a store hit or coalesced onto an
+    # in-flight duplicate.
+    assert _metric(metrics, "repro_serve_completed_total") <= 2
+    assert report.hit_rate > 0
+    shared = (report.hits
+              + _metric(metrics, "repro_serve_coalesced_total"))
+    assert shared >= report.n_requests - 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,7 @@ histopath, rl, malware, robuststats, shapes
     One substrate per student project (paper sections 2.1-2.11).
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 def package_version() -> str:

@@ -27,9 +27,20 @@ Subcommands
     structurally diff two runs (exit 1 on deterministic-value deltas or
     verdict flips), or audit repeated runs for flaky values (exit 1 when
     any non-volatile value is not bit-identical across reruns).
-``watch <run-dir>``
+``watch <run-dir|run-id>``
     Live view of an in-progress run: follows ``events.jsonl`` and renders
-    progress, cache counters, and sampled resource usage in place.
+    progress, cache counters, and sampled resource usage in place.  A run
+    id (e.g. one returned by ``POST /runs``) is resolved to its directory
+    under ``--root`` via the run index.
+``serve``
+    Long-running HTTP/JSON service over the catalog: ``POST /runs``
+    queues work onto a pool of worker processes; repeat requests are
+    answered from the shared content-addressed result store.
+
+Every run-shaped subcommand is a thin adapter over :mod:`repro.api`: it
+packs its arguments into a :class:`repro.api.RunRequest` and hands it to
+the :class:`repro.api.Catalog` facade — the same object ``repro serve``
+exposes over HTTP — so CLI and service behavior cannot drift.
 
 Shared options: ``--smoke`` selects each experiment's CI-scale config
 tier; ``--seeds N`` overrides the trial-seed count where an experiment
@@ -65,9 +76,9 @@ from repro.obs.trace import (
     render_summary,
     render_utilization,
 )
+from repro.api import Catalog, RunRequest, RunSummary
 from repro.exp.registry import all_experiments
 from repro.exp.reporting import rows_table, verdict_table
-from repro.exp.runner import RunSummary, run_experiments
 
 __all__ = ["build_parser", "main"]
 
@@ -187,8 +198,12 @@ def build_parser() -> argparse.ArgumentParser:
     watch = sub.add_parser(
         "watch", help="live view of an in-progress run's events.jsonl"
     )
-    watch.add_argument("run_dir", metavar="RUN_DIR",
-                       help="run directory (or the events.jsonl itself)")
+    watch.add_argument("run_dir", metavar="RUN",
+                       help="run directory, its events.jsonl, or a run id "
+                            "resolvable under --root")
+    watch.add_argument("--root", metavar="DIR", default=None,
+                       help="runs root for run-id resolution (default: "
+                            "$REPRO_RUNS_DIR or runs/)")
     watch.add_argument("--interval", type=float, default=0.5, metavar="SEC",
                        help="poll cadence in seconds (default 0.5)")
     watch.add_argument("--once", action="store_true",
@@ -196,19 +211,40 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--timeout", type=float, default=None, metavar="SEC",
                        help="stop after SEC seconds; exit 2 if no events "
                             "arrived by then")
+
+    serve = sub.add_parser(
+        "serve", help="serve the catalog over HTTP (POST /runs, GET /metrics, …)"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="bind port (default 8321; 0 picks a free port)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="worker processes executing queued runs "
+                            "(default 2)")
+    serve.add_argument("--root", metavar="DIR", default=None,
+                       help="directory for run artifacts and the shared "
+                            "result store (default: $REPRO_RUNS_DIR or "
+                            "runs/)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log each HTTP request to stderr")
     return parser
 
 
-def _execute(args: argparse.Namespace, *, out_dir: Path | None) -> RunSummary:
-    return run_experiments(
-        args.ids,
+def _request_from(args: argparse.Namespace) -> RunRequest:
+    """Pack a run-shaped subcommand's arguments into the API request."""
+    return RunRequest(
+        ids=tuple(args.ids),
         smoke=args.smoke,
         seeds=args.seeds,
         workers=args.workers,
         cache=not args.no_cache,
-        out_dir=out_dir,
         sample_resources=getattr(args, "sample_resources", None),
     )
+
+
+def _execute(args: argparse.Namespace, *, out_dir: Path | None) -> RunSummary:
+    return Catalog().execute(_request_from(args), out_dir=out_dir)
 
 
 def _write_json(path: str, payload: dict[str, Any]) -> None:
@@ -415,7 +451,33 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         interval_s=args.interval,
         once=args.once,
         timeout_s=args.timeout,
+        root=args.root,
     )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import CatalogServer
+
+    server = CatalogServer(
+        args.root,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        verbose=args.verbose,
+    )
+    server.start()
+    print(f"repro serve listening on {server.url} "
+          f"({args.workers} workers, root={server.queue.root})")
+    print("endpoints: GET /experiments · POST /runs · GET /runs[/<id>"
+          "[/results]] · POST /runs/<id>/cancel · GET /metrics")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+    finally:
+        server.stop()
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -440,6 +502,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_runs(args)
     if args.command == "watch":
         return _cmd_watch(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -1,118 +1,32 @@
-"""Front-door orchestration: run experiments, stamp provenance, log events.
+"""Compatibility front door over :mod:`repro.api.execution`.
 
-This is the layer ``python -m repro run`` calls.  Besides executing each
-requested experiment it wires the three infrastructure layers together
-under one per-run directory:
+The run orchestration that used to live here — per-run ``events.jsonl``,
+the hash-chained manifest, ``results.json``, ``metrics.prom``, run-index
+registration — was hoisted into :func:`repro.api.execution.execute_request`
+so the CLI, the ``repro serve`` worker pool, and the tests share one
+path.  This module keeps the long-standing names importable:
 
-* :mod:`repro.obs` — the run gets its own ``events.jsonl`` with
-  ``run_start`` / ``experiment_start`` / ``experiment_finish`` /
-  ``run_finish`` events framing whatever the experiment's own
-  :func:`repro.parallel.pmap` calls emit;
-* :mod:`repro.provenance` — a hash-chained :class:`ExperimentManifest`
-  records every experiment's config, seed ledger, and result digest, and
-  ``manifest.json`` pairs the chain with a captured environment snapshot;
-* ``results.json`` — the machine-readable values, verdicts, declared
-  volatile-value globs, and per-experiment wall times (the same numbers
-  the ``experiment_finish`` events carry, so ``repro trace`` and
-  ``repro bench`` share one timing source);
-* ``metrics.prom`` — the metrics registry in Prometheus text format,
-  labelled with the run id;
-* the cross-run index — a finished run registers itself with
-  :class:`repro.obs.history.RunRegistry`, so ``repro runs list/diff/flaky``
-  see it without a rescan.
-
-Artifacts are written atomically (a temp file + ``os.replace``), so a
-concurrent ``repro watch`` or registry scan can never observe a
-half-written ``results.json``.  With resource sampling enabled
-(``--sample-resources`` or ``REPRO_OBS_SAMPLE``), a
-:class:`repro.obs.resources.ResourceSampler` runs for the duration of the
-run and its samples land in the same ``events.jsonl``.
+* :class:`RunRecord` / :class:`RunSummary` / :func:`seed_ledger` are the
+  same objects, re-exported;
+* :func:`run_experiments` keeps its keyword signature and behavior
+  byte-for-byte — it now just packs its arguments into a
+  :class:`repro.api.RunRequest` and delegates.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import time
-from dataclasses import dataclass
-from pathlib import Path
 from typing import Any, Sequence
 
-import repro
-from repro import obs
-from repro.exp.registry import Experiment, get_experiment, resolve_ids
-from repro.exp.result import ExpResult, Verdict
-from repro.obs.resources import ResourceSampler, resolve_sample_interval
-from repro.provenance.env import capture_environment
-from repro.provenance.manifest import ExperimentManifest
+from repro.api.execution import (  # noqa: F401  (compat re-exports)
+    RunRecord,
+    RunSummary,
+    execute_request,
+    seed_ledger,
+)
+from repro.api.types import RunRequest
 
 __all__ = ["RunRecord", "RunSummary", "run_experiments", "seed_ledger"]
-
-
-@dataclass
-class RunRecord:
-    """One executed experiment inside a run."""
-
-    experiment: Experiment
-    result: ExpResult
-    verdict: Verdict | None
-    seconds: float
-
-
-@dataclass
-class RunSummary:
-    """Everything a run produced, plus where its artifacts landed."""
-
-    records: list[RunRecord]
-    smoke: bool
-    out_dir: Path | None = None
-    manifest: ExperimentManifest | None = None
-
-    def verdicts(self) -> list[Verdict]:
-        return [r.verdict for r in self.records if r.verdict is not None]
-
-    @property
-    def all_passed(self) -> bool:
-        return all(v.passed for v in self.verdicts())
-
-    def timings(self) -> dict[str, float]:
-        """Per-experiment wall seconds — the run's single timing source.
-
-        The same numbers ride in each ``experiment_finish`` event's
-        ``wall.dur_s``, so ``repro trace`` and ``repro bench`` agree with
-        ``results.json`` to the digit.
-        """
-        return {r.experiment.id: r.seconds for r in self.records}
-
-    def as_dict(self) -> dict[str, Any]:
-        return {
-            "smoke": self.smoke,
-            "repro_version": repro.package_version(),
-            "timings": self.timings(),
-            "experiments": [
-                {
-                    **record.result.as_dict(),
-                    "title": record.experiment.title,
-                    "seconds": record.seconds,
-                    "wall_s": record.seconds,
-                    # Declared wall-clock-derived values ride with the data,
-                    # so `repro runs diff/flaky` can exempt them without
-                    # importing the experiment class.
-                    "volatile_values": list(record.experiment.VOLATILE_VALUES),
-                    "verdict": record.verdict.as_dict() if record.verdict else None,
-                }
-                for record in self.records
-            ],
-        }
-
-
-def seed_ledger(config: dict[str, Any]) -> dict[str, int]:
-    """Every seed-like knob of a config, for the manifest's seed audit."""
-    return {
-        key: int(value)
-        for key, value in config.items()
-        if "seed" in key and isinstance(value, (int, bool)) and not isinstance(value, bool)
-    }
 
 
 def run_experiments(
@@ -122,109 +36,23 @@ def run_experiments(
     seeds: int | None = None,
     workers: int | None = None,
     cache: Any = True,
-    out_dir: str | Path | None = None,
+    out_dir: str | os.PathLike | None = None,
     sample_resources: float | str | None = None,
 ) -> RunSummary:
     """Run the requested experiments (``["all"]`` for the whole catalog).
 
-    When ``out_dir`` is given the run writes ``events.jsonl``,
-    ``manifest.json``, and ``results.json`` beneath it; telemetry routing
-    is restored to its previous sink afterwards.  ``sample_resources``
-    (seconds between samples; ``None`` defers to ``REPRO_OBS_SAMPLE``)
-    starts a :class:`ResourceSampler` for the duration of the run.
+    Thin adapter over :func:`repro.api.execution.execute_request`; the
+    artifacts, events, and printed output are identical to what this
+    function always produced.
     """
-    resolved = resolve_ids(ids)
-    out_path = Path(out_dir) if out_dir is not None else None
-    manifest = ExperimentManifest("repro-run")
-    previous_log: Any = None
-    sampler: ResourceSampler | None = None
-    if out_path is not None:
-        out_path.mkdir(parents=True, exist_ok=True)
-        run_log = obs.EventLog(out_path / "events.jsonl")
-        previous_log = obs.configure(run_log)
-        interval = resolve_sample_interval(sample_resources)
-        if interval > 0:
-            # A direct log reference, so samples keep flowing even while
-            # obs.quiet() silences the module-level emitter inside cells.
-            sampler = ResourceSampler(interval, log=run_log)
-            sampler.start()
-    try:
-        obs.emit("run_start", {"experiments": resolved, "smoke": smoke})
-        records: list[RunRecord] = []
-        for exp_id in resolved:
-            exp = get_experiment(exp_id)
-            obs.emit("experiment_start", {"experiment": exp.id})
-            start = time.perf_counter()
-            # The span makes each experiment a node of the run's call tree,
-            # so `repro trace --critical-path` names the dominant one.
-            with obs.span(exp.id):
-                result = exp.run(
-                    smoke=smoke, seeds=seeds, workers=workers, cache=cache
-                )
-            elapsed = time.perf_counter() - start
-            verdict = exp.check(result)
-            manifest.record(
-                exp.id,
-                dict(result.config),
-                seed_ledger(result.config),
-                result=result.values,
-            )
-            obs.emit(
-                "experiment_finish",
-                {
-                    "experiment": exp.id,
-                    "n_blocks": len(result.values),
-                    "passed": None if verdict is None else verdict.passed,
-                },
-                {"dur_s": elapsed},
-            )
-            records.append(RunRecord(exp, result, verdict, elapsed))
-        obs.emit("run_finish", {"n_experiments": len(records)})
-    finally:
-        if sampler is not None:
-            sampler.stop()
-        if out_path is not None:
-            obs.configure(previous_log)
-    summary = RunSummary(records, smoke, out_path, manifest)
-    if out_path is not None:
-        _write_artifacts(summary, out_path)
-        _register_run(out_path)
-    return summary
-
-
-def _atomic_write_text(path: Path, text: str) -> None:
-    """Write ``text`` so readers only ever see the old or the new file."""
-    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-    tmp.write_text(text)
-    os.replace(tmp, path)
-
-
-def _register_run(out_path: Path) -> None:
-    """Index the finished run so ``repro runs`` sees it without a rescan."""
-    from repro.obs.history import RunRegistry
-
-    root = os.environ.get("REPRO_RUNS_DIR") or out_path.parent
-    try:
-        RunRegistry(root).register(out_path)
-    except (OSError, ValueError):
-        pass  # an unwritable index must never fail the run itself
-
-
-def _write_artifacts(summary: RunSummary, out_path: Path) -> None:
-    manifest = summary.manifest
-    assert manifest is not None
-    manifest_doc = {
-        "environment": capture_environment().as_dict(),
-        "smoke": summary.smoke,
-        "repro_version": repro.package_version(),
-        "chain_verified": manifest.verify_chain(),
-        "manifest": json.loads(manifest.to_json()),
-    }
-    _atomic_write_text(out_path / "manifest.json", json.dumps(manifest_doc, indent=2))
-    _atomic_write_text(out_path / "results.json", json.dumps(summary.as_dict(), indent=2))
-    prom = obs.render_prometheus(
-        obs.get_metrics(),
-        labels={"run_id": out_path.name, "tier": "smoke" if summary.smoke else "default"},
+    request = RunRequest(
+        ids=tuple(ids),
+        smoke=smoke,
+        seeds=seeds,
+        workers=workers,
+        cache=cache,
+        sample_resources=(
+            None if sample_resources is None else float(sample_resources)
+        ),
     )
-    if prom:
-        _atomic_write_text(out_path / "metrics.prom", prom)
+    return execute_request(request, out_dir=out_dir)

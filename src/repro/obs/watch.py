@@ -24,7 +24,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, IO, Iterable, Mapping
 
-__all__ = ["EventFollower", "WatchState", "render_frame", "watch_run"]
+__all__ = [
+    "EventFollower",
+    "WatchState",
+    "render_frame",
+    "resolve_run_dir",
+    "watch_run",
+]
 
 #: Clear the screen and home the cursor (used between in-place frames).
 _ANSI_HOME_CLEAR = "\x1b[H\x1b[J"
@@ -248,6 +254,44 @@ def render_frame(state: WatchState, source: str = "") -> str:
     return "\n".join(lines)
 
 
+def resolve_run_dir(
+    token: str | os.PathLike, root: str | os.PathLike | None = None
+) -> Path:
+    """Turn a user-supplied run token into a directory to follow.
+
+    A token may be a path (the historical interface) or a run *id* — in
+    particular a server-assigned id from ``POST /runs``, whose directory
+    lives under the service root rather than the caller's cwd.  The
+    resolution chain, first match wins:
+
+    1. the token as a path, if it exists (file or directory);
+    2. ``<root>/<token>`` — server/registry roots keyed by run id;
+    3. the :class:`repro.obs.history.RunRegistry` index under ``root``
+       (covers runs registered with a path elsewhere);
+    4. the token as a literal path, even though nothing exists there yet
+       — :func:`watch_run` legally attaches before the first byte is
+       written, and its timeout contract reports "no events" itself.
+    """
+    literal = Path(token)
+    if literal.exists():
+        return literal
+    from repro.obs.history import RunRegistry
+
+    registry = RunRegistry(root)
+    keyed = registry.root / str(token)
+    if keyed.exists():
+        return keyed
+    # The raw index (not scan(): a registered run may live outside root,
+    # and a mid-flight run has no results.json yet for scan to validate).
+    try:
+        record = registry._load_index().get(str(token))
+    except Exception:
+        record = None
+    if record is not None and Path(record.path).exists():
+        return Path(record.path)
+    return literal
+
+
 def watch_run(
     run_dir: str | os.PathLike,
     *,
@@ -255,16 +299,21 @@ def watch_run(
     once: bool = False,
     timeout_s: float | None = None,
     stream: IO[str] | None = None,
+    root: str | os.PathLike | None = None,
 ) -> int:
     """Follow a run directory's ``events.jsonl`` until the run finishes.
+
+    ``run_dir`` may be a directory, an ``events.jsonl`` path, or a run id
+    resolvable under ``root`` (see :func:`resolve_run_dir`) — so
+    ``repro watch <run-id>`` follows a server-managed run.
 
     Renders one frame per poll: in place (ANSI home+clear) on a TTY,
     appended otherwise.  ``once`` renders a single frame and returns —
     the scriptable mode.  ``timeout_s`` bounds the total watch time;
-    hitting it before any event arrives exits 2, otherwise 0.
+    hitting it before any event arrived exits 2, otherwise 0.
     """
     out = stream if stream is not None else sys.stdout
-    follower = EventFollower(run_dir)
+    follower = EventFollower(resolve_run_dir(run_dir, root))
     state = WatchState()
     in_place = hasattr(out, "isatty") and out.isatty()
     deadline = None if timeout_s is None else time.monotonic() + timeout_s

@@ -1,0 +1,125 @@
+"""A small stdlib HTTP client for a running ``repro serve`` instance.
+
+:class:`ServeClient` speaks the server's routes and hands back the same
+:class:`repro.api` objects the server serialized — submit a
+:class:`RunRequest`, get a :class:`RunStatus` back, poll with
+:meth:`~ServeClient.wait`, fetch the results document.  Non-2xx
+responses raise :exc:`ServeError` carrying the HTTP status and the
+server's ``{"error": ...}`` body, so tests and the bench fleet can
+assert on exact failure modes.
+
+Built on :mod:`urllib.request`; no third-party dependency, usable from
+any Python that can reach the server.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Mapping
+
+from repro.api.types import RunRequest, RunStatus, TERMINAL_STATES
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the server."""
+
+    def __init__(self, status: int, message: str, payload: Any = None) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """Typed access to one ``repro serve`` base URL."""
+
+    def __init__(self, base_url: str, *, timeout_s: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Mapping[str, Any] | None = None
+    ) -> tuple[int, Any]:
+        data = None if body is None else json.dumps(body).encode()
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+                raw = resp.read()
+                code = resp.status
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            payload = _parse(raw)
+            message = (
+                payload.get("error", raw.decode(errors="replace"))
+                if isinstance(payload, dict) else raw.decode(errors="replace")
+            )
+            raise ServeError(exc.code, message, payload) from None
+        return code, _parse(raw)
+
+    # -- the API ------------------------------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")[1]
+
+    def experiments(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/experiments")[1]["experiments"]
+
+    def submit(self, request: RunRequest | Mapping[str, Any]) -> RunStatus:
+        body = request.as_dict() if isinstance(request, RunRequest) else dict(request)
+        _, payload = self._request("POST", "/runs", body)
+        return RunStatus.from_dict(payload)
+
+    def statuses(self) -> list[RunStatus]:
+        _, payload = self._request("GET", "/runs")
+        return [RunStatus.from_dict(raw) for raw in payload["runs"]]
+
+    def status(self, run_id: str) -> RunStatus:
+        _, payload = self._request("GET", f"/runs/{run_id}")
+        return RunStatus.from_dict(payload)
+
+    def results(self, run_id: str) -> dict[str, Any]:
+        """The finished run's results document (``results.json``'s shape)."""
+        _, payload = self._request("GET", f"/runs/{run_id}/results")
+        return payload["document"]
+
+    def cancel(self, run_id: str) -> RunStatus:
+        _, payload = self._request("POST", f"/runs/{run_id}/cancel")
+        return RunStatus.from_dict(payload)
+
+    def metrics_text(self) -> str:
+        request = urllib.request.Request(f"{self.base_url}/metrics")
+        with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+            return resp.read().decode()
+
+    def wait(
+        self, run_id: str, *, timeout_s: float = 300.0, poll_s: float = 0.05
+    ) -> RunStatus:
+        """Poll until the run reaches a terminal state (or time out)."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status(run_id)
+            if status.state in TERMINAL_STATES:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"run {run_id!r} still {status.state} after {timeout_s:.1f}s"
+                )
+            time.sleep(poll_s)
+
+
+def _parse(raw: bytes) -> Any:
+    if not raw:
+        return None
+    try:
+        return json.loads(raw)
+    except json.JSONDecodeError:
+        return raw.decode(errors="replace")

@@ -1,0 +1,255 @@
+"""``repro serve`` — the experiment catalog over HTTP/JSON.
+
+A thin, dependency-free (stdlib ``http.server``) front end over the
+:class:`repro.api.Catalog` facade.  Every route serializes the same
+objects the CLI consumes; there is no server-only logic beyond HTTP
+plumbing, which is the api_redesign's point.
+
+Routes
+------
+====================================  =====================================
+``GET  /experiments``                 catalog descriptors
+``POST /runs``                        submit a :class:`RunRequest` body —
+                                      202 when queued, 200 when answered
+                                      from the shared result store
+``GET  /runs``                        every known run's status
+``GET  /runs/<id>``                   one run's status
+``GET  /runs/<id>/results``           the finished run's results document
+                                      (the same shape ``results.json``
+                                      holds)
+``POST /runs/<id>/cancel``            cancel a queued or running run
+``GET  /metrics``                     Prometheus exposition of the live
+                                      server state (queue depth, running
+                                      count, cache hit/miss counters, …)
+``GET  /healthz``                     liveness probe
+====================================  =====================================
+
+Errors map straight off the API's taxonomy: :exc:`RequestError` → 400,
+:exc:`UnknownRunError` → 404, :exc:`ConflictError` → 409, unknown route
+→ 404, wrong verb → 405.  Error bodies are ``{"error": "<message>"}``.
+
+:class:`CatalogServer` owns the lifecycle: it starts the worker pool
+*before* binding the (threaded) HTTP listener — forking workers from a
+still-single-threaded process — and tears both down on :meth:`stop`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+import repro
+from repro import obs
+from repro.api.catalog import Catalog
+from repro.api.types import (
+    DONE,
+    ConflictError,
+    RequestError,
+    RunRequest,
+    UnknownRunError,
+)
+from repro.serve.queue import JobQueue
+
+__all__ = ["CatalogServer"]
+
+_RUN_PATH = re.compile(r"^/runs/(?P<run_id>[^/]+)(?P<tail>/results|/cancel)?$")
+
+#: Prometheus text exposition content type.
+_PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = f"repro-serve/{repro.package_version()}"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------------
+
+    @property
+    def catalog(self) -> Catalog:
+        return self.server.catalog  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    def _send(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, code: int, payload: Any) -> None:
+        self._send(code, json.dumps(payload, indent=2).encode() + b"\n",
+                   "application/json")
+
+    def _send_error_json(self, code: int, message: str) -> None:
+        self._send_json(code, {"error": message})
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise RequestError("request body must be a JSON object")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise RequestError(f"request body is not valid JSON: {exc}") from exc
+
+    # -- routing ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._route("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._route("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._route("DELETE")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._route("PUT")
+
+    def _route(self, method: str) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            self._dispatch(method, path)
+        except RequestError as exc:
+            self._send_error_json(400, str(exc))
+        except UnknownRunError as exc:
+            self._send_error_json(404, str(exc.args[0]) if exc.args else str(exc))
+        except ConflictError as exc:
+            self._send_error_json(409, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive 500
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+
+    def _dispatch(self, method: str, path: str) -> None:
+        if path == "/healthz":
+            if method != "GET":
+                return self._send_error_json(405, "use GET /healthz")
+            return self._send_json(200, {
+                "ok": True, "version": repro.package_version(),
+            })
+        if path == "/experiments":
+            if method != "GET":
+                return self._send_error_json(405, "use GET /experiments")
+            return self._send_json(200, {"experiments": self.catalog.experiments()})
+        if path == "/metrics":
+            if method != "GET":
+                return self._send_error_json(405, "use GET /metrics")
+            text = obs.render_prometheus(
+                obs.get_metrics(), labels={"service": "repro-serve"}
+            )
+            return self._send(200, text.encode(), _PROM_CONTENT_TYPE)
+        if path == "/runs":
+            if method == "POST":
+                return self._submit()
+            if method == "GET":
+                return self._send_json(200, {
+                    "runs": [s.as_dict() for s in self.catalog.statuses()],
+                })
+            return self._send_error_json(405, "use POST /runs or GET /runs")
+        match = _RUN_PATH.match(path)
+        if match:
+            run_id, tail = match.group("run_id"), match.group("tail")
+            if tail == "/cancel":
+                if method != "POST":
+                    return self._send_error_json(405, "use POST to cancel")
+                return self._send_json(
+                    200, self.catalog.cancel(run_id).as_dict()
+                )
+            if method != "GET":
+                return self._send_error_json(405, "use GET on run resources")
+            if tail == "/results":
+                return self._send_json(
+                    200, self.catalog.results(run_id).as_dict()
+                )
+            return self._send_json(200, self.catalog.status(run_id).as_dict())
+        self._send_error_json(404, f"no route {method} {path}")
+
+    def _submit(self) -> None:
+        request = RunRequest.from_dict(self._read_body())
+        status = self.catalog.submit(request)
+        # A cache answer is complete now (200); queued work is accepted (202).
+        self._send_json(200 if status.state == DONE else 202, status.as_dict())
+
+
+class CatalogServer:
+    """The long-running catalog service: worker pool + HTTP listener.
+
+    ``port=0`` binds an ephemeral port (read :attr:`port` after
+    :meth:`start`) — the test suite and the bench fleet use that.  Usable
+    as a context manager.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        queue: JobQueue | None = None,
+        verbose: bool = False,
+    ) -> None:
+        self.queue = queue if queue is not None else JobQueue(root, workers=workers)
+        self.catalog = Catalog(backend=self.queue)
+        self.host = host
+        self._requested_port = port
+        self.verbose = verbose
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "CatalogServer":
+        if self._httpd is not None:
+            return self
+        # Workers first: fork before this process grows listener threads.
+        self.queue.start()
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), _Handler
+        )
+        self._httpd.catalog = self.catalog  # type: ignore[attr-defined]
+        self._httpd.verbose = self.verbose  # type: ignore[attr-defined]
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting requests, then stop the pool (idempotent)."""
+        httpd, self._httpd = self._httpd, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.queue.stop()
+
+    def __enter__(self) -> "CatalogServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- addressing ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("server is not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"

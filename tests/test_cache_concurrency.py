@@ -1,0 +1,139 @@
+"""ResultCache under concurrent use — the shared-store contract.
+
+The cache is the rendezvous between ``repro serve`` workers, so these
+tests hammer one root from many processes and threads at once and assert
+the documented guarantees: atomic stores, torn-read tolerance, coherent
+instance stats, and disk stats that survive racing writers/clearers.
+"""
+
+import concurrent.futures
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.parallel.cache import CacheStats, DiskUsage, ResultCache, cache_key
+
+
+def _hammer(root, worker_id, n_keys, n_rounds):
+    """One process's share: interleave puts and gets over a shared keyspace."""
+    cache = ResultCache(root)
+    bad = 0
+    for round_no in range(n_rounds):
+        for index in range(n_keys):
+            key = cache_key("hammer", {"cell": index}, 0, "salt")
+            cache.put(key, {"cell": index, "payload": list(range(50))})
+            hit, value = cache.get(key)
+            # The key was just written (by us or a racer with identical
+            # content) — a hit must carry the full, untorn value.
+            if not hit or value["cell"] != index or len(value["payload"]) != 50:
+                bad += 1
+    return bad
+
+
+class TestMultiprocessHammer:
+    def test_concurrent_writers_and_readers_share_one_root(self, tmp_path):
+        n_procs, n_keys, n_rounds = 4, 8, 15
+        ctx = multiprocessing.get_context()
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=n_procs, mp_context=ctx
+        ) as pool:
+            bad_counts = list(pool.map(
+                _hammer,
+                [str(tmp_path)] * n_procs,
+                range(n_procs),
+                [n_keys] * n_procs,
+                [n_rounds] * n_procs,
+            ))
+        assert bad_counts == [0] * n_procs
+
+        cache = ResultCache(tmp_path)
+        usage = cache.disk_stats()
+        assert usage.entries == n_keys  # content-addressed: one file per key
+        assert usage.total_bytes > 0
+        # No temp files leaked by any of the racing writers.
+        assert not list(tmp_path.rglob("*.tmp"))
+        for index in range(n_keys):
+            hit, value = cache.get(cache_key("hammer", {"cell": index}, 0, "salt"))
+            assert hit and value["cell"] == index
+
+
+class TestThreadedStats:
+    def test_stats_are_coherent_under_thread_contention(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        n_threads, n_ops = 8, 40
+
+        def work(thread_id):
+            for index in range(n_ops):
+                key = cache_key("t", {"thread": thread_id, "i": index}, 0, "s")
+                cache.get(key)   # always a miss: key is unique per op
+                cache.put(key, index)
+                cache.get(key)   # always a hit
+            return thread_id
+
+        with concurrent.futures.ThreadPoolExecutor(n_threads) as pool:
+            list(pool.map(work, range(n_threads)))
+
+        stats = cache.stats()
+        total = n_threads * n_ops
+        assert stats.misses == total
+        assert stats.hits == total
+        assert stats.stores == total
+        assert stats.lookups == 2 * total
+        assert stats.hit_rate == pytest.approx(0.5)
+        assert stats.bytes_written > 0
+        assert cache.disk_stats().entries == total
+
+
+class TestTornReads:
+    def test_garbage_entry_is_a_miss_not_an_error(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("f", {"x": 1}, 0, "salt")
+        cache.put(key, "good")
+        path = cache._path(key)
+
+        for garbage in (b"", b"\x80", b"not a pickle at all",
+                        pickle.dumps(["truncated"])[:-3]):
+            path.write_bytes(garbage)
+            hit, value = cache.get(key)
+            assert (hit, value) == (False, None)
+
+        cache.put(key, "recovered")
+        assert cache.get(key) == (True, "recovered")
+
+    def test_missing_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(cache_key("f", {}, 0, "s")) == (False, None)
+
+
+class TestClearAndDiskStats:
+    def test_clear_is_safe_against_missing_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = [cache_key("f", {"i": i}, 0, "s") for i in range(5)]
+        for key in keys:
+            cache.put(key, key)
+        cache._path(keys[0]).unlink()  # a racer got there first
+        assert cache.clear() == 4
+        assert cache.disk_stats() == DiskUsage(0, 0)
+
+    def test_disk_stats_on_a_fresh_root(self, tmp_path):
+        assert ResultCache(tmp_path / "never").disk_stats() == DiskUsage(0, 0)
+
+    def test_stats_snapshot_is_immutable(self, tmp_path):
+        stats = ResultCache(tmp_path).stats()
+        assert stats == CacheStats(0, 0, 0, 0)
+        with pytest.raises(AttributeError):
+            stats.hits = 1
+
+
+class TestKillSwitch:
+    def test_disable_env_turns_everything_into_misses(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        key = cache_key("f", {"x": 1}, 0, "salt")
+        cache.put(key, "stored")
+        monkeypatch.setenv("REPRO_CACHE_DISABLE", "1")
+        assert cache.enabled is False
+        assert cache.get(key) == (False, None)
+        cache.put(key, "ignored")
+        monkeypatch.delenv("REPRO_CACHE_DISABLE")
+        assert cache.get(key) == (True, "stored")

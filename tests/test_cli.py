@@ -230,3 +230,26 @@ class TestRunsAndWatch:
         out = capsys.readouterr().out
         assert "run finished" in out
         assert "T1" in out
+
+    def test_watch_resolves_a_run_id_under_root(self, runs_root, capsys):
+        assert main(["watch", "run-a", "--root", str(runs_root),
+                     "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "run finished" in out
+        assert str(runs_root / "run-a") in out
+
+    def test_watch_resolves_a_run_id_via_the_index(self, runs_root, capsys,
+                                                   tmp_path):
+        # Move the run dir so only the index knows where run-a lives.
+        moved = tmp_path / "elsewhere"
+        (runs_root / "run-a").rename(moved)
+        index = runs_root / "runs_index.jsonl"
+        index.write_text("".join(
+            json.dumps(
+                {**rec, "path": str(moved)} if rec["run_id"] == "run-a" else rec
+            ) + "\n"
+            for rec in map(json.loads, index.read_text().splitlines())
+        ))
+        assert main(["watch", "run-a", "--root", str(runs_root),
+                     "--once"]) == 0
+        assert "run finished" in capsys.readouterr().out

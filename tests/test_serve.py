@@ -1,0 +1,331 @@
+"""The serving stack end to end: HTTP routes, error taxonomy, the queue's
+lifecycle (including cancel-mid-run), the shared-store fast path, and the
+served-vs-CLI bit-identity guarantee.
+
+The worker pool inherits test-registered fake experiments only under the
+``fork`` start method (the fakes live in this process's registry), so the
+whole module is skipped elsewhere — on Linux CI fork is the default.
+"""
+
+import json
+import multiprocessing
+import time
+import urllib.request
+
+import pytest
+
+from repro.api import RunRequest, canonical_results_bytes
+from repro.exp import registry
+from repro.exp.cli import main
+from repro.exp.registry import Experiment
+from repro.exp.result import Block, Check, ExpResult, Verdict
+from repro.serve import CatalogServer, ServeClient, ServeError
+
+pytestmark = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="worker pool inherits test-registered fakes via fork",
+)
+
+
+class _QuickExperiment(Experiment):
+    title = "quick fake"
+    paper_claim = "instant"
+    DEFAULT = {"x": 1}
+
+    def _run(self, config, *, workers, cache):
+        result = ExpResult(self.id, config)
+        result.add("block", Block(values={"x": config["x"]}, tables=("t",)))
+        return result
+
+    def check(self, result):
+        return Verdict(self.id, (Check("instant", result["block"]["x"], True),))
+
+
+class _SlowExperiment(_QuickExperiment):
+    title = "slow fake"
+    DEFAULT = {"x": 1, "sleep_s": 30.0}
+
+    def _run(self, config, *, workers, cache):
+        time.sleep(config["sleep_s"])
+        return super()._run(config, workers=workers, cache=cache)
+
+
+class _BrokenExperiment(_QuickExperiment):
+    title = "broken fake"
+
+    def _run(self, config, *, workers, cache):
+        raise RuntimeError("kaput")
+
+
+def _install(monkeypatch, cls, exp_id):
+    registry.load_all()
+    exp = cls()
+    exp.id = exp_id
+    monkeypatch.setitem(registry._REGISTRY, exp_id, exp)
+    return exp
+
+
+@pytest.fixture()
+def fakes(monkeypatch):
+    _install(monkeypatch, _QuickExperiment, "ZZQ")
+    _install(monkeypatch, _SlowExperiment, "ZZSLOW")
+    _install(monkeypatch, _BrokenExperiment, "ZZBOOM")
+
+
+@pytest.fixture()
+def server(fakes, tmp_path):
+    # Fakes are registered before start(): the forked workers inherit them.
+    with CatalogServer(tmp_path / "srv", workers=2) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    return ServeClient(server.url, timeout_s=30.0)
+
+
+class TestRoutes:
+    def test_healthz(self, client):
+        payload = client.healthz()
+        assert payload["ok"] is True and "version" in payload
+
+    def test_experiments_lists_the_catalog(self, client):
+        ids = {d["id"] for d in client.experiments()}
+        assert {"T1", "N1", "R1", "P3", "ZZQ"} <= ids
+
+    def test_submit_status_results_lifecycle(self, client):
+        status = client.submit(RunRequest(ids=("ZZQ",)))
+        assert status.state in ("queued", "running")
+        assert status.cached is False
+        assert status.run_dir and status.run_id.startswith("run-")
+
+        done = client.wait(status.run_id, timeout_s=60)
+        assert done.state == "done"
+        assert done.wait_s is not None and done.wait_s >= 0
+
+        document = client.results(status.run_id)
+        (entry,) = document["experiments"]
+        assert entry["experiment"] == "ZZQ"
+        assert entry["verdict"]["passed"] is True
+
+        listed = {s.run_id for s in client.statuses()}
+        assert status.run_id in listed
+
+    def test_run_dir_exists_at_submission_for_watch(self, server, client):
+        status = client.submit(RunRequest(ids=("ZZQ",)))
+        run_dir = server.queue.root / status.run_id
+        assert run_dir.is_dir()  # before completion: watch can attach now
+        client.wait(status.run_id, timeout_s=60)
+
+    def test_metrics_exposition(self, client):
+        client.wait(client.submit(RunRequest(ids=("ZZQ",))).run_id, timeout_s=60)
+        text = client.metrics_text()
+        assert "repro_serve_requests_total" in text
+        assert 'service="repro-serve"' in text
+        assert "repro_serve_workers" in text
+
+
+class TestErrorTaxonomy:
+    def test_bad_json_body_is_400(self, client):
+        with pytest.raises(ServeError) as exc_info:
+            client.submit({"ids": ["ZZQ"], "bogus": True})
+        assert exc_info.value.status == 400
+        assert "unknown request field" in str(exc_info.value)
+
+    def test_empty_body_is_400(self, server):
+        request = urllib.request.Request(
+            f"{server.url}/runs", data=b"", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(request, timeout=10)
+        assert exc_info.value.code == 400
+
+    def test_unknown_experiment_is_400(self, client):
+        with pytest.raises(ServeError) as exc_info:
+            client.submit(RunRequest(ids=("E99",)))
+        assert exc_info.value.status == 400
+        assert "unknown experiment" in str(exc_info.value)
+
+    def test_unknown_run_is_404(self, client):
+        with pytest.raises(ServeError) as exc_info:
+            client.status("run-nope")
+        assert exc_info.value.status == 404
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServeError) as exc_info:
+            client._request("GET", "/nope")
+        assert exc_info.value.status == 404
+
+    def test_wrong_verb_is_405(self, client):
+        with pytest.raises(ServeError) as exc_info:
+            client._request("DELETE", "/runs")
+        assert exc_info.value.status == 405
+
+    def test_results_of_unfinished_run_is_409(self, client):
+        status = client.submit(RunRequest(ids=("ZZSLOW",), cache=False))
+        try:
+            with pytest.raises(ServeError) as exc_info:
+                client.results(status.run_id)
+            assert exc_info.value.status == 409
+        finally:
+            client.cancel(status.run_id)
+
+    def test_failed_run_reports_error_and_409_results(self, client):
+        status = client.submit(RunRequest(ids=("ZZBOOM",)))
+        done = client.wait(status.run_id, timeout_s=60)
+        assert done.state == "failed"
+        assert "kaput" in done.error
+        with pytest.raises(ServeError) as exc_info:
+            client.results(status.run_id)
+        assert exc_info.value.status == 409
+        assert "kaput" in str(exc_info.value)
+
+
+class TestCancel:
+    def test_cancel_mid_run_frees_the_pool(self, client):
+        victim = client.submit(RunRequest(ids=("ZZSLOW",), cache=False))
+        # Wait until a worker actually picks it up.
+        deadline = time.monotonic() + 30
+        while client.status(victim.run_id).state == "queued":
+            assert time.monotonic() < deadline, "job never started"
+            time.sleep(0.05)
+
+        cancelled = client.cancel(victim.run_id)
+        assert cancelled.state == "cancelled"
+        assert client.status(victim.run_id).state == "cancelled"
+
+        # The respawned worker still serves new jobs promptly.
+        follow_up = client.submit(RunRequest(ids=("ZZQ",), cache=False))
+        assert client.wait(follow_up.run_id, timeout_s=60).state == "done"
+
+    def test_cancel_terminal_run_is_409(self, client):
+        status = client.submit(RunRequest(ids=("ZZQ",)))
+        client.wait(status.run_id, timeout_s=60)
+        with pytest.raises(ServeError) as exc_info:
+            client.cancel(status.run_id)
+        assert exc_info.value.status == 409
+
+
+class TestSharedStore:
+    def test_identical_resubmission_is_answered_from_cache(self, client):
+        request = RunRequest(ids=("ZZQ",))
+        first = client.submit(request)
+        client.wait(first.run_id, timeout_s=60)
+
+        second = client.submit(request)
+        assert second.state == "done"  # no wait needed: answered at submit
+        assert second.cached is True
+        assert (canonical_results_bytes(client.results(first.run_id))
+                == canonical_results_bytes(client.results(second.run_id)))
+
+        hits = [
+            line for line in client.metrics_text().splitlines()
+            if line.startswith("repro_serve_cache_hits_total")
+        ]
+        assert hits and float(hits[0].rsplit(" ", 1)[1]) >= 1
+
+    def test_cache_hit_http_status_is_200_not_202(self, server, client):
+        request = RunRequest(ids=("ZZQ",))
+        body = json.dumps(request.as_dict()).encode()
+
+        def submit_raw():
+            http_req = urllib.request.Request(
+                f"{server.url}/runs", data=body, method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(http_req, timeout=10) as resp:
+                return resp.status, json.loads(resp.read())
+
+        code, payload = submit_raw()
+        assert code == 202
+        client.wait(payload["run_id"], timeout_s=60)
+        code, payload = submit_raw()
+        assert code == 200 and payload["cached"] is True
+
+    def test_concurrent_identical_submissions_coalesce(self, client):
+        request = RunRequest(ids=("ZZSLOW",), overrides={"ZZSLOW": {"sleep_s": 2.0}})
+        first = client.submit(request)
+        second = client.submit(request)  # same digest, still in flight
+        assert second.run_id == first.run_id  # joined, not duplicated
+        done = client.wait(first.run_id, timeout_s=60)
+        assert done.state == "done"
+        coalesced = [
+            line for line in client.metrics_text().splitlines()
+            if line.startswith("repro_serve_coalesced_total")
+        ]
+        assert coalesced and float(coalesced[0].rsplit(" ", 1)[1]) >= 1
+
+    def test_no_cache_submissions_never_coalesce(self, client):
+        request = RunRequest(
+            ids=("ZZSLOW",), cache=False,
+            overrides={"ZZSLOW": {"sleep_s": 2.0}},
+        )
+        first = client.submit(request)
+        second = client.submit(request)
+        assert second.run_id != first.run_id
+        for status in (first, second):
+            assert client.wait(status.run_id, timeout_s=60).state == "done"
+
+    def test_different_config_misses_the_cache(self, client):
+        first = client.submit(RunRequest(ids=("ZZQ",)))
+        client.wait(first.run_id, timeout_s=60)
+        other = client.submit(
+            RunRequest(ids=("ZZQ",), overrides={"ZZQ": {"x": 2}})
+        )
+        assert other.cached is False
+        client.wait(other.run_id, timeout_s=60)
+
+
+class TestBitIdentity:
+    def test_served_results_match_the_cli_byte_for_byte(
+        self, fakes, tmp_path, capsys
+    ):
+        cli_out = tmp_path / "cli-run"
+        assert main(["run", "ZZQ", "--no-cache", "--out", str(cli_out)]) == 0
+        capsys.readouterr()
+        cli_doc = json.loads((cli_out / "results.json").read_text())
+
+        with CatalogServer(tmp_path / "srv", workers=1) as srv:
+            client = ServeClient(srv.url, timeout_s=30.0)
+            status = client.submit(RunRequest(ids=("ZZQ",), cache=False))
+            client.wait(status.run_id, timeout_s=60)
+            served_doc = client.results(status.run_id)
+            served_file = json.loads(
+                (srv.queue.root / status.run_id / "results.json").read_text()
+            )
+
+        assert (canonical_results_bytes(served_doc)
+                == canonical_results_bytes(cli_doc))
+        # The endpoint serves exactly what the worker wrote to disk.
+        assert served_doc == served_file
+
+    def test_served_run_dir_has_the_full_cli_artifact_set(
+        self, server, client
+    ):
+        status = client.submit(RunRequest(ids=("ZZQ",), cache=False))
+        client.wait(status.run_id, timeout_s=60)
+        run_dir = server.queue.root / status.run_id
+        for name in ("events.jsonl", "manifest.json", "results.json",
+                     "metrics.prom"):
+            assert (run_dir / name).is_file(), name
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["chain_verified"] is True
+
+
+class TestLifecycle:
+    def test_double_stop_is_idempotent(self, fakes, tmp_path):
+        server = CatalogServer(tmp_path / "srv", workers=1)
+        server.start()
+        server.stop()
+        server.stop()  # must not raise
+
+    def test_watch_follows_a_server_run_by_id(self, server, client, capsys):
+        status = client.submit(RunRequest(ids=("ZZQ",), cache=False))
+        client.wait(status.run_id, timeout_s=60)
+        code = main([
+            "watch", status.run_id, "--root", str(server.queue.root), "--once",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert status.run_id in out
+        assert "run finished" in out
