@@ -79,8 +79,11 @@ def test_warm_rescan_serves_from_the_index(benchmark, tmp_path):
     cold_s = time.perf_counter() - start
 
     registry = RunRegistry(root)
+    start = time.perf_counter()
     records = benchmark.pedantic(registry.scan, rounds=1, iterations=1)
-    warm_s = benchmark.stats.stats.min
+    # Timed directly: benchmark.stats is None under --benchmark-disable
+    # (how CI's deprecation-clean job runs this suite).
+    warm_s = time.perf_counter() - start
     assert len(records) == N_RUNS
     assert registry.stale == [] and registry.unparseable == []
     # Index-served rescans must not degenerate into re-parsing.

@@ -39,7 +39,11 @@ class Job:
         When the job enters the queue (hours from program start).
     deadline:
         When results are needed (poster-printing time); used only for
-        metrics, the scheduler does not see it.
+        metrics by most disciplines (EDF sorts on it).
+    mem:
+        Memory footprint held for the whole duration (GB by convention).
+        ``0.0`` — the default — means "no memory demand", which keeps
+        gpu-only pools bit-compatible with the seed.
     """
 
     job_id: int
@@ -48,6 +52,7 @@ class Job:
     duration: float
     submit_time: float
     deadline: float
+    mem: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_gpus < 1:
@@ -55,6 +60,8 @@ class Job:
         check_positive("duration", self.duration)
         if self.submit_time < 0:
             raise ValueError(f"submit_time must be >= 0, got {self.submit_time}")
+        if self.mem < 0:
+            raise ValueError(f"mem must be >= 0, got {self.mem}")
 
 
 @dataclass

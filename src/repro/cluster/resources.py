@@ -1,38 +1,106 @@
-"""GPU pool resource accounting."""
+"""Multi-dimensional resource accounting for the cluster engine.
+
+The seed modelled capacity as a bare GPU count.  The engine now accounts
+a :class:`ResourceVector` of (gpus, mem): histopathology-style jobs that
+"required GPUs with more RAM" are expressible, and a pool can refuse a
+job whose memory footprint does not fit even when GPUs are free.  The
+default is gpu-only — a memory capacity of ``0.0`` means the dimension
+is untracked — so every seed workload schedules bit-identically.
+"""
 
 from __future__ import annotations
 
-__all__ = ["GPUPool"]
+from typing import NamedTuple
+
+__all__ = ["ResourceVector", "GPUPool"]
+
+
+class ResourceVector(NamedTuple):
+    """An immutable (gpus, mem) demand or capacity.
+
+    ``mem`` is in whatever unit the workload uses (GB by convention);
+    ``0.0`` means "no memory demand / memory untracked".
+    """
+
+    gpus: int
+    mem: float = 0.0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":  # type: ignore[override]
+        return ResourceVector(self.gpus + other.gpus, self.mem + other.mem)
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(self.gpus - other.gpus, self.mem - other.mem)
+
+    def fits_within(self, capacity: "ResourceVector") -> bool:
+        """True when every tracked dimension of ``self`` fits ``capacity``.
+
+        A capacity with ``mem == 0.0`` leaves memory unconstrained.
+        """
+        if self.gpus > capacity.gpus:
+            return False
+        if capacity.mem > 0.0 and self.mem > capacity.mem:
+            return False
+        return True
+
+    def valid(self) -> bool:
+        """Non-negative in every dimension (the snippet-1 sanity check)."""
+        return self.gpus >= 0 and self.mem >= 0.0
 
 
 class GPUPool:
     """A counted pool of identical GPUs with utilization bookkeeping.
 
     The pool tracks allocated GPU-hours via a time-weighted integral so the
-    simulator can report utilization without sampling.
+    simulator can report utilization without sampling.  An optional
+    ``mem_capacity`` adds a second accounted dimension: allocations then
+    carry a memory footprint and the pool refuses requests that would
+    oversubscribe either dimension.
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, *, mem_capacity: float = 0.0) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if mem_capacity < 0:
+            raise ValueError(f"mem_capacity must be >= 0, got {mem_capacity}")
         self.capacity = int(capacity)
+        self.mem_capacity = float(mem_capacity)
         self._in_use = 0
+        self._mem_in_use = 0.0
         self._last_time = 0.0
         self._gpu_hours = 0.0
+
+    @property
+    def capacity_vector(self) -> ResourceVector:
+        return ResourceVector(self.capacity, self.mem_capacity)
 
     @property
     def in_use(self) -> int:
         return self._in_use
 
     @property
+    def mem_in_use(self) -> float:
+        return self._mem_in_use
+
+    @property
     def available(self) -> int:
         return self.capacity - self._in_use
 
-    def can_allocate(self, n: int) -> bool:
-        """True when ``n`` GPUs are currently free."""
+    @property
+    def mem_available(self) -> float:
+        """Free memory; infinite when the dimension is untracked."""
+        if self.mem_capacity <= 0.0:
+            return float("inf")
+        return self.mem_capacity - self._mem_in_use
+
+    def can_allocate(self, n: int, mem: float = 0.0) -> bool:
+        """True when ``n`` GPUs (and ``mem`` memory) are currently free."""
         if n < 1:
             raise ValueError(f"n must be >= 1, got {n}")
-        return n <= self.available
+        if n > self.available:
+            return False
+        if mem > 0.0 and self.mem_capacity > 0.0:
+            return mem <= self.mem_capacity - self._mem_in_use
+        return True
 
     def _advance(self, now: float) -> None:
         if now < self._last_time:
@@ -40,21 +108,27 @@ class GPUPool:
         self._gpu_hours += self._in_use * (now - self._last_time)
         self._last_time = now
 
-    def allocate(self, n: int, now: float) -> None:
-        """Claim ``n`` GPUs at simulation time ``now``."""
+    def allocate(self, n: int, now: float, mem: float = 0.0) -> None:
+        """Claim ``n`` GPUs (and ``mem`` memory) at simulation time ``now``."""
         self._advance(now)
-        if not self.can_allocate(n):
+        if not self.can_allocate(n, mem):
             raise RuntimeError(
                 f"over-allocation: requested {n}, only {self.available} free"
             )
         self._in_use += n
+        self._mem_in_use += mem
 
-    def release(self, n: int, now: float) -> None:
-        """Return ``n`` GPUs at simulation time ``now``."""
+    def release(self, n: int, now: float, mem: float = 0.0) -> None:
+        """Return ``n`` GPUs (and ``mem`` memory) at simulation time ``now``."""
         self._advance(now)
         if n < 1 or n > self._in_use:
             raise RuntimeError(f"invalid release of {n} with {self._in_use} in use")
+        if mem < 0 or mem > self._mem_in_use + 1e-9:
+            raise RuntimeError(
+                f"invalid release of {mem} mem with {self._mem_in_use} in use"
+            )
         self._in_use -= n
+        self._mem_in_use = max(0.0, self._mem_in_use - mem)
 
     def utilization(self, horizon: float) -> float:
         """Mean fraction of the pool busy over ``[0, horizon]``."""

@@ -1,35 +1,48 @@
-"""Slurm-like schedulers over the discrete-event core.
+"""The scheduling engine: a slurm-like DES over pluggable policies.
 
-Four queue disciplines are provided:
+The simulator is three layers now:
 
-* **FIFO** — strictly in submission order; a large job at the head blocks
-  everything behind it.
-* **FIFO + EASY backfill** — the head job receives a reservation at the
-  earliest time enough GPUs will be free ("shadow time"); later jobs may
-  start out of order if they either finish before the shadow time or use
-  GPUs the head will not need ("extra" GPUs).  This is the aggressive
-  backfilling of Lifka's EASY scheduler, which is what slurm's
-  ``backfill`` plugin implements.
-* **EDF** — earliest poster deadline first (staff-assigned priorities).
-* **FAIRSHARE** — lightest committed-GPU-hours project first (slurm's
-  fair-share priority, aimed at the paper's huge-allocation hogs).
+* **engine** (this module + :mod:`repro.cluster.engine` +
+  :mod:`repro.cluster.calendar`) — the deterministic event queue, a
+  lazily-pruned end-time heap indexing running jobs, and an incrementally
+  maintained :class:`~repro.cluster.calendar.ReservationCalendar` of
+  future free capacity, so completion handling is O(log n) and
+  ``earliest_fit`` queries never rescan the job list;
+* **policies** (:mod:`repro.cluster.scheduling`) — FIFO, EDF, fair-share,
+  EASY backfill, conservative backfill, and hybrid-k backfill behind one
+  :class:`~repro.cluster.scheduling.SchedulingPolicy` protocol;
+* **resources** (:mod:`repro.cluster.resources`) — a (gpus, mem)
+  :class:`~repro.cluster.resources.ResourceVector` pool, gpu-only by
+  default for seed bit-compatibility.
+
+:class:`SchedulerPolicy` — the seed's four-member enum — remains as the
+legacy spelling; each member resolves through the policy registry
+(:func:`repro.cluster.scheduling.get_policy`), so existing call sites and
+the R1 tables are byte-identical while new call sites may pass registry
+names (``"conservative"``, ``"hybrid-4"``, ``"conservative-edf"``) or
+policy instances directly.
 
 The simulator narrates itself through :mod:`repro.obs`: ``job_submit`` /
 ``job_start`` / ``job_finish`` events carry the deterministic simulation
-times (``job_preempt`` is reserved for a future preemptive policy), and a
-``cluster_run_start`` / ``cluster_run_finish`` pair frames each ``run``.
+times, ``job_preempt`` records a reservation revocation (conservative and
+hybrid-k under non-FIFO ordering may push a held reservation later when
+a higher-priority arrival displaces it), and a ``cluster_run_start`` /
+``cluster_run_finish`` pair frames each ``run``.
 """
 
 from __future__ import annotations
 
 import enum
+import heapq
 import time
 from collections import deque
 
 from repro import obs
+from repro.cluster.calendar import ReservationCalendar
 from repro.cluster.engine import EventQueue
 from repro.cluster.jobs import Job, JobRecord, JobState
 from repro.cluster.resources import GPUPool
+from repro.cluster.scheduling import SchedulingPolicy, get_policy
 
 __all__ = ["SchedulerPolicy", "ClusterSimulator"]
 
@@ -41,7 +54,7 @@ _PRIORITY_DISPATCH = 2
 
 
 class SchedulerPolicy(enum.Enum):
-    """Queue discipline used by :class:`ClusterSimulator`.
+    """Legacy queue-discipline spelling (now a policy-registry alias).
 
     ``FIFO`` and ``BACKFILL`` are deadline-blind (slurm's defaults).
     ``EDF`` re-sorts the pending queue by earliest deadline at each
@@ -51,6 +64,11 @@ class SchedulerPolicy(enum.Enum):
     the paper notes "some students launched a job requiring a huge
     allocation" while "others ... were stuck" — fair-share lets the light
     users cut ahead of a heavy user's queue.
+
+    Each member's value is its :mod:`repro.cluster.scheduling` registry
+    name; the full policy family (conservative, hybrid-k, ordered
+    variants) is reachable by passing a registry name or policy instance
+    to :class:`ClusterSimulator` instead of an enum member.
     """
 
     FIFO = "fifo"
@@ -67,7 +85,12 @@ class ClusterSimulator:
     n_gpus:
         Pool capacity.
     policy:
-        :class:`SchedulerPolicy` queue discipline.
+        Queue discipline: a :class:`SchedulerPolicy` member, a policy
+        registry name (``"conservative"``, ``"hybrid-4"``, ...), or a
+        :class:`~repro.cluster.scheduling.SchedulingPolicy` instance.
+    mem_capacity:
+        Optional pool memory (GB).  ``0.0`` — the default — leaves the
+        dimension untracked (gpu-only admission, the seed behaviour).
 
     Examples
     --------
@@ -80,42 +103,92 @@ class ClusterSimulator:
     """
 
     def __init__(
-        self, n_gpus: int, *, policy: SchedulerPolicy = SchedulerPolicy.FIFO
+        self,
+        n_gpus: int,
+        *,
+        policy: SchedulerPolicy | SchedulingPolicy | str = SchedulerPolicy.FIFO,
+        mem_capacity: float = 0.0,
     ) -> None:
-        self.pool = GPUPool(n_gpus)
+        self.pool = GPUPool(n_gpus, mem_capacity=mem_capacity)
         self.policy = policy
+        self._policy = get_policy(policy)
+        self.calendar = ReservationCalendar(n_gpus, mem_capacity)
         self.queue: deque[JobRecord] = deque()
         self.events = EventQueue()
-        self._running: list[tuple[float, JobRecord]] = []  # (end_time, record)
+        # Running jobs indexed by completion time: a lazily-pruned heap of
+        # [end_time, start_seq, record].  Completions pop the top instead
+        # of rebuilding a list (the seed's O(n^2) path); stale entries
+        # (already-completed records) are skipped when read.
+        self._running: list[tuple[float, int, JobRecord]] = []
+        self._start_seq = 0
         self._records: dict[int, JobRecord] = {}
         self._dispatch_scheduled = False
         self._usage: dict[str, float] = {}  # project -> committed GPU-hours
+        self._telemetry = False  # sampled per run()
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (the event queue is the only clock)."""
+        return self.events.now
+
+    @property
+    def usage(self) -> dict[str, float]:
+        """Committed GPU-hours per project (the fair-share signal)."""
+        return self._usage
+
+    @property
+    def policy_name(self) -> str:
+        """The resolved policy's registry name (``"backfill"`` for EASY)."""
+        return self._policy.name
+
+    def running_profile(self) -> list[tuple[float, int]]:
+        """Running jobs as ``(end_time, n_gpus)`` in completion order.
+
+        Ties keep start order (the heap carries a start sequence), which
+        matches the seed's stable sort over its running list.
+        """
+        return [
+            (end, record.job.n_gpus)
+            for end, _seq, record in sorted(self._running)
+            if record.state is JobState.RUNNING
+        ]
+
+    def earliest_fit(self, n_gpus: int, duration: float,
+                     mem: float = 0.0) -> float:
+        """Earliest start at which the request fits the running commitments
+        (an engine-level query; policies overlay reservations on a copy)."""
+        return self.calendar.earliest_fit(n_gpus, duration, self.now, mem=mem)
 
     # -- event actions -------------------------------------------------
 
     def _submit(self, record: JobRecord) -> None:
         self.queue.append(record)
-        obs.emit(
-            "job_submit",
-            {
-                "job_id": record.job.job_id,
-                "project": record.job.project,
-                "n_gpus": record.job.n_gpus,
-                "t": self.events.now,
-            },
-        )
+        if self._telemetry:
+            obs.emit(
+                "job_submit",
+                {
+                    "job_id": record.job.job_id,
+                    "project": record.job.project,
+                    "n_gpus": record.job.n_gpus,
+                    "t": self.events.now,
+                },
+            )
         self._request_dispatch()
 
     def _complete(self, record: JobRecord) -> None:
+        now = self.events.now
         record.state = JobState.COMPLETED
-        self.pool.release(record.job.n_gpus, self.events.now)
-        self._running = [(t, r) for t, r in self._running if r is not record]
+        self.pool.release(record.job.n_gpus, now, record.job.mem)
+        # Lazily prune the end-time heap: completions fire in end-time
+        # order, so the finished record is at (or near) the top.
+        running = self._running
+        while running and running[0][2].state is JobState.COMPLETED:
+            heapq.heappop(running)
+        self.calendar.prune(now)
         # Simulation times are part of the deterministic payload: they are a
         # property of the workload and policy, not of the host that ran it.
-        obs.emit(
-            "job_finish",
-            {"job_id": record.job.job_id, "t": self.events.now},
-        )
+        if self._telemetry:
+            obs.emit("job_finish", {"job_id": record.job.job_id, "t": now})
         self._request_dispatch()
 
     def _request_dispatch(self) -> None:
@@ -132,89 +205,60 @@ class ClusterSimulator:
 
     def _start(self, record: JobRecord) -> None:
         now = self.events.now
-        self.pool.allocate(record.job.n_gpus, now)
-        self._usage[record.job.project] = (
-            self._usage.get(record.job.project, 0.0)
-            + record.job.n_gpus * record.job.duration
+        job = record.job
+        self.pool.allocate(job.n_gpus, now, job.mem)
+        self._usage[job.project] = (
+            self._usage.get(job.project, 0.0) + job.n_gpus * job.duration
         )
         record.state = JobState.RUNNING
         record.start_time = now
-        end = now + record.job.duration
+        end = now + job.duration
         record.end_time = end  # final once COMPLETED fires
-        self._running.append((end, record))
-        obs.emit(
-            "job_start",
-            {
-                "job_id": record.job.job_id,
-                "t": now,
-                "wait": now - record.job.submit_time,
-            },
-        )
+        self._start_seq += 1
+        heapq.heappush(self._running, (end, self._start_seq, record))
+        self.calendar.add(now, end, job.n_gpus, job.mem)
+        if self._telemetry:
+            obs.emit(
+                "job_start",
+                {
+                    "job_id": job.job_id,
+                    "t": now,
+                    "wait": now - job.submit_time,
+                },
+            )
         self.events.schedule(
             end,
             lambda r=record: self._complete(r),
             priority=_PRIORITY_COMPLETE,
-            label=f"complete:{record.job.job_id}",
+            label=f"complete:{job.job_id}",
         )
 
-    def _shadow_time_and_extra(self, head: JobRecord) -> tuple[float, int]:
-        """Earliest start for the head job and the spare GPUs at that time.
-
-        Walk running jobs in completion order accumulating freed GPUs until
-        the head fits; the surplus beyond the head's need is the "extra"
-        capacity backfill jobs may hold past the shadow time.
-        """
-        available = self.pool.available
-        need = head.job.n_gpus
-        if available >= need:
-            return self.events.now, available - need
-        for end, rec in sorted(self._running, key=lambda tr: tr[0]):
-            available += rec.job.n_gpus
-            if available >= need:
-                return end, available - need
-        raise RuntimeError(
-            f"job {head.job.job_id} requests {need} GPUs, pool has "
-            f"{self.pool.capacity}"
-        )
+    def _emit_preempt(self, record: JobRecord, old_start: float,
+                      new_start: float | None) -> None:
+        """A held reservation was revoked (pushed later or dropped)."""
+        if self._telemetry:
+            obs.emit(
+                "job_preempt",
+                {
+                    "job_id": record.job.job_id,
+                    "t": self.events.now,
+                    "reserved_start": old_start,
+                    "new_start": new_start,
+                },
+            )
 
     def _dispatch(self) -> None:
         self._dispatch_scheduled = False
-        now = self.events.now
-        if self.policy is SchedulerPolicy.EDF:
-            # Stable sort keeps submission order among equal deadlines.
-            self.queue = deque(
-                sorted(self.queue, key=lambda r: r.job.deadline)
-            )
-        elif self.policy is SchedulerPolicy.FAIRSHARE:
-            # Lightest-usage project first; stable among equals.
-            self.queue = deque(
-                sorted(
-                    self.queue,
-                    key=lambda r: self._usage.get(r.job.project, 0.0),
-                )
-            )
+        policy = self._policy
+        self.queue = policy.order(self.queue, self)
         # Start jobs from the head while they fit.
-        while self.queue and self.pool.can_allocate(self.queue[0].job.n_gpus):
-            self._start(self.queue.popleft())
-        if not self.queue or self.policy is not SchedulerPolicy.BACKFILL:
-            return
-        # EASY backfill around the blocked head job.
-        head = self.queue[0]
-        shadow, extra = self._shadow_time_and_extra(head)
-        index = 1
-        while index < len(self.queue):
-            record = self.queue[index]
-            n = record.job.n_gpus
-            if self.pool.can_allocate(n):
-                finishes_before_shadow = now + record.job.duration <= shadow
-                fits_in_extra = n <= extra
-                if finishes_before_shadow or fits_in_extra:
-                    del self.queue[index]
-                    self._start(record)
-                    if not finishes_before_shadow:
-                        extra -= n
-                    continue  # same index now holds the next job
-            index += 1
+        queue = self.queue
+        pool = self.pool
+        while queue and pool.can_allocate(queue[0].job.n_gpus,
+                                          queue[0].job.mem):
+            self._start(queue.popleft())
+        if queue:
+            policy.plan(self)
 
     # -- public API ------------------------------------------------------
 
@@ -222,18 +266,23 @@ class ClusterSimulator:
         """Execute ``jobs`` to completion and return their records.
 
         Records are returned in ``job_id`` order.  Raises if any job requests
-        more GPUs than the pool holds (it could never start).
+        more GPUs (or memory) than the pool holds (it could never start).
         """
         ids = [j.job_id for j in jobs]
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate job_id in workload")
         t0 = time.perf_counter()
+        # Telemetry routing is sampled once per run: the DES fires millions
+        # of events for large workloads and skipping payload construction
+        # when no sink is active is a measurable win.
+        self._telemetry = obs.enabled()
+        self._policy.reset()
         obs.emit(
             "cluster_run_start",
             {
                 "n_jobs": len(jobs),
                 "n_gpus": self.pool.capacity,
-                "policy": self.policy.value,
+                "policy": self._policy.name,
             },
         )
         for job in jobs:
@@ -241,6 +290,12 @@ class ClusterSimulator:
                 raise ValueError(
                     f"job {job.job_id} requests {job.n_gpus} GPUs, "
                     f"pool has {self.pool.capacity}"
+                )
+            if job.mem > 0.0 and self.pool.mem_capacity > 0.0 and \
+                    job.mem > self.pool.mem_capacity:
+                raise ValueError(
+                    f"job {job.job_id} requests {job.mem} mem, "
+                    f"pool has {self.pool.mem_capacity}"
                 )
             record = JobRecord(job=job)
             self._records[job.job_id] = record

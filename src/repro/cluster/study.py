@@ -6,15 +6,26 @@ the benchmark file is now a shim over this module.
 
 from __future__ import annotations
 
+import time
+
 from repro import obs
-from repro.cluster.metrics import evaluate_schedule
+from repro.cluster.metrics import (
+    evaluate_schedule,
+    fairness_spread,
+    tail_utilization,
+    wait_percentiles,
+)
 from repro.cluster.policies import (
     naive_deadline_submission,
     staged_batch_submission,
     uniform_submission,
 )
 from repro.cluster.scheduler import ClusterSimulator, SchedulerPolicy
-from repro.cluster.workload import default_reu_projects, generate_workload
+from repro.cluster.workload import (
+    default_reu_projects,
+    generate_workload,
+    synthetic_workload,
+)
 from repro.exp.registry import Experiment, register
 from repro.exp.reporting import rows_table
 from repro.exp.result import Block, Check, ExpResult, Verdict
@@ -24,6 +35,8 @@ __all__ = [
     "r1_submission_policies",
     "r1_scheduler_ablation",
     "r1_pool_size_sweep",
+    "r1_policy_shootout",
+    "c1_throughput_sweep",
     "run_policy",
     "run_policy_traced",
 ]
@@ -180,6 +193,129 @@ def r1_pool_size_sweep(pool_sizes=(4, 6, 8, 12, 16), submit_seed: int = 1,
     )
 
 
+def r1_policy_shootout(
+    policies=("fifo", "backfill", "edf", "fairshare", "conservative",
+              "hybrid-2"),
+    n_gpus: int = 6,
+    submit_seed: int = 1,
+    workload_seed: int = 42,
+    shootout_jobs: int = 240,
+) -> Block:
+    """Every scheduling policy against every workload shape.
+
+    Workloads: the three REU submission plans (naive crunch, uniform,
+    staged batches) plus an ``llm_heavy`` open-arrival stream — the
+    skewed mix where one project's long multi-GPU jobs dominate, which
+    is where backfilling families and fair-share actually separate.
+
+    Per cell: wait p50/p95/p99 (the median-vs-tail trade), utilization
+    over the last quarter of the makespan (how well the discipline packs
+    the end-of-program window), and the per-project fairness spread.
+    """
+    projects = default_reu_projects()
+    workloads = {
+        "naive": generate_workload(
+            projects,
+            submit_times=naive_deadline_submission(projects, seed=submit_seed),
+            seed=workload_seed,
+        ),
+        "uniform": generate_workload(
+            projects,
+            submit_times=uniform_submission(projects, seed=submit_seed),
+            seed=workload_seed,
+        ),
+        "staged": generate_workload(
+            projects,
+            submit_times=staged_batch_submission(projects),
+            seed=workload_seed,
+        ),
+        "llm_heavy": synthetic_workload(
+            shootout_jobs, n_gpus, mix="llm_heavy", seed=workload_seed
+        ),
+    }
+    values: dict[str, dict[str, dict[str, float]]] = {}
+    tables = []
+    for plan, jobs in workloads.items():
+        values[plan] = {}
+        rows = []
+        for policy in policies:
+            sim = ClusterSimulator(n_gpus, policy=policy)
+            records = sim.run(jobs)
+            pcts = wait_percentiles(records)
+            cell = {
+                "p50_wait": pcts["p50"],
+                "p95_wait": pcts["p95"],
+                "p99_wait": pcts["p99"],
+                "tail_utilization": tail_utilization(records, n_gpus),
+                "fairness_spread": fairness_spread(records),
+                "makespan": float(max(r.end_time for r in records)),
+            }
+            values[plan][str(policy)] = cell
+            rows.append(
+                [policy, cell["p50_wait"], cell["p95_wait"], cell["p99_wait"],
+                 cell["tail_utilization"], cell["fairness_spread"]]
+            )
+        tables.append(
+            rows_table(
+                ["policy", "p50 wait h", "p95 wait h", "p99 wait h",
+                 "tail util", "fairness spread h"],
+                rows,
+                title=f"R1 policy shoot-out: {plan} workload ({n_gpus} GPUs)",
+            )
+        )
+    return Block(values=values, tables=tuple(tables))
+
+
+def c1_throughput_sweep(
+    sizes=(10_000, 100_000),
+    n_gpus: int = 32,
+    policy: str = "backfill",
+    mix: str = "mixed",
+    seed: int = 0,
+) -> Block:
+    """Engine throughput (simulated jobs per wall second) vs workload size.
+
+    Workloads come from :func:`synthetic_workload`'s steady-state stream,
+    so queue depth stays bounded and the measurement isolates per-job
+    engine cost.  Telemetry is quieted for the timed region — per-job
+    events would otherwise dominate the wall time.
+    """
+    rows = []
+    for n_jobs in sizes:
+        jobs = synthetic_workload(int(n_jobs), n_gpus, mix=mix, seed=seed)
+        sim = ClusterSimulator(n_gpus, policy=policy)
+        with obs.quiet():
+            t0 = time.perf_counter()
+            records = sim.run(jobs)
+            wall = time.perf_counter() - t0
+        rows.append(
+            {
+                "n_jobs": int(n_jobs),
+                "completed": int(len(records)),
+                "wall_s": float(wall),
+                "jobs_per_s": float(n_jobs / wall) if wall > 0 else 0.0,
+                "makespan": float(sim.makespan),
+            }
+        )
+    return Block(
+        values={"rows": rows},
+        tables=(
+            rows_table(
+                ["jobs", "completed", "wall s", "jobs/s", "makespan h"],
+                [
+                    [r["n_jobs"], r["completed"], r["wall_s"],
+                     r["jobs_per_s"], r["makespan"]]
+                    for r in rows
+                ],
+                title=(
+                    f"C1: scheduling-engine throughput ({policy}, "
+                    f"{mix} mix, {n_gpus} GPUs)"
+                ),
+            ),
+        ),
+    )
+
+
 @register
 class ContentionExperiment(Experiment):
     id = "R1"
@@ -195,8 +331,15 @@ class ContentionExperiment(Experiment):
         "submit_seed": 1,
         "workload_seed": 42,
         "pool_sizes": (4, 6, 8, 12, 16),
+        "policies": ("fifo", "backfill", "edf", "fairshare",
+                     "conservative", "hybrid-2"),
+        "shootout_jobs": 240,
     }
-    SMOKE = {"pool_sizes": (4, 8)}
+    SMOKE = {
+        "pool_sizes": (4, 8),
+        "policies": ("fifo", "backfill", "conservative"),
+        "shootout_jobs": 60,
+    }
 
     def _run(self, config, *, workers, cache):
         result = ExpResult(self.id, config)
@@ -217,6 +360,13 @@ class ContentionExperiment(Experiment):
             r1_pool_size_sweep(
                 config["pool_sizes"], config["submit_seed"],
                 config["workload_seed"],
+            ),
+        )
+        result.add(
+            "shootout",
+            r1_policy_shootout(
+                config["policies"], config["n_gpus"], config["submit_seed"],
+                config["workload_seed"], config["shootout_jobs"],
             ),
         )
         return result
@@ -255,6 +405,77 @@ class ContentionExperiment(Experiment):
                 "bigger pools absorb the crunch",
                 pool,
                 pool[0]["missed_deadlines"] >= pool[-1]["missed_deadlines"],
+            ),
+        ]
+        shootout = result["shootout"]
+        checks.append(
+            Check(
+                "every policy completes every shoot-out workload",
+                {plan: sorted(cells) for plan, cells in shootout.items()},
+                all(
+                    0.0 <= cell["tail_utilization"] <= 1.0 + 1e-9
+                    and cell["p50_wait"] <= cell["p95_wait"] <= cell["p99_wait"]
+                    for cells in shootout.values()
+                    for cell in cells.values()
+                ),
+            )
+        )
+        return Verdict(self.id, tuple(checks))
+
+
+@register
+class ThroughputExperiment(Experiment):
+    id = "C1"
+    title = "Scheduling-engine throughput at scale"
+    section = "3"
+    paper_claim = (
+        "reasoning about end-of-program GPU contention requires simulating "
+        "whole seasons of cluster load; the discrete-event engine must "
+        "sustain large synthetic workloads for the studies to be cheap to "
+        "re-run"
+    )
+    DEFAULT = {
+        "sizes": (10_000, 100_000),
+        "n_gpus": 32,
+        "policy": "backfill",
+        "mix": "mixed",
+        "seed": 0,
+    }
+    SMOKE = {"sizes": (2_000,)}
+    # Throughput numbers are wall-clock-derived; run-to-run variation in
+    # them is expected, not drift.
+    VOLATILE_VALUES = ("throughput.*.wall_s", "throughput.*.jobs_per_s")
+
+    def _run(self, config, *, workers, cache):
+        result = ExpResult(self.id, config)
+        result.add(
+            "throughput",
+            c1_throughput_sweep(
+                config["sizes"], config["n_gpus"], config["policy"],
+                config["mix"], config["seed"],
+            ),
+        )
+        return result
+
+    def check(self, result):
+        rows = result["throughput"]["rows"]
+        checks = [
+            Check(
+                "every job in every sweep size completes",
+                [{r["n_jobs"]: r["completed"]} for r in rows],
+                all(r["completed"] == r["n_jobs"] for r in rows),
+            ),
+            Check(
+                "throughput stays positive and degrades sub-linearly",
+                [{r["n_jobs"]: round(r["jobs_per_s"], 1)} for r in rows],
+                all(r["jobs_per_s"] > 0 for r in rows)
+                and (
+                    len(rows) < 2
+                    # 10x the jobs must cost well under 10x the wall time:
+                    # a generous 4x throughput floor keeps the check CI-safe
+                    # while still catching a super-linear regression.
+                    or rows[-1]["jobs_per_s"] > rows[0]["jobs_per_s"] / 4.0
+                ),
             ),
         ]
         return Verdict(self.id, tuple(checks))

@@ -9,7 +9,11 @@ bit-identically — workload reproducibility in the paper's spirit.
 
 Line format (after the header)::
 
-    job_id  project  n_gpus  duration_h  submit_h  deadline_h
+    job_id  project  n_gpus  duration_h  submit_h  deadline_h  [mem_gb]
+
+The trailing ``mem_gb`` field is optional: it is written only for jobs
+that request memory (so v1 traces of GPU-only workloads are unchanged,
+byte for byte) and absent means ``0.0`` on load.
 """
 
 from __future__ import annotations
@@ -21,7 +25,7 @@ from repro.cluster.jobs import Job
 __all__ = ["dump_trace", "dumps_trace", "load_trace", "loads_trace"]
 
 _HEADER = "; repro-cluster-trace v1"
-_FIELDS = "; job_id project n_gpus duration_h submit_h deadline_h"
+_FIELDS = "; job_id project n_gpus duration_h submit_h deadline_h [mem_gb]"
 
 
 def dumps_trace(jobs: list[Job], *, comment: str = "") -> str:
@@ -36,10 +40,13 @@ def dumps_trace(jobs: list[Job], *, comment: str = "") -> str:
             raise ValueError(
                 f"project name {job.project!r} contains whitespace"
             )
-        lines.append(
+        line = (
             f"{job.job_id} {job.project} {job.n_gpus} "
             f"{job.duration!r} {job.submit_time!r} {job.deadline!r}"
         )
+        if job.mem > 0.0:
+            line += f" {job.mem!r}"
+        lines.append(line)
     return "\n".join(lines) + "\n"
 
 
@@ -54,9 +61,10 @@ def loads_trace(text: str) -> list[Job]:
         if not line or line.startswith(";"):
             continue
         parts = line.split()
-        if len(parts) != 6:
+        if len(parts) not in (6, 7):
             raise ValueError(
-                f"line {lineno}: expected 6 fields, got {len(parts)}: {raw!r}"
+                f"line {lineno}: expected 6 or 7 fields, got {len(parts)}: "
+                f"{raw!r}"
             )
         try:
             jobs.append(
@@ -67,6 +75,7 @@ def loads_trace(text: str) -> list[Job]:
                     duration=float(parts[3]),
                     submit_time=float(parts[4]),
                     deadline=float(parts[5]),
+                    mem=float(parts[6]) if len(parts) == 7 else 0.0,
                 )
             )
         except ValueError as exc:

@@ -16,7 +16,13 @@ import numpy as np
 from repro.cluster.jobs import Job
 from repro.utils.rng import as_generator
 
-__all__ = ["ProjectSpec", "default_reu_projects", "generate_workload"]
+__all__ = [
+    "ProjectSpec",
+    "default_reu_projects",
+    "generate_workload",
+    "JOB_MIXES",
+    "synthetic_workload",
+]
 
 # Hours: research phase spans program weeks 5-9, posters at end of week 10.
 RESEARCH_START_H = 4 * 7 * 24.0
@@ -153,4 +159,106 @@ def generate_workload(
             )
             job_id += 1
     jobs.sort(key=lambda j: j.submit_time)
+    return jobs
+
+
+# Steady-state job classes: (weight, project, gpus, duration range (h),
+# memory per job (GB)).  The skewed mixes model the workload the paper's
+# crunch foreshadows — a handful of projects running long multi-GPU
+# training jobs next to everyone else's short exploratory runs.  Memory
+# figures only constrain placement on a memory-tracked pool
+# (``mem_capacity > 0``); a GPU-only pool ignores them.
+JOB_MIXES: dict[str, tuple[tuple[float, str, int, tuple[float, float], float], ...]] = {
+    # Balanced lab: mostly short single-GPU jobs, some medium, few large.
+    "mixed": (
+        (0.60, "explore", 1, (0.5, 4.0), 16.0),
+        (0.30, "train", 2, (2.0, 12.0), 40.0),
+        (0.10, "large", 4, (12.0, 48.0), 96.0),
+    ),
+    # One project dominates with long many-GPU pretraining runs.
+    "llm_heavy": (
+        (0.30, "explore", 1, (0.5, 4.0), 16.0),
+        (0.20, "finetune", 2, (4.0, 16.0), 48.0),
+        (0.50, "llm", 4, (24.0, 96.0), 128.0),
+    ),
+    # Memory-bound multimodal training: modest GPU counts, heavy HBM.
+    "vlm_heavy": (
+        (0.35, "explore", 1, (0.5, 4.0), 24.0),
+        (0.45, "vlm", 2, (8.0, 36.0), 112.0),
+        (0.20, "large", 4, (12.0, 48.0), 96.0),
+    ),
+}
+
+
+def synthetic_workload(
+    n_jobs: int,
+    n_gpus: int = 8,
+    *,
+    mix: str = "mixed",
+    load: float = 0.85,
+    deadline_slack: tuple[float, float] = (2.0, 6.0),
+    seed: int | np.random.Generator | None = 0,
+) -> list[Job]:
+    """Open-arrival workload with a bounded queue, for scale benchmarks.
+
+    Unlike :func:`generate_workload` (one season's deadline crunch),
+    arrivals here form a steady-state stream: exponential interarrivals
+    whose rate is chosen so offered load is ``load`` of pool capacity,
+    keeping queue depth bounded as ``n_jobs`` grows — the regime where
+    the engine's per-job cost, not queue blow-up, dominates.  That is
+    what lets throughput benchmarks run out to millions of jobs.
+
+    Parameters
+    ----------
+    n_jobs:
+        Number of jobs to generate.
+    n_gpus:
+        Pool size the workload targets (job GPU counts are capped at it).
+    mix:
+        A :data:`JOB_MIXES` key: ``"mixed"``, ``"llm_heavy"``, or
+        ``"vlm_heavy"``.
+    load:
+        Offered load as a fraction of pool GPU capacity (0 < load < 1
+        for a stable queue).
+    deadline_slack:
+        Each job's deadline is ``submit + duration * U(*deadline_slack)``,
+        giving EDF a meaningful ordering signal.
+    seed:
+        RNG seed or generator.
+    """
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    if mix not in JOB_MIXES:
+        raise KeyError(f"unknown mix {mix!r}; have {sorted(JOB_MIXES)}")
+    if not 0.0 < load < 1.0:
+        raise ValueError(f"load must be in (0, 1), got {load}")
+    rng = as_generator(seed)
+    classes = JOB_MIXES[mix]
+    weights = np.array([c[0] for c in classes])
+    weights = weights / weights.sum()
+    # Offered load: E[gpus * duration] per job over the mean interarrival.
+    expected_work = sum(
+        w * min(g, n_gpus) * (d_lo + d_hi) / 2.0
+        for w, _proj, g, (d_lo, d_hi), _mem in classes
+    )
+    mean_interarrival = expected_work / (load * n_gpus)
+    jobs: list[Job] = []
+    t = 0.0
+    picks = rng.choice(len(classes), size=n_jobs, p=weights)
+    for job_id in range(n_jobs):
+        _w, project, gpus, (d_lo, d_hi), mem = classes[int(picks[job_id])]
+        t += float(rng.exponential(mean_interarrival))
+        duration = float(rng.uniform(d_lo, d_hi))
+        slack = float(rng.uniform(*deadline_slack))
+        jobs.append(
+            Job(
+                job_id=job_id,
+                project=project,
+                n_gpus=min(gpus, n_gpus),
+                duration=duration,
+                submit_time=t,
+                deadline=t + duration * slack,
+                mem=mem,
+            )
+        )
     return jobs

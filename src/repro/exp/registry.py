@@ -129,8 +129,9 @@ def register(cls: type[Experiment]) -> type[Experiment]:
 
 
 #: Catalog presentation order by id prefix: tables, narrative, year-two
-#: plans, student projects, contention study, performance/parallel lessons.
-_SECTION_ORDER = {"T": 0, "N": 1, "F": 2, "E": 3, "R": 4, "P": 5}
+#: plans, student projects, contention study + cluster engine,
+#: performance/parallel lessons.
+_SECTION_ORDER = {"T": 0, "N": 1, "F": 2, "E": 3, "R": 4, "C": 5, "P": 6}
 
 
 def _catalog_key(exp_id: str) -> tuple[int, int, str]:

@@ -53,6 +53,7 @@ from repro.obs.events import (
     capture_events,
     configure,
     emit,
+    enabled,
     get_logger,
     quiet,
     read_events,
@@ -91,6 +92,7 @@ __all__ = [
     "capture_events",
     "configure",
     "emit",
+    "enabled",
     "get_logger",
     "quiet",
     "read_events",

@@ -224,6 +224,16 @@ def get_logger() -> EventLog | None:
     return _env_logs[root]
 
 
+def enabled() -> bool:
+    """True when an :func:`emit` would currently reach a sink.
+
+    Hot loops (the cluster DES fires millions of events per run) use this
+    as a pre-flight check so they can skip building payload dicts
+    entirely when telemetry is off.
+    """
+    return _quiet_depth == 0 and get_logger() is not None
+
+
 def emit(
     kind: str,
     payload: Mapping[str, Any] | None = None,

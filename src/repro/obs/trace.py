@@ -224,6 +224,10 @@ class ClusterContention:
     mean_wait: float
     p95_wait: float
     tail_utilization: float  # utilization inside the final window
+    # Reservation churn: how many times the scheduler revoked or pushed
+    # back a held start-time promise (conservative/hybrid backfill under
+    # priority reordering).  Zero for FIFO-ordered disciplines.
+    n_preempts: int = 0
 
     @property
     def utilization(self) -> float:
@@ -244,6 +248,7 @@ class ClusterContention:
             "peak_queue_time": self.peak_queue_time,
             "mean_wait": self.mean_wait,
             "p95_wait": self.p95_wait,
+            "n_preempts": self.n_preempts,
         }
 
 
@@ -545,6 +550,7 @@ class TraceReader:
                     "waits": [],
                     "intervals": [],
                     "queue_events": [],  # (t, +1 submit / -1 start)
+                    "n_preempts": 0,
                 }
             elif frame is None:
                 continue
@@ -555,6 +561,8 @@ class TraceReader:
                 frame["starts"][payload["job_id"]] = float(payload["t"])
                 frame["waits"].append(float(payload.get("wait", 0.0)))
                 frame["queue_events"].append((float(payload["t"]), -1))
+            elif kind == "job_preempt":
+                frame["n_preempts"] += 1
             elif kind == "job_finish":
                 job_id = payload["job_id"]
                 start = frame["starts"].get(job_id)
@@ -605,6 +613,7 @@ class TraceReader:
             tail_utilization=(
                 min(1.0, tail_busy / tail_capacity) if tail_capacity > 0 else 0.0
             ),
+            n_preempts=frame["n_preempts"],
         )
 
     # -- cache attribution ------------------------------------------------
@@ -844,14 +853,14 @@ def render_utilization(reader: TraceReader) -> str:
     if runs:
         table = Table(
             ["policy", "jobs", "GPUs", "makespan h", "util",
-             "tail util", "peak queue", "p95 wait h"],
+             "tail util", "peak queue", "p95 wait h", "preempts"],
             title="cluster contention", decimals=3,
         )
         for run in runs:
             table.add_row([
                 run.policy, run.n_jobs, run.n_gpus, run.makespan,
                 run.utilization, run.tail_utilization,
-                run.peak_queue_depth, run.p95_wait,
+                run.peak_queue_depth, run.p95_wait, run.n_preempts,
             ])
         blocks.append(table.render())
     usage = reader.resource_usage()

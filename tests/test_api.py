@@ -182,7 +182,7 @@ class TestCatalogFacade:
     def test_describe_experiments_covers_the_catalog(self):
         descriptors = Catalog().experiments()
         ids = [d["id"] for d in descriptors]
-        assert len(ids) == 20 and len(set(ids)) == 20
+        assert len(ids) == 21 and len(set(ids)) == 21
         for d in descriptors:
             assert {"id", "title", "section", "paper_claim", "config",
                     "smoke_overrides", "volatile_values"} <= set(d)

@@ -42,7 +42,7 @@ def _install_fake(monkeypatch, exp_id, should_pass):
 def test_list_shows_the_whole_catalog(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
-    assert "experiment catalog (20 registered)" in out
+    assert "experiment catalog (21 registered)" in out
     for exp_id in ("T1", "T2", "T3", "N1", "F1", "E10", "E11", "R1", "P1", "P2", "P3"):
         assert f"\n{exp_id} " in out or f"| {exp_id}" in out or exp_id in out
 

@@ -1,0 +1,138 @@
+"""Unit tests for the reservation calendar (the engine's free-capacity index)."""
+
+import pytest
+
+from repro.cluster import ReservationCalendar
+
+
+class TestConstruction:
+    def test_rejects_zero_gpus(self):
+        with pytest.raises(ValueError, match="gpus"):
+            ReservationCalendar(0)
+
+    def test_rejects_negative_mem(self):
+        with pytest.raises(ValueError, match="mem"):
+            ReservationCalendar(4, -1.0)
+
+    def test_empty_calendar_is_fully_free(self):
+        cal = ReservationCalendar(4)
+        assert cal.available(0.0) == 4
+        assert cal.available(1e9) == 4
+        assert cal.earliest_fit(4, 100.0, 0.0) == 0.0
+
+
+class TestAddRemove:
+    def test_add_reduces_availability_inside_window_only(self):
+        cal = ReservationCalendar(4)
+        cal.add(10.0, 20.0, 3)
+        assert cal.available(5.0) == 4
+        assert cal.available(10.0) == 1
+        assert cal.available(19.999) == 1
+        assert cal.available(20.0) == 4
+
+    def test_overlapping_adds_accumulate(self):
+        cal = ReservationCalendar(8)
+        cal.add(0.0, 10.0, 3)
+        cal.add(5.0, 15.0, 4)
+        assert cal.available(2.0) == 5
+        assert cal.available(7.0) == 1
+        assert cal.available(12.0) == 4
+
+    def test_remove_undoes_add(self):
+        cal = ReservationCalendar(4)
+        cal.add(0.0, 10.0, 2)
+        cal.remove(0.0, 10.0, 2)
+        assert cal.available(5.0) == 4
+        assert cal.fits(0.0, 100.0, 4)
+
+    def test_empty_interval_rejected(self):
+        cal = ReservationCalendar(4)
+        with pytest.raises(ValueError, match="empty interval"):
+            cal.add(5.0, 5.0, 1)
+
+
+class TestFits:
+    def test_fits_spanning_segments(self):
+        cal = ReservationCalendar(4)
+        cal.add(0.0, 10.0, 2)
+        cal.add(10.0, 20.0, 3)
+        assert cal.fits(0.0, 5.0, 2)
+        assert not cal.fits(0.0, 15.0, 2)  # crosses the 3-GPU segment
+        assert cal.fits(0.0, 15.0, 1)
+
+    def test_fits_open_ended_tail(self):
+        cal = ReservationCalendar(4)
+        cal.add(0.0, 10.0, 4)
+        assert cal.fits(10.0, 1e6, 4)
+
+
+class TestEarliestFit:
+    def test_waits_for_capacity_release(self):
+        cal = ReservationCalendar(4)
+        cal.add(0.0, 10.0, 3)
+        assert cal.earliest_fit(1, 5.0, 0.0) == 0.0
+        assert cal.earliest_fit(2, 5.0, 0.0) == 10.0
+
+    def test_window_must_fit_across_breakpoints(self):
+        # Free gap [10, 12) is too short for a 5h 2-GPU job.
+        cal = ReservationCalendar(4)
+        cal.add(0.0, 10.0, 3)
+        cal.add(12.0, 20.0, 3)
+        assert cal.earliest_fit(2, 5.0, 0.0) == 20.0
+        assert cal.earliest_fit(2, 2.0, 0.0) == 10.0
+
+    def test_not_before_is_honoured(self):
+        cal = ReservationCalendar(4)
+        assert cal.earliest_fit(1, 1.0, 42.5) == 42.5
+
+    def test_oversized_request_raises(self):
+        cal = ReservationCalendar(4)
+        with pytest.raises(ValueError, match="exceeds capacity"):
+            cal.earliest_fit(5, 1.0, 0.0)
+
+
+class TestMemoryDimension:
+    def test_mem_constrains_when_tracked(self):
+        cal = ReservationCalendar(4, 100.0)
+        cal.add(0.0, 10.0, 1, 90.0)
+        # GPUs are free, memory is not.
+        assert cal.available(5.0) == 3
+        assert not cal.fits(0.0, 5.0, 1, mem=20.0)
+        assert cal.earliest_fit(1, 5.0, 0.0, mem=20.0) == 10.0
+
+    def test_mem_ignored_when_untracked(self):
+        cal = ReservationCalendar(4)  # mem capacity 0 = untracked
+        cal.add(0.0, 10.0, 1, 1e9)
+        assert cal.fits(0.0, 5.0, 1, mem=1e9)
+        assert cal.available_mem(0.0) == float("inf")
+
+    def test_oversized_mem_request_raises(self):
+        cal = ReservationCalendar(4, 100.0)
+        with pytest.raises(ValueError, match="exceeds capacity"):
+            cal.earliest_fit(1, 1.0, 0.0, mem=200.0)
+
+
+class TestPruneAndCopy:
+    def test_prune_drops_history_keeps_future(self):
+        cal = ReservationCalendar(4)
+        cal.add(0.0, 10.0, 2)
+        cal.add(20.0, 30.0, 3)
+        cal.prune(15.0)
+        assert len(cal) < 4
+        assert cal.available(25.0) == 1
+        assert cal.earliest_fit(2, 100.0, 15.0) == 30.0
+
+    def test_prune_bounds_timeline_growth(self):
+        cal = ReservationCalendar(4)
+        for i in range(1000):
+            cal.add(float(i), float(i) + 1.0, 1)
+            cal.prune(float(i))
+        assert len(cal) < 10
+
+    def test_copy_is_independent(self):
+        cal = ReservationCalendar(4)
+        cal.add(0.0, 10.0, 2)
+        dup = cal.copy()
+        dup.add(0.0, 10.0, 2)
+        assert cal.available(5.0) == 2
+        assert dup.available(5.0) == 0

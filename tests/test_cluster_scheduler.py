@@ -351,7 +351,7 @@ class TestTraceFormat:
         from repro.cluster import dumps_trace, loads_trace
 
         text = dumps_trace([Job(0, "p", 1, 1.0, 0.0, 10.0)]) + "1 q 2\n"
-        with pytest.raises(ValueError, match="6 fields"):
+        with pytest.raises(ValueError, match="fields"):
             loads_trace(text)
 
     def test_whitespace_project_rejected(self):
@@ -359,3 +359,243 @@ class TestTraceFormat:
 
         with pytest.raises(ValueError, match="whitespace"):
             dumps_trace([Job(0, "bad name", 1, 1.0, 0.0, 10.0)])
+
+    def test_mem_field_round_trips(self):
+        from repro.cluster import dumps_trace, loads_trace
+
+        jobs = [
+            Job(0, "gpu_only", 1, 1.0, 0.0, 10.0),
+            Job(1, "hbm", 2, 3.5, 1.25, 20.0, mem=80.5),
+        ]
+        text = dumps_trace(jobs)
+        # GPU-only lines keep the v1 shape (6 fields); memory adds a 7th.
+        lines = [l for l in text.splitlines() if not l.startswith(";")]
+        assert len(lines[0].split()) == 6
+        assert len(lines[1].split()) == 7
+        restored = loads_trace(text)
+        assert restored == jobs
+
+
+class TestPolicyRegistry:
+    def test_enum_and_name_resolve_to_same_schedule(self):
+        jobs = [J(0, 2, 10.0, 0.0), J(1, 1, 5.0, 0.0), J(2, 1, 5.0, 0.0)]
+        by_enum = ClusterSimulator(2, policy=SchedulerPolicy.BACKFILL).run(jobs)
+        by_name = ClusterSimulator(2, policy="backfill").run(jobs)
+        assert [(r.start_time, r.end_time) for r in by_enum] == [
+            (r.start_time, r.end_time) for r in by_name
+        ]
+
+    def test_policy_instances_are_accepted(self):
+        from repro.cluster.scheduling import HybridBackfill
+
+        sim = ClusterSimulator(2, policy=HybridBackfill(2, key="edf"))
+        assert sim.policy_name == "hybrid-2-edf"
+        recs = sim.run([J(0, 2, 5.0, 0.0), J(1, 1, 1.0, 0.0)])
+        assert all(r.state is JobState.COMPLETED for r in recs)
+
+    def test_parameterized_names(self):
+        from repro.cluster import get_policy
+
+        assert get_policy("hybrid-7").reserve_depth == 7
+        assert get_policy("conservative-edf").reserve_depth is None
+        assert get_policy("hybrid-2-fairshare").name == "hybrid-2-fairshare"
+
+    def test_unknown_policy_lists_registry(self):
+        with pytest.raises(KeyError, match="backfill"):
+            ClusterSimulator(2, policy="wishful-thinking")
+
+    def test_register_policy_rejects_duplicates(self):
+        from repro.cluster import register_policy
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_policy("fifo", lambda: None)
+
+    def test_available_policies_cover_the_family(self):
+        from repro.cluster import available_policies
+
+        names = available_policies()
+        for expected in ("fifo", "edf", "fairshare", "backfill", "easy",
+                         "conservative", "hybrid-2", "hybrid-4"):
+            assert expected in names
+
+
+class TestReservationPolicies:
+    def test_conservative_backfills_around_all_reservations(self):
+        # Pool 4: job0 fills it; job1 (3 GPUs) is reserved at t=10; job2
+        # (1 GPU, 5h) is reserved beside job1 over [10, 15).  Job3
+        # (1 GPU, 30h) must plan around *both* reservations: the single
+        # free GPU only opens at t=15 when job2's slot ends.
+        jobs = [
+            J(0, 4, 10.0, 0.0),
+            J(1, 3, 10.0, 1.0),
+            J(2, 1, 5.0, 2.0),
+            J(3, 1, 30.0, 3.0),
+        ]
+        recs = ClusterSimulator(4, policy="conservative").run(jobs)
+        assert recs[1].start_time == 10.0  # reservation honoured
+        assert recs[2].start_time == 10.0  # planned beside it
+        assert recs[3].start_time == 15.0  # around both reservations
+
+    def test_hybrid_k_matches_conservative_when_k_covers_queue(self):
+        jobs = [J(i, (i % 4) + 1, 5.0 + i, float(i)) for i in range(8)]
+        conservative = ClusterSimulator(4, policy="conservative").run(jobs)
+        hybrid = ClusterSimulator(4, policy="hybrid-8").run(jobs)
+        assert [(r.start_time, r.end_time) for r in conservative] == [
+            (r.start_time, r.end_time) for r in hybrid
+        ]
+
+    def test_preempt_event_on_reservation_displacement(self):
+        from repro import obs
+
+        jobs = [
+            J(0, 4, 10.0, 0.0, deadline=1000.0),
+            J(1, 4, 10.0, 1.0, deadline=900.0),
+            J(2, 4, 10.0, 2.0, deadline=100.0),  # tighter, overtakes job1
+        ]
+        with obs.capture_events() as events:
+            recs = ClusterSimulator(4, policy="conservative-edf").run(jobs)
+        preempts = [e for e in events if e["kind"] == "job_preempt"]
+        assert len(preempts) == 1
+        assert preempts[0]["payload"]["job_id"] == 1
+        assert preempts[0]["payload"]["reserved_start"] == 10.0
+        assert preempts[0]["payload"]["new_start"] == 20.0
+        assert recs[2].start_time == 10.0
+        assert recs[1].start_time == 20.0
+
+    def test_trace_reader_counts_preempt_churn(self):
+        from repro import obs
+        from repro.obs.trace import TraceReader
+
+        jobs = [
+            J(0, 4, 10.0, 0.0, deadline=1000.0),
+            J(1, 4, 10.0, 1.0, deadline=900.0),
+            J(2, 4, 10.0, 2.0, deadline=100.0),
+        ]
+        with obs.capture_events() as events:
+            ClusterSimulator(4, policy="conservative-edf").run(jobs)
+        (run,) = TraceReader.from_records(events).cluster_runs()
+        assert run.n_preempts == 1
+        assert run.policy == "conservative-edf"
+        assert run.as_dict()["n_preempts"] == 1
+
+    def test_fifo_ordered_policies_emit_no_preempts(self):
+        from repro import obs
+
+        jobs = [J(i, (i % 4) + 1, 4.0, float(i)) for i in range(10)]
+        for policy in ("backfill", "conservative", "hybrid-2"):
+            with obs.capture_events() as events:
+                ClusterSimulator(4, policy=policy).run(jobs)
+            assert [e for e in events if e["kind"] == "job_preempt"] == []
+
+
+class TestMemoryAwareScheduling:
+    def test_memory_blocks_admission_on_tracked_pool(self):
+        # Both jobs fit on GPUs; memory serializes them.
+        jobs = [
+            Job(0, "a", 1, 10.0, 0.0, 1e9, mem=70.0),
+            Job(1, "b", 1, 10.0, 0.0, 1e9, mem=70.0),
+        ]
+        recs = ClusterSimulator(4, policy="fifo", mem_capacity=100.0).run(jobs)
+        assert recs[0].start_time == 0.0
+        assert recs[1].start_time == 10.0
+
+    def test_memory_ignored_on_untracked_pool(self):
+        jobs = [
+            Job(0, "a", 1, 10.0, 0.0, 1e9, mem=70.0),
+            Job(1, "b", 1, 10.0, 0.0, 1e9, mem=70.0),
+        ]
+        recs = ClusterSimulator(4, policy="fifo").run(jobs)
+        assert recs[0].start_time == 0.0
+        assert recs[1].start_time == 0.0
+
+    def test_oversized_memory_request_rejected(self):
+        sim = ClusterSimulator(4, mem_capacity=100.0)
+        with pytest.raises(ValueError, match="mem"):
+            sim.run([Job(0, "a", 1, 1.0, 0.0, 1e9, mem=200.0)])
+
+    def test_backfill_respects_memory_reservations(self):
+        # GPU-wise job2 could backfill; memory-wise it cannot.
+        jobs = [
+            Job(0, "a", 4, 10.0, 0.0, 1e9, mem=20.0),
+            Job(1, "b", 4, 10.0, 1.0, 1e9, mem=90.0),
+            Job(2, "c", 1, 50.0, 2.0, 1e9, mem=90.0),
+        ]
+        recs = ClusterSimulator(
+            4, policy="conservative", mem_capacity=100.0
+        ).run(jobs)
+        assert recs[1].start_time == 10.0
+        assert recs[2].start_time == 20.0
+
+    def test_negative_mem_rejected(self):
+        with pytest.raises(ValueError, match="mem"):
+            Job(0, "a", 1, 1.0, 0.0, 1e9, mem=-1.0)
+
+
+class TestSyntheticWorkload:
+    def test_deterministic_and_sorted(self):
+        from repro.cluster import synthetic_workload
+
+        a = synthetic_workload(200, 8, mix="mixed", seed=7)
+        b = synthetic_workload(200, 8, mix="mixed", seed=7)
+        assert a == b
+        assert all(
+            a[i].submit_time <= a[i + 1].submit_time for i in range(len(a) - 1)
+        )
+        assert [j.job_id for j in a] == list(range(200))
+
+    def test_gpu_counts_capped_at_pool(self):
+        from repro.cluster import synthetic_workload
+
+        jobs = synthetic_workload(100, 2, mix="llm_heavy", seed=0)
+        assert max(j.n_gpus for j in jobs) <= 2
+
+    def test_mixes_shape_the_stream(self):
+        from repro.cluster import synthetic_workload
+
+        llm = synthetic_workload(400, 8, mix="llm_heavy", seed=3)
+        mixed = synthetic_workload(400, 8, mix="mixed", seed=3)
+        mean = lambda js: sum(j.duration * j.n_gpus for j in js) / len(js)
+        assert mean(llm) > mean(mixed)
+
+    def test_unknown_mix_rejected(self):
+        from repro.cluster import synthetic_workload
+
+        with pytest.raises(KeyError, match="llm_heavy"):
+            synthetic_workload(10, 4, mix="nope")
+
+    def test_unstable_load_rejected(self):
+        from repro.cluster import synthetic_workload
+
+        with pytest.raises(ValueError, match="load"):
+            synthetic_workload(10, 4, load=1.5)
+
+
+class TestEngineScaling:
+    def test_running_profile_matches_active_jobs(self):
+        sim = ClusterSimulator(4)
+        sim.run([J(0, 2, 10.0, 0.0), J(1, 1, 20.0, 0.0)], until=5.0)
+        assert sim.running_profile() == [(10.0, 2), (20.0, 1)]
+
+    def test_running_heap_prunes_completed_entries(self):
+        # After everything completes the lazily-pruned heap must be empty
+        # (no unbounded growth across a long run).
+        from repro.cluster import synthetic_workload
+
+        sim = ClusterSimulator(8)
+        sim.run(synthetic_workload(500, 8, seed=11))
+        assert sim.running_profile() == []
+        assert len(sim._running) == 0
+
+    def test_calendar_is_pruned_as_time_advances(self):
+        from repro.cluster import synthetic_workload
+
+        sim = ClusterSimulator(8)
+        sim.run(synthetic_workload(500, 8, seed=11))
+        # The calendar holds the future profile only: once the season is
+        # over it collapses to a handful of breakpoints, not O(jobs).
+        assert len(sim.calendar) < 20
+
+    def test_earliest_fit_query_against_running_jobs(self):
+        sim = ClusterSimulator(4)
+        sim.run([J(0, 4, 10.0, 0.0)], until=1.0)
+        assert sim.earliest_fit(1, 5.0) == 10.0

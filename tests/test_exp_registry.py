@@ -15,7 +15,7 @@ from repro.exp.result import ExpResult
 EXPECTED_IDS = [
     "T1", "T2", "T3", "N1", "F1",
     "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
-    "R1", "P1", "P2", "P3",
+    "R1", "C1", "P1", "P2", "P3",
 ]
 
 
