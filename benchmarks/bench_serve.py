@@ -20,12 +20,20 @@ Standalone::
 ``--assert-hit-rate R`` exits non-zero when the overall hit rate lands
 below ``R`` — CI's smoke-serve gate.  Under pytest the small
 :func:`test_zipf_fleet_hits_the_shared_store` variant runs.
+
+``--overhead`` switches to the tracing-overhead report: the same zipf
+schedule replayed twice on separate roots — once with the full tracing
+stack (traceparent propagation, access log, latency histograms) and once
+under ``REPRO_OBS_DISABLE=1`` — taking the best of ``--overhead-repeats``
+walls per mode.  ``--assert-overhead F`` exits non-zero when tracing
+costs more than fraction ``F`` (CI gates at 0.05, i.e. <5%).
 """
 
 from __future__ import annotations
 
 import argparse
 import concurrent.futures
+import os
 import random
 import statistics
 import sys
@@ -149,6 +157,85 @@ def run_fleet(
     )
 
 
+def overhead_report(
+    schedule: Sequence[str],
+    *,
+    clients: int,
+    workers: int,
+    repeats: int,
+    root: Path,
+) -> dict:
+    """Traced vs ``REPRO_OBS_DISABLE=1`` fleets on separate roots.
+
+    Each repeat executes the full schedule against a *fresh* root so both
+    modes pay the same execution cost; the best wall per mode damps
+    scheduler noise.  The environment flag is set before the server
+    starts so the forked workers inherit it.
+    """
+
+    def one_mode(mode: str, disable: bool) -> tuple[float, FleetReport]:
+        walls: list[float] = []
+        report = None
+        for repeat in range(repeats):
+            mode_root = Path(root) / f"{mode}-{repeat}"
+            saved = os.environ.get("REPRO_OBS_DISABLE")
+            if disable:
+                os.environ["REPRO_OBS_DISABLE"] = "1"
+            else:
+                os.environ.pop("REPRO_OBS_DISABLE", None)
+            try:
+                with CatalogServer(mode_root, workers=workers) as server:
+                    report = run_fleet(server.url, schedule, clients=clients)
+            finally:
+                if saved is None:
+                    os.environ.pop("REPRO_OBS_DISABLE", None)
+                else:
+                    os.environ["REPRO_OBS_DISABLE"] = saved
+            walls.append(report.wall_s)
+        return min(walls), report
+
+    traced_wall, traced = one_mode("traced", disable=False)
+    bare_wall, bare = one_mode("untraced", disable=True)
+    overhead = (traced_wall - bare_wall) / bare_wall if bare_wall else 0.0
+    return {
+        "traced_wall_s": traced_wall,
+        "untraced_wall_s": bare_wall,
+        "overhead_frac": overhead,
+        "traced": traced,
+        "untraced": bare,
+        "n_requests": len(schedule),
+        "repeats": repeats,
+    }
+
+
+def render_overhead(result: dict) -> str:
+    n = result["n_requests"]
+    rows = []
+    for mode in ("traced", "untraced"):
+        wall, fleet = result[f"{mode}_wall_s"], result[mode]
+        rows.append((
+            mode,
+            f"{wall:.3f}",
+            f"{n / wall:.1f}" if wall else "-",
+            f"{100 * fleet.hit_rate:.0f}%",
+            fleet.failed,
+        ))
+    table = rows_table(
+        ["mode", "wall s", "req/s", "hit rate", "failed"],
+        rows,
+        title=(
+            f"tracing overhead ({n} requests, "
+            f"best of {result['repeats']})"
+        ),
+    )
+    return (
+        f"{table}\n"
+        f"tracing overhead: {100 * result['overhead_frac']:+.2f}% wall "
+        f"(traced {result['traced_wall_s']:.3f}s vs "
+        f"untraced {result['untraced_wall_s']:.3f}s)"
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--requests", type=int, default=60,
@@ -168,6 +255,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--assert-hit-rate", type=float, default=None,
                         metavar="R",
                         help="exit 1 unless the overall hit rate >= R")
+    parser.add_argument("--overhead", action="store_true",
+                        help="measure tracing overhead: traced vs "
+                             "REPRO_OBS_DISABLE=1 fleets on separate roots")
+    parser.add_argument("--overhead-repeats", type=int, default=3,
+                        metavar="N",
+                        help="fleets per mode, best wall wins (default 3)")
+    parser.add_argument("--assert-overhead", type=float, default=None,
+                        metavar="F",
+                        help="exit 1 when tracing costs more than "
+                             "fraction F of the untraced wall (CI: 0.05)")
     args = parser.parse_args(argv)
 
     import tempfile
@@ -176,6 +273,37 @@ def main(argv: Sequence[str] | None = None) -> int:
     schedule = zipf_schedule(
         FLEET_IDS, args.requests, s=args.zipf, seed=args.seed
     )
+
+    if args.overhead:
+        result = overhead_report(
+            schedule,
+            clients=args.clients,
+            workers=args.workers,
+            repeats=args.overhead_repeats,
+            root=Path(root),
+        )
+        text = render_overhead(result)
+        print(text)
+        if args.out:
+            Path(args.out).write_text(text + "\n")
+            print(f"table written to {args.out}")
+        for fleet in (result["traced"], result["untraced"]):
+            if fleet.failed:
+                print(
+                    f"bench_serve: {fleet.failed} requests failed",
+                    file=sys.stderr,
+                )
+                return 1
+        if (args.assert_overhead is not None
+                and result["overhead_frac"] > args.assert_overhead):
+            print(
+                f"bench_serve: tracing overhead "
+                f"{100 * result['overhead_frac']:.2f}% exceeds the allowed "
+                f"{100 * args.assert_overhead:.2f}%",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
     with CatalogServer(root, workers=args.workers) as server:
         report = run_fleet(server.url, schedule, clients=args.clients)
         metrics = ServeClient(server.url).metrics_text()

@@ -10,7 +10,8 @@ writes the artifact set atomically:
   ``experiment_finish`` / ``run_finish`` framing whatever the
   experiment's own :func:`repro.parallel.pmap` calls emit;
 * ``manifest.json`` — a hash-chained :class:`ExperimentManifest` with
-  configs, seed ledgers, result digests, and the captured environment;
+  configs, seed ledgers, result digests, the captured environment, and
+  the originating request-trace context (:mod:`repro.obs.context`);
 * ``results.json`` — values, verdicts, declared volatile-value globs,
   and per-experiment wall times;
 * ``metrics.prom`` — the metrics registry in Prometheus text format;
@@ -37,6 +38,7 @@ from typing import Any
 import repro
 from repro import obs
 from repro.api.types import RunRequest
+from repro.obs import context as trace_context
 from repro.obs.resources import ResourceSampler, resolve_sample_interval
 from repro.provenance.env import capture_environment
 from repro.provenance.manifest import ExperimentManifest
@@ -62,6 +64,10 @@ class RunSummary:
     smoke: bool
     out_dir: Path | None = None
     manifest: ExperimentManifest | None = None
+    #: The trace context the run executed under (repro.obs.context) —
+    #: recorded into manifest.json so a served result names the request
+    #: that caused it.
+    trace: dict[str, Any] | None = None
 
     def verdicts(self) -> list[Any]:
         return [r.verdict for r in self.records if r.verdict is not None]
@@ -126,11 +132,19 @@ def execute_request(
     resolved = request.resolved_ids()
     out_path = Path(out_dir) if out_dir is not None else None
     manifest = ExperimentManifest("repro-run")
+    # The run executes under the caller's trace when one is bound (the
+    # serving worker binds the context it was handed across the fork);
+    # a bare CLI run roots a fresh trace from the request's own digest.
+    ctx = trace_context.current()
+    if ctx is None:
+        ctx = trace_context.new_context(request.digest())
     previous_log: Any = None
     sampler: ResourceSampler | None = None
     if out_path is not None:
         out_path.mkdir(parents=True, exist_ok=True)
-        run_log = obs.EventLog(out_path / "events.jsonl")
+        # The trace is pinned to the log (not just thread-bound) so the
+        # resource sampler's daemon-thread emits carry it too.
+        run_log = obs.EventLog(out_path / "events.jsonl", trace=ctx)
         previous_log = obs.configure(run_log)
         interval = resolve_sample_interval(request.sample_resources)
         if interval > 0:
@@ -139,47 +153,53 @@ def execute_request(
             sampler = ResourceSampler(interval, log=run_log)
             sampler.start()
     try:
-        obs.emit("run_start", {"experiments": resolved, "smoke": request.smoke})
-        records: list[RunRecord] = []
-        for exp_id in resolved:
-            exp = get_experiment(exp_id)
-            obs.emit("experiment_start", {"experiment": exp.id})
-            start = time.perf_counter()
-            # The span makes each experiment a node of the run's call tree,
-            # so `repro trace --critical-path` names the dominant one.
-            with obs.span(exp.id):
-                result = exp.run(
-                    request.overrides_for(exp.id),
-                    smoke=request.smoke,
-                    seeds=request.seeds,
-                    workers=request.workers,
-                    cache=request.cache,
-                )
-            elapsed = time.perf_counter() - start
-            verdict = exp.check(result)
-            manifest.record(
-                exp.id,
-                dict(result.config),
-                seed_ledger(result.config),
-                result=result.values,
-            )
+        with trace_context.bind(ctx):
             obs.emit(
-                "experiment_finish",
-                {
-                    "experiment": exp.id,
-                    "n_blocks": len(result.values),
-                    "passed": None if verdict is None else verdict.passed,
-                },
-                {"dur_s": elapsed},
+                "run_start", {"experiments": resolved, "smoke": request.smoke}
             )
-            records.append(RunRecord(exp, result, verdict, elapsed))
-        obs.emit("run_finish", {"n_experiments": len(records)})
+            records: list[RunRecord] = []
+            for exp_id in resolved:
+                exp = get_experiment(exp_id)
+                obs.emit("experiment_start", {"experiment": exp.id})
+                start = time.perf_counter()
+                # The span makes each experiment a node of the run's call
+                # tree, so `repro trace --critical-path` names the dominant
+                # one.
+                with obs.span(exp.id):
+                    result = exp.run(
+                        request.overrides_for(exp.id),
+                        smoke=request.smoke,
+                        seeds=request.seeds,
+                        workers=request.workers,
+                        cache=request.cache,
+                    )
+                elapsed = time.perf_counter() - start
+                verdict = exp.check(result)
+                manifest.record(
+                    exp.id,
+                    dict(result.config),
+                    seed_ledger(result.config),
+                    result=result.values,
+                )
+                obs.emit(
+                    "experiment_finish",
+                    {
+                        "experiment": exp.id,
+                        "n_blocks": len(result.values),
+                        "passed": None if verdict is None else verdict.passed,
+                    },
+                    {"dur_s": elapsed},
+                )
+                records.append(RunRecord(exp, result, verdict, elapsed))
+            obs.emit("run_finish", {"n_experiments": len(records)})
     finally:
         if sampler is not None:
             sampler.stop()
         if out_path is not None:
             obs.configure(previous_log)
-    summary = RunSummary(records, request.smoke, out_path, manifest)
+    summary = RunSummary(
+        records, request.smoke, out_path, manifest, trace=ctx.as_dict()
+    )
     if out_path is not None:
         _write_artifacts(summary, out_path)
         _register_run(out_path)
@@ -214,6 +234,10 @@ def _write_artifacts(summary: RunSummary, out_path: Path) -> None:
         "chain_verified": manifest.verify_chain(),
         "manifest": json.loads(manifest.to_json()),
     }
+    if summary.trace is not None:
+        # Provenance: which request trace caused this run (volatile, like
+        # the environment block — not part of the results identity).
+        manifest_doc["trace"] = summary.trace
     _atomic_write_text(out_path / "manifest.json", json.dumps(manifest_doc, indent=2))
     _atomic_write_text(out_path / "results.json", json.dumps(summary.as_dict(), indent=2))
     prom = obs.render_prometheus(

@@ -277,6 +277,11 @@ class RunStatus:
     finished_at: float | None = None
     error: str | None = None
     run_dir: str | None = None
+    #: The trace that *caused* this run (repro.obs.context).  Coalesced
+    #: submitters receive the original submitter's trace_id here — a
+    #: mismatch with their own context is how they learn they joined an
+    #: in-flight execution instead of starting one.
+    trace_id: str | None = None
 
     @property
     def terminal(self) -> bool:
@@ -299,6 +304,7 @@ class RunStatus:
             "finished_at": self.finished_at,
             "error": self.error,
             "run_dir": self.run_dir,
+            "trace_id": self.trace_id,
             "request": self.request.as_dict(),
         }
 
@@ -314,6 +320,7 @@ class RunStatus:
             finished_at=raw.get("finished_at"),
             error=raw.get("error"),
             run_dir=raw.get("run_dir"),
+            trace_id=raw.get("trace_id"),
         )
 
 

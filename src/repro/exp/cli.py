@@ -16,7 +16,11 @@ Subcommands
 ``trace <run-dir>``
     Analyze a recorded run's ``events.jsonl``: summary plus cache
     attribution by default, ``--utilization`` and ``--critical-path``
-    tables on demand, the whole analysis as JSON via ``--json``.
+    tables on demand, the whole analysis as JSON via ``--json``.  With
+    ``--serve`` the argument is a *serve root*: its ``access.jsonl`` is
+    stitched to run directories and rendered as per-request timelines
+    (``--trace-id`` narrows to one request, inlining the run's critical
+    path).
 ``bench <ids|all>``
     Time experiments (median of ``--repeats``) and either ``--record``
     the baselines or gate ``--against`` them, exiting non-zero on
@@ -36,6 +40,11 @@ Subcommands
     Long-running HTTP/JSON service over the catalog: ``POST /runs``
     queues work onto a pool of worker processes; repeat requests are
     answered from the shared content-addressed result store.
+``serve-report <root>``
+    Fleet aggregates from a serve root's access log: request/queue
+    latency histograms (p50/p95/p99), per-experiment cache and error
+    breakdown, and the trace-stitching table (``--require-stitched``
+    exits 1 if any run directory stitches to no trace).
 
 Every run-shaped subcommand is a thin adapter over :mod:`repro.api`: it
 packs its arguments into a :class:`repro.api.RunRequest` and hands it to
@@ -70,9 +79,12 @@ from repro.obs.history import HistoryError, RunDiff, RunRegistry, detect_flakine
 from repro.obs.resources import DEFAULT_INTERVAL_S
 from repro.obs.watch import watch_run
 from repro.obs.trace import (
+    ServeTraceIndex,
     TraceError,
     TraceReader,
     render_critical_path,
+    render_serve_report,
+    render_serve_trace,
     render_summary,
     render_utilization,
 )
@@ -142,6 +154,14 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="OUT",
                        help="emit the full analysis as JSON (to stdout, "
                             "or to OUT when given)")
+    trace.add_argument("--serve", action="store_true",
+                       help="treat RUN_DIR as a serve root: stitch its "
+                            "access.jsonl to run directories and show "
+                            "per-request timelines")
+    trace.add_argument("--trace-id", default=None, metavar="TRACE_ID",
+                       help="with --serve: one request's full timeline "
+                            "(queue latency, execution wall, inlined "
+                            "critical path)")
 
     bench = sub.add_parser(
         "bench",
@@ -228,6 +248,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "runs/)")
     serve.add_argument("--verbose", action="store_true",
                        help="log each HTTP request to stderr")
+
+    serve_report = sub.add_parser(
+        "serve-report",
+        help="fleet aggregates from a serve root's access log: latency "
+             "histograms, cache/error breakdown, trace stitching",
+    )
+    serve_report.add_argument("root", metavar="ROOT",
+                              help="serve root directory (or the "
+                                   "access.jsonl itself)")
+    serve_report.add_argument("--json", dest="json_out", nargs="?", const="-",
+                              metavar="OUT",
+                              help="emit the fleet report as JSON (to "
+                                   "stdout, or to OUT when given)")
+    serve_report.add_argument("--require-stitched", action="store_true",
+                              help="exit 1 unless every run directory "
+                                   "stitches to at least one trace_id")
     return parser
 
 
@@ -311,6 +347,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.serve:
+        return _cmd_trace_serve(args)
+    if args.trace_id:
+        print("repro trace: --trace-id requires --serve", file=sys.stderr)
+        return 2
     try:
         reader = TraceReader.load(args.run_dir)
     except TraceError as exc:
@@ -329,6 +370,54 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.utilization:
         sections.append(render_utilization(reader))
     print("\n\n".join(sections))
+    return 0
+
+
+def _cmd_trace_serve(args: argparse.Namespace) -> int:
+    """``repro trace --serve <root>``: stitched per-request timelines."""
+    try:
+        index = ServeTraceIndex.load(args.run_dir)
+    except TraceError as exc:
+        print(f"repro trace: {exc}", file=sys.stderr)
+        return 2
+    if args.json_out:
+        if args.trace_id:
+            payload: dict[str, Any] = index.timeline(args.trace_id)
+        else:
+            payload = {
+                "traces": [index.timeline(t) for t in index.trace_ids()]
+            }
+        if args.json_out == "-":
+            print(json.dumps(payload, indent=2))
+        else:
+            _write_json(args.json_out, payload)
+        return 0
+    print(render_serve_trace(index, args.trace_id))
+    return 0
+
+
+def _cmd_serve_report(args: argparse.Namespace) -> int:
+    try:
+        index = ServeTraceIndex.load(args.root)
+    except TraceError as exc:
+        print(f"repro serve-report: {exc}", file=sys.stderr)
+        return 2
+    report = index.fleet_report()
+    if args.json_out:
+        if args.json_out == "-":
+            print(json.dumps(report, indent=2))
+        else:
+            _write_json(args.json_out, report)
+    else:
+        print(render_serve_report(index))
+    unstitched = report["stitching"]["unstitched"]
+    if args.require_stitched and unstitched:
+        print(
+            f"repro serve-report: {len(unstitched)} run dir(s) stitch to no "
+            f"trace_id: {', '.join(unstitched)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -504,6 +593,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_watch(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "serve-report":
+        return _cmd_serve_report(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -67,9 +67,18 @@ from repro.obs.history import (
     RunRegistry,
     detect_flakiness,
 )
+from repro.obs.context import (
+    TRACEPARENT_HEADER,
+    TraceContext,
+    bind,
+    current,
+    new_context,
+)
 from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
     Counter,
     Gauge,
+    Histogram,
     Metrics,
     TimingHistogram,
     get_metrics,
@@ -83,7 +92,13 @@ from repro.obs.resources import (
     strip_samples,
 )
 from repro.obs.spans import current_span_path, span
-from repro.obs.trace import ResourceUsage, TraceError, TraceReader
+from repro.obs.trace import (
+    ACCESS_LOG_NAME,
+    ResourceUsage,
+    ServeTraceIndex,
+    TraceError,
+    TraceReader,
+)
 from repro.obs.watch import EventFollower, WatchState, watch_run
 
 __all__ = [
@@ -98,14 +113,23 @@ __all__ = [
     "read_events",
     "strip_volatile",
     "Counter",
+    "DEFAULT_BUCKETS",
     "Gauge",
+    "Histogram",
     "Metrics",
     "TimingHistogram",
     "get_metrics",
+    "TRACEPARENT_HEADER",
+    "TraceContext",
+    "bind",
+    "current",
+    "new_context",
     "current_span_path",
     "span",
+    "ACCESS_LOG_NAME",
     "TraceError",
     "TraceReader",
+    "ServeTraceIndex",
     "ResourceUsage",
     "BaselineEntry",
     "BaselineStore",

@@ -1,0 +1,182 @@
+"""W3C-traceparent-style trace context for the serving pipeline.
+
+The serving stack spans four address spaces — a client process, the HTTP
+listener's handler threads, the :class:`~repro.serve.queue.JobQueue`
+coordinator, and a forked worker — and until now no identifier survived
+all the hops.  A :class:`TraceContext` is that identifier: a 128-bit
+``trace_id`` naming one end-to-end request, a 64-bit ``span_id`` naming
+the current hop, and the parent hop's ``parent_id``, carried between
+processes as a ``traceparent`` header/string in the W3C Trace Context
+format::
+
+    00-<32 hex trace_id>-<16 hex span_id>-01
+
+Determinism
+-----------
+IDs are **never** derived from wall clocks or PRNGs: each one is a
+SHA-256 digest of caller-supplied material (typically the
+:meth:`RunRequest.digest` content hash) mixed with a process-local
+monotonic counter.  Two processes therefore never collide (their
+material differs), re-running the same request yields *stable-looking*
+but distinct traces (the counter advances), and nothing here can leak
+timing into cache keys or event payloads.  Trace fields ride in the
+**volatile** half of event records (see
+:data:`repro.obs.events.VOLATILE_FIELDS`), so the event-sequence
+determinism contract — serial and parallel runs byte-identical modulo
+``ts``/``wall``/``trace`` — is untouched.
+
+Binding
+-------
+The active context is a thread-local stack: HTTP handler threads each
+bind their own request's context without interfering, and a forked
+worker binds the context it was handed before calling
+:func:`repro.api.execution.execute_request`, at which point every event
+the run emits carries the originating trace.
+
+>>> ctx = new_context("demo-material")
+>>> len(ctx.trace_id), len(ctx.span_id)
+(32, 16)
+>>> with bind(ctx):
+...     current() is ctx
+True
+>>> current() is None
+True
+>>> TraceContext.from_traceparent(ctx.to_traceparent()) == ctx
+True
+>>> TraceContext.from_traceparent("not-a-header") is None
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import re
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+__all__ = [
+    "TRACEPARENT_HEADER",
+    "TraceContext",
+    "bind",
+    "current",
+    "new_context",
+]
+
+#: The HTTP header (and task-tuple slot) the context travels in.
+TRACEPARENT_HEADER = "traceparent"
+
+_TRACEPARENT_RE = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-(?P<trace_id>[0-9a-f]{32})"
+    r"-(?P<span_id>[0-9a-f]{16})-(?P<flags>[0-9a-f]{2})$"
+)
+
+#: Process-local monotonic counter folded into every derived id.
+_counter = itertools.count(1)
+
+
+def _derive(material: str, n_hex: int) -> str:
+    """A deterministic-safe id: hash of material + monotonic counter."""
+    seed = f"{material}#{next(_counter)}"
+    return hashlib.sha256(seed.encode()).hexdigest()[:n_hex]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One hop of one end-to-end request (immutable)."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+
+    # -- wire format --------------------------------------------------------
+
+    def to_traceparent(self) -> str:
+        """The W3C header value (``parent_id`` is a local-only field)."""
+        return f"00-{self.trace_id}-{self.span_id}-01"
+
+    @classmethod
+    def from_traceparent(cls, header: Any) -> "TraceContext | None":
+        """Parse a ``traceparent`` value; ``None`` on missing/malformed.
+
+        A malformed header must never fail a request — the contract is
+        "fall back to a fresh trace" — so every parse failure, including
+        the all-zero ids the W3C spec forbids, returns ``None``.
+        """
+        if not isinstance(header, str):
+            return None
+        match = _TRACEPARENT_RE.match(header.strip().lower())
+        if match is None:
+            return None
+        trace_id, span_id = match.group("trace_id"), match.group("span_id")
+        if set(trace_id) == {"0"} or set(span_id) == {"0"}:
+            return None
+        if match.group("version") == "ff":  # reserved, per the spec
+            return None
+        return cls(trace_id=trace_id, span_id=span_id)
+
+    # -- derivation ---------------------------------------------------------
+
+    def child(self, material: str = "") -> "TraceContext":
+        """A new hop of the same trace, parented to this one."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=_derive(f"{self.trace_id}:{material}", 16),
+            parent_id=self.span_id,
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "trace_id": self.trace_id, "span_id": self.span_id,
+        }
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
+        return out
+
+
+def new_context(material: str = "") -> TraceContext:
+    """A fresh root context (no parent), ids derived from ``material``.
+
+    Callers pass the most content-addressed material they have — the
+    serving layers use :meth:`RunRequest.digest` — so traces are
+    attributable to *what* was requested without consulting any clock.
+    """
+    return TraceContext(
+        trace_id=_derive(material, 32),
+        span_id=_derive(material, 16),
+    )
+
+
+# -- the thread-local binding ------------------------------------------------
+
+_local = threading.local()
+
+
+def _stack() -> list[TraceContext]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def current() -> TraceContext | None:
+    """The innermost bound context of *this thread* (``None`` outside)."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def bind(ctx: TraceContext) -> Iterator[TraceContext]:
+    """Make ``ctx`` the current context for the block (re-entrant).
+
+    While bound, every :func:`repro.obs.emit` from this thread stamps
+    the record with the context's trace fields.
+    """
+    stack = _stack()
+    stack.append(ctx)
+    try:
+        yield ctx
+    finally:
+        stack.pop()

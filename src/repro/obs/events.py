@@ -19,9 +19,11 @@ Fields split into two disjoint halves:
   experiment they are byte-identical whether the run executed serially or
   across any number of worker processes.  This is the event-sequence
   determinism contract the test suite enforces.
-* ``ts`` and everything under ``wall`` are **volatile**: wall-clock
-  timestamps, durations, pids, worker counts, dispatch modes.  Strip them
-  with :func:`strip_volatile` before comparing runs.
+* ``ts``, everything under ``wall``, and the ``trace`` block are
+  **volatile**: wall-clock timestamps, durations, pids, worker counts,
+  dispatch modes, and request-trace identifiers
+  (:mod:`repro.obs.context`).  Strip them with :func:`strip_volatile`
+  before comparing runs.
 
 Emission rules that keep the contract honest: only the coordinating
 process writes events (worker processes are born with the
@@ -55,6 +57,8 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
+from repro.obs import context as _trace_context
+
 __all__ = [
     "SCHEMA_VERSION",
     "EventLog",
@@ -73,7 +77,9 @@ _DIR_ENV = "REPRO_OBS_DIR"
 _DISABLE_ENV = "REPRO_OBS_DISABLE"
 
 #: Top-level record fields excluded from the determinism contract.
-VOLATILE_FIELDS = ("ts", "wall")
+#: ``trace`` carries request-trace ids (repro.obs.context), which mix in
+#: a process-local counter and therefore differ between re-runs.
+VOLATILE_FIELDS = ("ts", "wall", "trace")
 
 
 def _jsonable(value: Any) -> Any:
@@ -107,6 +113,13 @@ class EventLog:
     capture:
         Keep an in-memory copy in :attr:`records` even when writing to a
         file.  Always on for path-less logs.
+    trace:
+        A :class:`repro.obs.context.TraceContext` pinned to this log:
+        every record it writes carries the trace's ids, regardless of
+        which thread emits (the resource sampler's daemon thread shares
+        a run's log with the coordinator).  Without a pinned trace, the
+        emitting thread's bound context (:func:`repro.obs.context.current`)
+        is stamped when one exists.
 
     Appends are a single ``os.write`` to an ``O_APPEND`` descriptor, so a
     record is written atomically: concurrent writers may interleave
@@ -122,10 +135,15 @@ class EventLog:
     """
 
     def __init__(
-        self, path: str | os.PathLike | None = None, *, capture: bool = False
+        self,
+        path: str | os.PathLike | None = None,
+        *,
+        capture: bool = False,
+        trace: Any = None,
     ) -> None:
         self.path = Path(path) if path is not None else None
         self.capture = bool(capture) or self.path is None
+        self.trace = trace
         self.records: list[dict[str, Any]] = []
         self._seq = 0
         self._fd: int | None = None
@@ -150,6 +168,7 @@ class EventLog:
         wall: Mapping[str, Any] | None = None,
     ) -> dict[str, Any]:
         """Append one event; returns the record as written."""
+        trace = self.trace if self.trace is not None else _trace_context.current()
         with self._lock:
             record: dict[str, Any] = {
                 "schema": SCHEMA_VERSION,
@@ -159,6 +178,8 @@ class EventLog:
                 "payload": dict(payload or {}),
                 "wall": dict(wall or {}),
             }
+            if trace is not None:
+                record["trace"] = trace.as_dict()
             self._seq += 1
             if self.capture:
                 self.records.append(record)

@@ -14,13 +14,28 @@ payloads, so timings stay out of the determinism contract.
 
 from __future__ import annotations
 
+import bisect
 import math
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
 from repro.utils.tables import Table
 
-__all__ = ["Counter", "Gauge", "TimingHistogram", "Metrics", "get_metrics"]
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimingHistogram",
+    "Metrics",
+    "get_metrics",
+]
+
+#: Default latency bucket boundaries (seconds) — sub-5ms cache answers
+#: through multi-second smoke executions, roughly log-spaced.
+DEFAULT_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
 
 
 @dataclass
@@ -48,6 +63,111 @@ class Gauge:
     def set(self, value: float) -> float:
         self.value = float(value)
         return self.value
+
+
+class Histogram:
+    """A fixed-bucket counting histogram (the Prometheus histogram model).
+
+    Unlike :class:`TimingHistogram` (which keeps every raw sample),
+    a ``Histogram`` accumulates only per-bucket counts and a running
+    sum — O(1) memory however many requests pass through — and its
+    bucket boundaries are fixed at creation, so cumulative-bucket
+    exposition (``..._bucket{le="x"}``) and cross-scrape aggregation
+    are well-defined.
+
+    Examples
+    --------
+    >>> h = Histogram("lat", buckets=(0.1, 1.0))
+    >>> for v in (0.05, 0.05, 0.5, 2.0):
+    ...     h.observe(v)
+    >>> h.count, round(h.sum, 2)
+    (4, 2.6)
+    >>> h.cumulative()
+    [(0.1, 2), (1.0, 3), (inf, 4)]
+    """
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"bucket bounds must strictly increase: {bounds}")
+        if any(math.isinf(b) or math.isnan(b) for b in bounds):
+            raise ValueError("the +Inf bucket is implicit; bounds must be finite")
+        self.name = name
+        self.buckets = bounds
+        # counts[i] holds observations in (bounds[i-1], bounds[i]];
+        # counts[-1] is the overflow (+Inf) bucket.
+        self._counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (must be finite and >= 0)."""
+        value = float(value)
+        if not math.isfinite(value) or value < 0:
+            raise ValueError(f"histogram observations must be >= 0, got {value}")
+        self._counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last.
+
+        This is exactly the ``_bucket`` series Prometheus expects:
+        counts are monotonically non-decreasing and the final pair
+        always equals :attr:`count`.
+        """
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self._counts):
+            running += n
+            out.append((bound, running))
+        out.append((math.inf, self.count))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by interpolating within buckets.
+
+        The overflow bucket has no upper bound, so quantiles landing
+        there report the largest finite bound (a lower bound on the
+        truth — the same convention Prometheus's ``histogram_quantile``
+        uses).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0.0
+        lower = 0.0
+        for bound, n in zip(self.buckets, self._counts):
+            if n and running + n >= target:
+                frac = (target - running) / n
+                return lower + frac * (bound - lower)
+            running += n
+            lower = bound
+        return self.buckets[-1]
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "buckets": [
+                {"le": "+Inf" if math.isinf(bound) else bound, "count": n}
+                for bound, n in self.cumulative()
+            ],
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
 
 
 @dataclass
@@ -99,6 +219,7 @@ class Metrics:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._timers: dict[str, TimingHistogram] = {}
+        self._histograms: dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
         if name not in self._counters:
@@ -115,6 +236,29 @@ class Metrics:
             self._timers[name] = TimingHistogram(name)
         return self._timers[name]
 
+    def histogram(
+        self, name: str, buckets: Sequence[float] | None = None
+    ) -> Histogram:
+        """A fixed-bucket histogram (create-on-first-use).
+
+        The first caller fixes the bucket boundaries; later callers may
+        omit ``buckets`` or must pass the same ones — silently merging
+        differently-bucketed observations would corrupt the cumulative
+        series.
+        """
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(
+                name, DEFAULT_BUCKETS if buckets is None else buckets
+            )
+        elif buckets is not None and tuple(
+            float(b) for b in buckets
+        ) != self._histograms[name].buckets:
+            raise ValueError(
+                f"histogram {name!r} already exists with buckets "
+                f"{self._histograms[name].buckets}"
+            )
+        return self._histograms[name]
+
     def snapshot(self) -> dict[str, dict[str, Any]]:
         """Plain-dict view of every instrument (for manifests / JSONL)."""
         return {
@@ -128,6 +272,9 @@ class Metrics:
                     "max_s": t.max_s,
                 }
                 for n, t in sorted(self._timers.items())
+            },
+            "histograms": {
+                n: h.snapshot() for n, h in sorted(self._histograms.items())
             },
         }
 
@@ -147,6 +294,17 @@ class Metrics:
                     f"mean={timer.mean_s:.4f}s max={timer.max_s:.4f}s",
                 ]
             )
+        for name, hist in sorted(self._histograms.items()):
+            table.add_row(
+                [
+                    name,
+                    "histogram",
+                    f"n={hist.count} sum={hist.sum:.4f}s "
+                    f"p50={hist.quantile(0.5):.4f}s "
+                    f"p95={hist.quantile(0.95):.4f}s "
+                    f"p99={hist.quantile(0.99):.4f}s",
+                ]
+            )
         return table.render()
 
     def reset(self) -> None:
@@ -154,6 +312,7 @@ class Metrics:
         self._counters.clear()
         self._gauges.clear()
         self._timers.clear()
+        self._histograms.clear()
 
 
 _global = Metrics()

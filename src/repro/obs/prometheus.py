@@ -9,8 +9,11 @@ a gateway, or just diffed as text.  ``repro run`` writes the rendering to
 Mapping: counters become ``repro_<name>_total``; gauges become
 ``repro_<name>`` (NaN gauges — never set — are skipped); each timing
 histogram becomes a summary pair ``repro_<name>_seconds_count`` /
-``repro_<name>_seconds_sum`` plus a ``..._seconds_max`` gauge.  Names are
-sanitized to the Prometheus charset (dots map to underscores).
+``repro_<name>_seconds_sum`` plus a ``..._seconds_max`` gauge; each
+fixed-bucket :class:`~repro.obs.metrics.Histogram` becomes a proper
+Prometheus histogram — cumulative ``..._seconds_bucket{le="..."}``
+series ending at ``le="+Inf"``, plus ``_sum`` and ``_count``.  Names
+are sanitized to the Prometheus charset (dots map to underscores).
 
 Constant labels (e.g. ``run_id``) may be attached to every sample; label
 *values* are escaped per the exposition format — backslash, newline, and
@@ -132,5 +135,21 @@ def render_prometheus(
         lines.append(f"{metric}_sum{block} {_format_value(stats['total_s'])}")
         lines.append(f"# TYPE {metric}_max gauge")
         lines.append(f"{metric}_max{block} {_format_value(stats['max_s'])}")
+
+    for name, stats in snapshot.get("histograms", {}).items():
+        metric = f"{_metric_name(name, prefix=prefix)}_seconds"
+        lines.append(f"# HELP {metric} latency histogram {name}")
+        lines.append(f"# TYPE {metric} histogram")
+        for bucket in stats["buckets"]:
+            le = bucket["le"]
+            le_str = le if isinstance(le, str) else _format_value(float(le))
+            bucket_labels = dict(labels or {})
+            bucket_labels["le"] = le_str
+            lines.append(
+                f"{metric}_bucket{_label_block(bucket_labels)} "
+                f"{int(bucket['count'])}"
+            )
+        lines.append(f"{metric}_sum{block} {_format_value(stats['sum'])}")
+        lines.append(f"{metric}_count{block} {int(stats['count'])}")
 
     return "\n".join(lines) + "\n" if lines else ""

@@ -22,8 +22,16 @@ concurrent requesters.
 zipf-distributed synthetic client fleet.
 """
 
+from repro.serve.access import ACCESS_LOG_NAME, AccessLog
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.queue import JobQueue
 from repro.serve.server import CatalogServer
 
-__all__ = ["CatalogServer", "JobQueue", "ServeClient", "ServeError"]
+__all__ = [
+    "ACCESS_LOG_NAME",
+    "AccessLog",
+    "CatalogServer",
+    "JobQueue",
+    "ServeClient",
+    "ServeError",
+]

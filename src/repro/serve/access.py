@@ -1,0 +1,87 @@
+"""The serve stack's structured access log — one JSONL line per event.
+
+Request traces (:mod:`repro.obs.context`) answer "which hops did this
+request take"; the access log answers "what did the *server* see".  Two
+record kinds share one append-only file, ``<root>/access.jsonl``:
+
+``kind="request"``
+    One line per HTTP request, written by the handler thread as the
+    response goes out: trace ids, method, path, HTTP status, the run it
+    touched, cache/coalesced flags, and the request's wall time.
+``kind="terminal"``
+    One line per *executed* run reaching a terminal state (done, failed,
+    cancelled), written by the :class:`~repro.serve.queue.JobQueue`
+    coordinator: the run id, every trace_id that joined the execution
+    (coalesced requests share one run — this is the audit trail), the
+    queue latency, and the execution wall time.
+
+Writes are single ``os.write`` calls on an ``O_APPEND`` descriptor, the
+same atomic-line discipline as :class:`repro.obs.events.EventLog`, so
+handler threads and the drainer thread may interleave lines but never
+bytes.  The ``REPRO_OBS_DISABLE=1`` kill switch silences the log
+entirely — the tracing-overhead benchmark leans on that.
+
+The read side lives in :class:`repro.obs.trace.ServeTraceIndex`, which
+stitches these lines to run directories.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.obs.trace import ACCESS_LOG_NAME
+
+__all__ = ["ACCESS_LOG_NAME", "AccessLog"]
+
+_DISABLE_ENV = "REPRO_OBS_DISABLE"
+
+
+class AccessLog:
+    """Append-only JSONL access log for one serve root.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> with tempfile.TemporaryDirectory() as root:
+    ...     log = AccessLog(Path(root) / ACCESS_LOG_NAME)
+    ...     record = log.write("request", method="POST", path="/runs")
+    ...     record["kind"], record["method"]
+    ('request', 'POST')
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._fd: int | None = None
+        self._lock = threading.Lock()
+
+    def write(self, kind: str, **fields: Any) -> dict[str, Any] | None:
+        """Append one record; returns it, or ``None`` when disabled.
+
+        ``None``-valued fields are dropped so optional attributes (error,
+        run_id on unrouted requests) never clutter the line.
+        """
+        if os.environ.get(_DISABLE_ENV, "") == "1":
+            return None
+        record: dict[str, Any] = {"kind": str(kind), "ts": time.time()}
+        record.update({k: v for k, v in fields.items() if v is not None})
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        with self._lock:
+            if self._fd is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fd = os.open(
+                    self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+                )
+            os.write(self._fd, line.encode())
+        return record
+
+    def close(self) -> None:
+        """Release the descriptor (subsequent writes reopen it)."""
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None

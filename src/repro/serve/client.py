@@ -21,6 +21,8 @@ import urllib.request
 from typing import Any, Mapping
 
 from repro.api.types import RunRequest, RunStatus, TERMINAL_STATES
+from repro.obs import context as trace_context
+from repro.obs.context import TRACEPARENT_HEADER
 
 __all__ = ["ServeClient", "ServeError"]
 
@@ -40,6 +42,10 @@ class ServeClient:
     def __init__(self, base_url: str, *, timeout_s: float = 60.0) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        #: The trace context the most recent request was sent under —
+        #: compare its trace_id to the returned status's to detect a
+        #: coalesced submission.
+        self.last_trace: Any = None
 
     # -- transport ----------------------------------------------------------
 
@@ -47,9 +53,22 @@ class ServeClient:
         self, method: str, path: str, body: Mapping[str, Any] | None = None
     ) -> tuple[int, Any]:
         data = None if body is None else json.dumps(body).encode()
+        headers = {"Content-Type": "application/json"} if data else {}
+        # Propagate the caller's bound trace (repro.obs.context) when one
+        # exists; otherwise root a fresh client-side trace so even bare
+        # submissions are end-to-end traceable.  Id material is the
+        # request itself — content, never a clock.
+        ctx = trace_context.current()
+        if ctx is None:
+            ctx = trace_context.new_context(
+                f"{method} {path} "
+                + (json.dumps(body, sort_keys=True) if body else "")
+            )
+        self.last_trace = ctx
+        headers[TRACEPARENT_HEADER] = ctx.to_traceparent()
         request = urllib.request.Request(
             f"{self.base_url}{path}", data=data, method=method,
-            headers={"Content-Type": "application/json"} if data else {},
+            headers=headers,
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:

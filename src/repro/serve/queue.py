@@ -43,8 +43,17 @@ an explicit no-cache submission is a demand for a fresh execution.)
 
 Metrics: ``serve.requests`` / ``serve.cache.hits`` / ``serve.cache.misses``
 / ``serve.coalesced`` / ``serve.completed`` / ``serve.failed`` /
-``serve.cancelled`` counters and ``serve.queue_depth`` / ``serve.running``
-/ ``serve.workers`` gauges — all visible through ``GET /metrics``.
+``serve.cancelled`` counters, ``serve.queue_depth`` / ``serve.running``
+/ ``serve.workers`` gauges, and the ``serve.queue_latency`` histogram
+(submission → execution start) — all visible through ``GET /metrics``
+(the HTTP layer adds the ``serve.request_latency`` per-request wall-time
+histogram).
+
+Tracing: every submission carries a :mod:`repro.obs.context` trace.  The
+coordinator threads the submitter's ``traceparent`` through the task
+tuple into the forked worker, records every coalesced joiner's trace_id
+on the one job, and appends one ``terminal`` line per executed run to
+the serve root's ``access.jsonl`` (see :mod:`repro.serve.access`).
 """
 
 from __future__ import annotations
@@ -55,7 +64,7 @@ import multiprocessing
 import os
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
@@ -72,7 +81,9 @@ from repro.api.types import (
     RunStatus,
     UnknownRunError,
 )
+from repro.obs import context as trace_context
 from repro.obs.metrics import get_metrics
+from repro.serve.access import ACCESS_LOG_NAME, AccessLog
 
 __all__ = ["JobQueue", "worker_main"]
 
@@ -96,12 +107,22 @@ def worker_main(tasks: Any, events: Any, root: str) -> None:
         item = tasks.get()
         if item is _STOP:
             break
-        run_id, raw_request = item
+        run_id, raw_request, traceparent = item
         events.put(("start", run_id, os.getpid(), time.time()))
+        # The traceparent rode the task tuple across the fork boundary;
+        # the worker hop is a child span of the coordinator's, keeping
+        # the trace_id verbatim end to end.  A missing/unparsable value
+        # (e.g. a direct JobQueue driver) roots a fresh trace.
+        parent = trace_context.TraceContext.from_traceparent(traceparent)
+        ctx = (
+            parent.child(run_id) if parent is not None
+            else trace_context.new_context(run_id)
+        )
         try:
             request = RunRequest.from_dict(raw_request)
             obs.get_metrics().reset()
-            summary = execute_request(request, out_dir=Path(root) / run_id)
+            with trace_context.bind(ctx):
+                summary = execute_request(request, out_dir=Path(root) / run_id)
             if request.cache:
                 store.put(request.digest(), summary.as_dict())
             events.put(("done", run_id, time.time()))
@@ -116,6 +137,10 @@ class _Job:
     digest: str
     worker_pid: int | None = None
     document: dict[str, Any] | None = None
+    #: Every trace that rode this job — the submitter's first, then each
+    #: coalesced joiner's.  The terminal access-log line publishes the
+    #: full list, making cache sharing auditable.
+    trace_ids: list[str] = field(default_factory=list)
 
 
 class JobQueue:
@@ -145,6 +170,10 @@ class JobQueue:
 
             store = ResultCache(self.root / SERVE_STORE_DIRNAME)
         self.store = store
+        #: The serve root's structured access log; the HTTP layer writes
+        #: per-request lines into it, the coordinator writes per-run
+        #: terminal lines (see repro.serve.access).
+        self.access = AccessLog(self.root / ACCESS_LOG_NAME)
         self._ctx = context if context is not None else multiprocessing.get_context()
         self._tasks = self._ctx.Queue()
         self._events = self._ctx.Queue()
@@ -214,6 +243,7 @@ class JobQueue:
         for queue in (self._tasks, self._events):
             queue.close()
             queue.cancel_join_thread()
+        self.access.close()
 
     def __enter__(self) -> "JobQueue":
         return self.start()
@@ -231,6 +261,11 @@ class JobQueue:
         metrics = get_metrics()
         metrics.counter("serve.requests").inc()
         digest = request.digest()  # raises RequestError on a bad request
+        # The submitter's trace: the HTTP handler binds the request's
+        # context before calling in; a direct driver gets a fresh root.
+        ctx = trace_context.current()
+        if ctx is None:
+            ctx = trace_context.new_context(digest)
         now = time.time()
         if request.cache:
             hit, document = self.store.get(digest)
@@ -241,33 +276,41 @@ class JobQueue:
                     status = RunStatus(
                         run_id=run_id, state=DONE, request=request,
                         cached=True, queued_at=now, started_at=now,
-                        finished_at=time.time(),
+                        finished_at=time.time(), trace_id=ctx.trace_id,
                     )
-                    self._jobs[run_id] = _Job(status, digest, document=document)
+                    self._jobs[run_id] = _Job(
+                        status, digest, document=document,
+                        trace_ids=[ctx.trace_id],
+                    )
                 return status
             metrics.counter("serve.cache.misses").inc()
         with self._lock:
             if request.cache:
                 # Thundering-herd guard: identical work already in flight
-                # is joined, not duplicated.
+                # is joined, not duplicated.  The joiner's trace_id is
+                # appended to the job so the terminal access-log line
+                # names every request the one execution answered.
                 inflight = self._inflight.get(digest)
                 if inflight is not None and not self._jobs[inflight].status.terminal:
                     metrics.counter("serve.coalesced").inc()
-                    return self._jobs[inflight].status
+                    job = self._jobs[inflight]
+                    if ctx.trace_id not in job.trace_ids:
+                        job.trace_ids.append(ctx.trace_id)
+                    return job.status
             run_id = self._new_run_id(digest)
             run_dir = self.root / run_id
             status = RunStatus(
                 run_id=run_id, state=QUEUED, request=request,
-                queued_at=now, run_dir=str(run_dir),
+                queued_at=now, run_dir=str(run_dir), trace_id=ctx.trace_id,
             )
-            self._jobs[run_id] = _Job(status, digest)
+            self._jobs[run_id] = _Job(status, digest, trace_ids=[ctx.trace_id])
             if request.cache:
                 self._inflight[digest] = run_id
             self._update_gauges()
         # The dir exists from submission, so `repro watch <run-id>` can
         # attach before the worker's first event.
         run_dir.mkdir(parents=True, exist_ok=True)
-        self._tasks.put((run_id, request.as_dict()))
+        self._tasks.put((run_id, request.as_dict(), ctx.to_traceparent()))
         return status
 
     def _get(self, run_id: str) -> _Job:
@@ -310,6 +353,7 @@ class JobQueue:
             status.finished_at = time.time()
             self._clear_inflight(job, run_id)
             get_metrics().counter("serve.cancelled").inc()
+            self._terminal_line(job)
             self._update_gauges()
             self._done_cond.notify_all()
         if pid is not None:
@@ -337,6 +381,32 @@ class JobQueue:
                 self._done_cond.wait(timeout=remaining)
 
     # -- coordinator internals ----------------------------------------------
+
+    def _terminal_line(self, job: _Job) -> None:
+        """Append the run's terminal access-log record (caller holds the lock).
+
+        Every executed run gets exactly one — done, failed, *or*
+        cancelled — carrying all joined trace_ids, the queue latency,
+        and the execution wall time.
+        """
+        status = job.status
+        wall = (
+            status.finished_at - status.started_at
+            if status.finished_at is not None and status.started_at is not None
+            else None
+        )
+        self.access.write(
+            "terminal",
+            run_id=status.run_id,
+            state=status.state,
+            trace_ids=list(job.trace_ids),
+            digest=job.digest,
+            ids=list(status.request.ids),
+            queue_latency_s=status.wait_s,
+            wall_s=wall,
+            error=status.error,
+            run_dir=status.run_dir,
+        )
 
     def _clear_inflight(self, job: _Job, run_id: str) -> None:
         """Drop the digest->run mapping once the job leaves flight.
@@ -394,6 +464,10 @@ class JobQueue:
                         status.state = RUNNING
                         status.started_at = ts
                         job.worker_pid = pid
+                        if status.queued_at is not None:
+                            get_metrics().histogram(
+                                "serve.queue_latency"
+                            ).observe(max(0.0, ts - status.queued_at))
                 elif kind == "done":
                     _, _, ts = message
                     self._clear_inflight(job, run_id)
@@ -401,6 +475,7 @@ class JobQueue:
                         status.state = DONE
                         status.finished_at = ts
                         get_metrics().counter("serve.completed").inc()
+                        self._terminal_line(job)
                 elif kind == "failed":
                     _, _, error, ts = message
                     self._clear_inflight(job, run_id)
@@ -409,6 +484,7 @@ class JobQueue:
                         status.error = error
                         status.finished_at = ts
                         get_metrics().counter("serve.failed").inc()
+                        self._terminal_line(job)
                 self._update_gauges()
                 self._done_cond.notify_all()
             if kill_pid is not None:

@@ -28,6 +28,12 @@ Errors map straight off the API's taxonomy: :exc:`RequestError` → 400,
 :exc:`UnknownRunError` → 404, :exc:`ConflictError` → 409, unknown route
 → 404, wrong verb → 405.  Error bodies are ``{"error": "<message>"}``.
 
+Every request runs under a :mod:`repro.obs.context` trace — continued
+from the caller's ``traceparent`` header when one parses, freshly rooted
+otherwise — echoed back as a response header, recorded as one
+``request`` line in the serve root's ``access.jsonl``, and observed
+into the ``serve.request_latency`` histogram.
+
 :class:`CatalogServer` owns the lifecycle: it starts the worker pool
 *before* binding the (threaded) HTTP listener — forking workers from a
 still-single-threaded process — and tears both down on :meth:`stop`.
@@ -39,12 +45,15 @@ import json
 import os
 import re
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 import repro
 from repro import obs
 from repro.api.catalog import Catalog
+from repro.obs import context as trace_context
+from repro.obs.context import TRACEPARENT_HEADER, TraceContext
 from repro.api.types import (
     DONE,
     ConflictError,
@@ -77,9 +86,15 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     def _send(self, code: int, body: bytes, content_type: str) -> None:
+        self._status_code = code
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        ctx = trace_context.current()
+        if ctx is not None:
+            # Echo the request's trace so callers without their own
+            # context still learn the trace_id the server assigned.
+            self.send_header(TRACEPARENT_HEADER, ctx.to_traceparent())
         self.end_headers()
         self.wfile.write(body)
 
@@ -116,16 +131,50 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _route(self, method: str) -> None:
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        # Trace context: continue the caller's trace when it sent a valid
+        # traceparent header (this hop becomes a child span); otherwise —
+        # including malformed headers — root a fresh trace.  Binding is
+        # per handler thread, so concurrent requests never cross.
+        incoming = TraceContext.from_traceparent(
+            self.headers.get(TRACEPARENT_HEADER)
+        )
+        ctx = (
+            incoming.child(f"{method} {path}") if incoming is not None
+            else trace_context.new_context(f"{method} {path}")
+        )
+        self._status_code: int | None = None
+        self._access: dict[str, Any] = {}
+        start = time.perf_counter()
         try:
-            self._dispatch(method, path)
-        except RequestError as exc:
-            self._send_error_json(400, str(exc))
-        except UnknownRunError as exc:
-            self._send_error_json(404, str(exc.args[0]) if exc.args else str(exc))
-        except ConflictError as exc:
-            self._send_error_json(409, str(exc))
-        except Exception as exc:  # pragma: no cover - defensive 500
-            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+            with trace_context.bind(ctx):
+                try:
+                    self._dispatch(method, path)
+                except RequestError as exc:
+                    self._send_error_json(400, str(exc))
+                except UnknownRunError as exc:
+                    self._send_error_json(
+                        404, str(exc.args[0]) if exc.args else str(exc)
+                    )
+                except ConflictError as exc:
+                    self._send_error_json(409, str(exc))
+                except Exception as exc:  # pragma: no cover - defensive 500
+                    self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+        finally:
+            wall = time.perf_counter() - start
+            obs.get_metrics().histogram("serve.request_latency").observe(wall)
+            access = getattr(self.server, "access", None)
+            if access is not None:
+                access.write(
+                    "request",
+                    trace_id=ctx.trace_id,
+                    span_id=ctx.span_id,
+                    parent_id=ctx.parent_id,
+                    method=method,
+                    path=path,
+                    status=self._status_code,
+                    wall_s=wall,
+                    **self._access,
+                )
 
     def _dispatch(self, method: str, path: str) -> None:
         if path == "/healthz":
@@ -156,6 +205,7 @@ class _Handler(BaseHTTPRequestHandler):
         match = _RUN_PATH.match(path)
         if match:
             run_id, tail = match.group("run_id"), match.group("tail")
+            self._access["run_id"] = run_id
             if tail == "/cancel":
                 if method != "POST":
                     return self._send_error_json(405, "use POST to cancel")
@@ -174,6 +224,24 @@ class _Handler(BaseHTTPRequestHandler):
     def _submit(self) -> None:
         request = RunRequest.from_dict(self._read_body())
         status = self.catalog.submit(request)
+        # A returned trace_id differing from this request's own means the
+        # submission was coalesced onto an in-flight execution started by
+        # an earlier trace — the access-log line records the join.
+        ctx = trace_context.current()
+        coalesced = bool(
+            ctx is not None
+            and status.trace_id is not None
+            and status.trace_id != ctx.trace_id
+        )
+        self._access.update(
+            run_id=status.run_id,
+            state=status.state,
+            cached=status.cached,
+            coalesced=coalesced,
+            ids=list(request.ids),
+        )
+        if coalesced:
+            self._access["joined_trace_id"] = status.trace_id
         # A cache answer is complete now (200); queued work is accepted (202).
         self._send_json(200 if status.state == DONE else 202, status.as_dict())
 
@@ -216,6 +284,7 @@ class CatalogServer:
         )
         self._httpd.catalog = self.catalog  # type: ignore[attr-defined]
         self._httpd.verbose = self.verbose  # type: ignore[attr-defined]
+        self._httpd.access = self.queue.access  # type: ignore[attr-defined]
         self._httpd.daemon_threads = True
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,

@@ -329,3 +329,233 @@ class TestLifecycle:
         out = capsys.readouterr().out
         assert status.run_id in out
         assert "run finished" in out
+
+
+def _access_records(server):
+    path = server.queue.root / "access.jsonl"
+    if not path.exists():
+        return []
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+def _wait_for_access(server, predicate, timeout_s=30.0):
+    """Poll the access log until one record satisfies ``predicate``.
+
+    Request lines land after the response bytes go out and terminal
+    lines after the status flips, so readers momentarily race writers.
+    """
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        matches = [r for r in _access_records(server) if predicate(r)]
+        if matches:
+            return matches
+        time.sleep(0.05)
+    raise AssertionError(
+        f"no matching access record; log = {_access_records(server)}"
+    )
+
+
+class TestTracing:
+    def test_trace_id_spans_log_events_manifest_and_cli(
+        self, server, client, capsys
+    ):
+        status = client.submit(RunRequest(ids=("ZZQ",), cache=False))
+        trace_id = client.last_trace.trace_id
+        assert status.trace_id == trace_id
+        client.wait(status.run_id, timeout_s=60)
+
+        # 1. The access log: the submit's request line and the run's
+        #    terminal line both carry the trace verbatim.
+        (request_line,) = _wait_for_access(
+            server,
+            lambda r: r["kind"] == "request" and r.get("trace_id") == trace_id,
+        )
+        assert request_line["method"] == "POST"
+        assert request_line["path"] == "/runs"
+        assert request_line["status"] == 202
+        assert request_line["run_id"] == status.run_id
+        assert request_line["ids"] == ["ZZQ"]
+        (terminal,) = _wait_for_access(
+            server,
+            lambda r: r["kind"] == "terminal"
+            and r.get("run_id") == status.run_id,
+        )
+        assert terminal["state"] == "done"
+        assert trace_id in terminal["trace_ids"]
+        assert terminal["queue_latency_s"] >= 0
+        assert terminal["wall_s"] >= 0
+
+        # 2. The worker-side event stream: every record's volatile half
+        #    names the originating trace.
+        run_dir = server.queue.root / status.run_id
+        events = [
+            json.loads(line)
+            for line in (run_dir / "events.jsonl").read_text().splitlines()
+        ]
+        assert events
+        assert all(e["trace"]["trace_id"] == trace_id for e in events)
+
+        # 3. The manifest records the originating trace.
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["trace"]["trace_id"] == trace_id
+
+        # 4. `repro trace --serve` stitches it back together.
+        root = str(server.queue.root)
+        assert main(["trace", "--serve", root]) == 0
+        assert trace_id in capsys.readouterr().out
+        assert main(["trace", "--serve", root, "--trace-id", trace_id]) == 0
+        detail = capsys.readouterr().out
+        assert status.run_id in detail
+        code = main([
+            "trace", "--serve", root, "--trace-id", trace_id, "--json",
+        ])
+        assert code == 0
+        timeline = json.loads(capsys.readouterr().out)
+        assert timeline["run_id"] == status.run_id
+        assert timeline["state"] == "done"
+
+    def test_malformed_traceparent_falls_back_to_a_fresh_trace(
+        self, server
+    ):
+        for header in ("not-a-header", "00-" + "0" * 32 + "-" + "0" * 16 + "-01"):
+            http_req = urllib.request.Request(
+                f"{server.url}/healthz",
+                headers={"traceparent": header},
+            )
+            with urllib.request.urlopen(http_req, timeout=10) as resp:
+                assert resp.status == 200
+                echoed = resp.headers["traceparent"]
+            # The response echoes a *fresh, well-formed* trace.
+            assert echoed is not None and echoed != header
+            version, trace_id, span_id, flags = echoed.split("-")
+            assert len(trace_id) == 32 and set(trace_id) != {"0"}
+
+    def test_wellformed_traceparent_is_adopted_not_replaced(self, server):
+        incoming = "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01"
+        http_req = urllib.request.Request(
+            f"{server.url}/healthz", headers={"traceparent": incoming}
+        )
+        with urllib.request.urlopen(http_req, timeout=10) as resp:
+            echoed = resp.headers["traceparent"]
+        # Same trace_id (adopted), new span_id (this hop).
+        assert echoed.split("-")[1] == "ab" * 16
+        assert echoed.split("-")[2] != "cd" * 8
+        (line,) = _wait_for_access(
+            server, lambda r: r.get("trace_id") == "ab" * 16
+        )
+        assert line["parent_id"] == "cd" * 8
+
+    def test_cancelled_run_emits_a_terminal_line(self, server, client):
+        victim = client.submit(RunRequest(ids=("ZZSLOW",), cache=False))
+        trace_id = client.last_trace.trace_id
+        deadline = time.monotonic() + 30
+        while client.status(victim.run_id).state == "queued":
+            assert time.monotonic() < deadline
+            time.sleep(0.05)
+        client.cancel(victim.run_id)
+        (terminal,) = _wait_for_access(
+            server,
+            lambda r: r["kind"] == "terminal"
+            and r.get("run_id") == victim.run_id,
+        )
+        assert terminal["state"] == "cancelled"
+        assert trace_id in terminal["trace_ids"]
+
+    def test_failed_run_emits_a_terminal_line_with_the_error(
+        self, server, client
+    ):
+        status = client.submit(RunRequest(ids=("ZZBOOM",), cache=False))
+        assert client.wait(status.run_id, timeout_s=60).state == "failed"
+        (terminal,) = _wait_for_access(
+            server,
+            lambda r: r["kind"] == "terminal"
+            and r.get("run_id") == status.run_id,
+        )
+        assert terminal["state"] == "failed"
+        assert "kaput" in terminal["error"]
+
+    def test_coalesced_joiners_each_get_an_access_line(self, server, client):
+        request = RunRequest(
+            ids=("ZZSLOW",), overrides={"ZZSLOW": {"sleep_s": 2.0}}
+        )
+        first = client.submit(request)
+        first_trace = client.last_trace.trace_id
+        second = client.submit(request)  # same digest, joins in flight
+        second_trace = client.last_trace.trace_id
+        assert second.run_id == first.run_id
+        assert first_trace != second_trace
+        client.wait(first.run_id, timeout_s=60)
+
+        (joiner_line,) = _wait_for_access(
+            server, lambda r: r.get("trace_id") == second_trace
+        )
+        assert joiner_line["coalesced"] is True
+        assert joiner_line["joined_trace_id"] == first_trace
+        assert joiner_line["run_id"] == first.run_id
+        (terminal,) = _wait_for_access(
+            server,
+            lambda r: r["kind"] == "terminal"
+            and r.get("run_id") == first.run_id,
+        )
+        assert first_trace in terminal["trace_ids"]
+        assert second_trace in terminal["trace_ids"]
+
+    def test_cache_answer_is_marked_in_the_access_log(self, server, client):
+        request = RunRequest(ids=("ZZQ",))
+        first = client.submit(request)
+        client.wait(first.run_id, timeout_s=60)
+        client.submit(request)
+        hit_trace = client.last_trace.trace_id
+        (line,) = _wait_for_access(
+            server, lambda r: r.get("trace_id") == hit_trace
+        )
+        assert line["cached"] is True and line["status"] == 200
+
+    def test_metrics_expose_latency_histograms(self, client):
+        client.wait(client.submit(RunRequest(ids=("ZZQ",))).run_id, timeout_s=60)
+        text = client.metrics_text()
+        for name in (
+            "repro_serve_request_latency_seconds",
+            "repro_serve_queue_latency_seconds",
+        ):
+            bucket_counts = [
+                int(line.rsplit(" ", 1)[1])
+                for line in text.splitlines()
+                if line.startswith(f"{name}_bucket")
+            ]
+            assert bucket_counts, name
+            assert bucket_counts == sorted(bucket_counts), name
+            count_line = next(
+                line for line in text.splitlines()
+                if line.startswith(f"{name}_count")
+            )
+            assert int(count_line.rsplit(" ", 1)[1]) == bucket_counts[-1]
+            assert f'{name}_bucket{{le="+Inf"' in text
+
+    def test_serve_report_cli_over_a_live_root(
+        self, server, client, capsys
+    ):
+        done = client.submit(RunRequest(ids=("ZZQ",), cache=False))
+        client.wait(done.run_id, timeout_s=60)
+        _wait_for_access(
+            server,
+            lambda r: r["kind"] == "terminal"
+            and r.get("run_id") == done.run_id,
+        )
+        root = str(server.queue.root)
+        assert main(["serve-report", root, "--require-stitched"]) == 0
+        out = capsys.readouterr().out
+        assert "requests" in out and "ZZQ" in out
+        assert main(["serve-report", root, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["requests"]["total"] >= 2
+        assert report["stitching"]["unstitched"] == []
+        assert report["request_latency"]["buckets"][-1]["le"] == "+Inf"
+
+    def test_disable_env_silences_tracing(self, fakes, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_DISABLE", "1")
+        with CatalogServer(tmp_path / "quiet", workers=1) as srv:
+            quiet_client = ServeClient(srv.url, timeout_s=30.0)
+            status = quiet_client.submit(RunRequest(ids=("ZZQ",), cache=False))
+            quiet_client.wait(status.run_id, timeout_s=60)
+            assert not (srv.queue.root / "access.jsonl").exists()
