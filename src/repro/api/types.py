@@ -9,9 +9,10 @@ is one of three dataclasses here:
   plus a code salt per experiment — and therefore its content
   :meth:`~RunRequest.digest`.  Two requests that would produce the same
   ``results.json`` values digest equally (``workers``/``cache``/
-  ``sample_resources`` are excluded: by the determinism contract they
-  change *how* the run executes, never *what* it computes), which is the
-  key the serving layer's shared result store answers repeats from.
+  ``sample_resources``/``profile`` are excluded: by the determinism
+  contract they change *how* the run executes, never *what* it
+  computes), which is the key the serving layer's shared result store
+  answers repeats from.
 * :class:`RunStatus` — *where a submitted run is*: its lifecycle state
   (``queued → running → done | failed | cancelled``), timestamps, the run
   directory, and whether it was answered from the shared cache.
@@ -94,7 +95,7 @@ class ConflictError(RuntimeError):
 
 _REQUEST_FIELDS = {
     "ids", "smoke", "seeds", "workers", "cache", "overrides",
-    "sample_resources",
+    "sample_resources", "profile",
 }
 
 
@@ -121,6 +122,12 @@ class RunRequest:
     cache: Any = True
     overrides: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
     sample_resources: float | None = None
+    #: CPU profiling knob: ``None`` (defer to ``REPRO_OBS_PROFILE``),
+    #: ``"sampling"``, ``"deterministic"``, or a sampling interval in
+    #: seconds as a string.  Like the other execution knobs it is
+    #: excluded from :meth:`canonical`/:meth:`digest` — the profiler
+    #: writes a separate volatile stream and cannot change result values.
+    profile: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "ids", tuple(str(i) for i in self.ids))
@@ -177,6 +184,25 @@ class RunRequest:
                                and not isinstance(sample, bool) and sample >= 0),
             "'sample_resources' must be a non-negative number of seconds",
         )
+        profile = raw.get("profile")
+        if profile is not None:
+            _require(
+                isinstance(profile, (str, int, float))
+                and not isinstance(profile, bool),
+                "'profile' must be 'sampling', 'deterministic', or a "
+                "sampling interval in seconds",
+            )
+            profile = str(profile)
+            if profile not in ("sampling", "deterministic"):
+                try:
+                    ok = float(profile) > 0
+                except ValueError:
+                    ok = False
+                _require(
+                    ok,
+                    "'profile' must be 'sampling', 'deterministic', or a "
+                    "positive sampling interval in seconds",
+                )
         return cls(
             ids=tuple(ids),
             smoke=smoke,
@@ -185,6 +211,7 @@ class RunRequest:
             cache=cache,
             overrides={k: dict(v) for k, v in overrides.items()},
             sample_resources=None if sample is None else float(sample),
+            profile=profile,
         )
 
     def as_dict(self) -> dict[str, Any]:
@@ -196,6 +223,7 @@ class RunRequest:
             "cache": bool(self.cache) if isinstance(self.cache, bool) else True,
             "overrides": {k: dict(v) for k, v in self.overrides.items()},
             "sample_resources": self.sample_resources,
+            "profile": self.profile,
         }
 
     # -- resolution against the registry -----------------------------------
@@ -240,9 +268,9 @@ class RunRequest:
         and a salt over the experiment's ``_run`` source, so editing an
         experiment invalidates its served results the same way it
         invalidates its :class:`~repro.parallel.cache.ResultCache` cells.
-        Execution knobs (``workers``, ``cache``, ``sample_resources``) are
-        deliberately absent — the determinism contract guarantees they
-        cannot change the result.
+        Execution knobs (``workers``, ``cache``, ``sample_resources``,
+        ``profile``) are deliberately absent — the determinism contract
+        guarantees they cannot change the result.
         """
         from repro.exp.registry import get_experiment
         from repro.parallel.cache import code_salt

@@ -29,6 +29,8 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 
+from repro.cluster.resources import MEM_EPSILON
+
 __all__ = ["ReservationCalendar"]
 
 
@@ -136,7 +138,10 @@ class ReservationCalendar:
         if self._gpus[k] + gpus > self.capacity_gpus:
             return False
         if mem > 0.0 and self.capacity_mem > 0.0:
-            return self._mem[k] + mem <= self.capacity_mem
+            # Same slack as GPUPool.can_allocate: add/remove cycles leave
+            # float residue in segment sums, which must never push a
+            # full-capacity reservation into the infinite-retry lane.
+            return self._mem[k] + mem <= self.capacity_mem + MEM_EPSILON
         return True
 
     def fits(self, start: float, duration: float, gpus: int,

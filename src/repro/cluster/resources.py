@@ -12,7 +12,15 @@ from __future__ import annotations
 
 from typing import NamedTuple
 
-__all__ = ["ResourceVector", "GPUPool"]
+__all__ = ["MEM_EPSILON", "ResourceVector", "GPUPool"]
+
+#: Admission tolerance for the float memory dimension.  Releasing jobs in
+#: a different order than they were allocated leaves ~1e-15 residue in the
+#: running sum ((a + b) - a - b != 0 in floats); without slack a job whose
+#: demand equals the full capacity can then never be admitted again and
+#: head-blocks the queue forever.  1e-9 matches the release-guard slack
+#: and stays far above any realistic accumulation of rounding crumbs.
+MEM_EPSILON = 1e-9
 
 
 class ResourceVector(NamedTuple):
@@ -99,7 +107,7 @@ class GPUPool:
         if n > self.available:
             return False
         if mem > 0.0 and self.mem_capacity > 0.0:
-            return mem <= self.mem_capacity - self._mem_in_use
+            return mem <= self.mem_capacity - self._mem_in_use + MEM_EPSILON
         return True
 
     def _advance(self, now: float) -> None:
@@ -123,12 +131,16 @@ class GPUPool:
         self._advance(now)
         if n < 1 or n > self._in_use:
             raise RuntimeError(f"invalid release of {n} with {self._in_use} in use")
-        if mem < 0 or mem > self._mem_in_use + 1e-9:
+        if mem < 0 or mem > self._mem_in_use + MEM_EPSILON:
             raise RuntimeError(
                 f"invalid release of {mem} mem with {self._mem_in_use} in use"
             )
         self._in_use -= n
         self._mem_in_use = max(0.0, self._mem_in_use - mem)
+        if self._in_use == 0:
+            # Every allocation carries at least one GPU, so an idle pool
+            # holds no memory: drop the out-of-order-release residue.
+            self._mem_in_use = 0.0
 
     def utilization(self, horizon: float) -> float:
         """Mean fraction of the pool busy over ``[0, horizon]``."""

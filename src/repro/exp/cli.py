@@ -21,10 +21,21 @@ Subcommands
     stitched to run directories and rendered as per-request timelines
     (``--trace-id`` narrows to one request, inlining the run's critical
     path).
+``profile <run-dir>``
+    Per-span CPU hotspots from a run recorded with ``--profile``: reads
+    the run's ``profile.jsonl`` and prints function-level self/total
+    time shares with the coordinator/worker split (``--span`` narrows to
+    one experiment's subtree, ``--top`` sizes the table,
+    ``--flamegraph`` exports collapsed stacks, ``--json`` the whole
+    analysis).
 ``bench <ids|all>``
     Time experiments (median of ``--repeats``) and either ``--record``
     the baselines or gate ``--against`` them, exiting non-zero on
-    regression (``--record-missing`` bootstraps absent entries).
+    regression (``--record-missing`` bootstraps absent entries).  With
+    ``--profile``, each experiment's top-k hotspot shares are recorded
+    into the same baseline file and gated alongside the timings — a
+    function whose share of an experiment's wall grows past the
+    tolerance fails the gate even when total wall time stayed flat.
 ``runs list|diff|flaky``
     Cross-run history via :mod:`repro.obs.history`: list every indexed
     run under ``--root`` (default ``REPRO_RUNS_DIR`` or ``runs/``),
@@ -56,7 +67,10 @@ tier; ``--seeds N`` overrides the trial-seed count where an experiment
 has one; ``--workers N`` and ``--no-cache`` flow to every
 :mod:`repro.parallel` call; ``--json OUT`` writes the machine-readable
 results/verdicts.  ``repro run --sample-resources [SEC]`` starts the
-:class:`repro.obs.resources.ResourceSampler` for the run.
+:class:`repro.obs.resources.ResourceSampler` for the run;
+``--profile [sampling|deterministic|SEC]`` attaches the CPU profiler
+(:mod:`repro.obs.profile`), writing ``profile.jsonl`` beside the event
+stream.
 
 Every invocation starts from a clean process-wide metrics registry, so
 cache counters and ``ResultCache.stats()``-style numbers reported by one
@@ -74,15 +88,17 @@ from typing import Any, Sequence
 
 import repro
 from repro import obs
-from repro.obs.baseline import BaselineStore, median
+from repro.obs.baseline import BaselineStore, HotspotBaseline, median
 from repro.obs.history import HistoryError, RunDiff, RunRegistry, detect_flakiness
 from repro.obs.resources import DEFAULT_INTERVAL_S
 from repro.obs.watch import watch_run
 from repro.obs.trace import (
+    ProfileReader,
     ServeTraceIndex,
     TraceError,
     TraceReader,
     render_critical_path,
+    render_hotspots,
     render_serve_report,
     render_serve_trace,
     render_summary,
@@ -119,6 +135,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="process-pool size for repro.parallel calls")
         p.add_argument("--no-cache", action="store_true",
                        help="disable the content-addressed result cache")
+        p.add_argument("--profile", nargs="?", const="sampling",
+                       default=None, metavar="MODE",
+                       help="attach the CPU profiler: 'sampling' (bare "
+                            "flag), 'deterministic' (cProfile), or a "
+                            "sampling interval in seconds; writes "
+                            "profile.jsonl beside events.jsonl (also via "
+                            "REPRO_OBS_PROFILE)")
         p.add_argument("--json", dest="json_out", metavar="OUT",
                        help="write machine-readable output to this file")
 
@@ -162,6 +185,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --serve: one request's full timeline "
                             "(queue latency, execution wall, inlined "
                             "critical path)")
+
+    profile = sub.add_parser(
+        "profile", help="per-span CPU hotspots from a recorded profile.jsonl"
+    )
+    profile.add_argument("run_dir", metavar="RUN_DIR",
+                         help="run directory recorded with --profile (or "
+                              "the profile.jsonl itself)")
+    profile.add_argument("--top", type=int, default=10, metavar="N",
+                         help="rows in the hotspot table (default 10)")
+    profile.add_argument("--span", default=None, metavar="SPAN",
+                         help="restrict to one span subtree (e.g. an "
+                              "experiment id; prefix match)")
+    profile.add_argument("--flamegraph", nargs="?", const="-", default=None,
+                         metavar="OUT",
+                         help="emit collapsed stacks for flamegraph.pl / "
+                              "speedscope (to stdout, or to OUT when given)")
+    profile.add_argument("--json", dest="json_out", nargs="?", const="-",
+                         metavar="OUT",
+                         help="emit the full hotspot analysis as JSON (to "
+                              "stdout, or to OUT when given)")
 
     bench = sub.add_parser(
         "bench",
@@ -276,6 +319,7 @@ def _request_from(args: argparse.Namespace) -> RunRequest:
         workers=args.workers,
         cache=not args.no_cache,
         sample_resources=getattr(args, "sample_resources", None),
+        profile=getattr(args, "profile", None),
     )
 
 
@@ -346,6 +390,27 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1 if n_failed else 0
 
 
+def _telemetry_disabled(run_dir: str) -> str | None:
+    """Explain a missing stream when the run itself clearly happened.
+
+    A directory holding ``results.json``/``manifest.json`` but no
+    ``events.jsonl`` is a run recorded with telemetry switched off
+    (``REPRO_OBS_DISABLE=1``) — the honest diagnosis, as opposed to a
+    wrong path or a corrupt stream.
+    """
+    path = Path(run_dir)
+    if not path.is_dir():
+        return None
+    ran = any((path / name).exists() for name in ("results.json", "manifest.json"))
+    if ran and not (path / "events.jsonl").exists():
+        return (
+            f"telemetry was disabled for this run (REPRO_OBS_DISABLE=1): "
+            f"{path} has run artifacts but no event stream; re-record "
+            f"without the kill switch to trace or profile it"
+        )
+    return None
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.serve:
         return _cmd_trace_serve(args)
@@ -355,7 +420,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     try:
         reader = TraceReader.load(args.run_dir)
     except TraceError as exc:
-        print(f"repro trace: {exc}", file=sys.stderr)
+        hint = _telemetry_disabled(args.run_dir)
+        print(f"repro trace: {hint or exc}", file=sys.stderr)
         return 2
     if args.json_out:
         payload = reader.summary()
@@ -421,15 +487,73 @@ def _cmd_serve_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _bench_timings(args: argparse.Namespace) -> dict[str, list[float]]:
-    """Median-of-k source data: each repeat's event-derived wall times."""
+def _cmd_profile(args: argparse.Namespace) -> int:
+    try:
+        profile = ProfileReader.load(args.run_dir)
+    except TraceError as exc:
+        hint = _telemetry_disabled(args.run_dir)
+        print(f"repro profile: {hint or exc}", file=sys.stderr)
+        return 2
+    if args.flamegraph is not None:
+        try:
+            collapsed = profile.flamegraph(span=args.span)
+        except TraceError as exc:
+            print(f"repro profile: {exc}", file=sys.stderr)
+            return 2
+        if args.flamegraph == "-":
+            sys.stdout.write(collapsed)
+        else:
+            Path(args.flamegraph).write_text(collapsed)
+            print(f"collapsed stacks -> {args.flamegraph} "
+                  f"(render with flamegraph.pl or speedscope)")
+        return 0
+    if args.json_out:
+        _emit_json(args.json_out, profile.summary(top=args.top))
+        return 0
+    print(render_hotspots(profile, top=args.top, span=args.span))
+    return 0
+
+
+def _bench_timings(
+    args: argparse.Namespace,
+) -> tuple[dict[str, list[float]], list[dict[str, Any]]]:
+    """Median-of-k source data: each repeat's event-derived wall times.
+
+    Also pools every repeat's in-memory profile records (empty unless the
+    bench ran under ``--profile``) — the hotspot gate's source data.
+    """
     repeats = max(1, args.repeats)
     timings: dict[str, list[float]] = {}
+    profile_records: list[dict[str, Any]] = []
     for _ in range(repeats):
         summary = _execute(args, out_dir=None)
         for exp_id, seconds in summary.timings().items():
             timings.setdefault(exp_id, []).append(seconds)
-    return timings
+        if summary.profile:
+            profile_records.extend(summary.profile)
+    return timings, profile_records
+
+
+def _hotspot_shares(
+    profile_records: list[dict[str, Any]],
+) -> dict[str, dict[str, float]]:
+    """Per-experiment function shares from pooled bench profile records.
+
+    Spans are rooted at experiment ids (``E6``, ``E6/...``), so grouping
+    by root segment attributes every sample to its experiment; the
+    unattributed ``(run)`` remainder (coordinator idle time between
+    experiments) is dropped.
+    """
+    profile = ProfileReader(profile_records)
+    shares: dict[str, dict[str, float]] = {}
+    for span_path in profile.spans():
+        exp_id = span_path.split("/")[0]
+        if exp_id == "(run)" or exp_id in shares:
+            continue
+        span_shares = profile.shares(span=exp_id)
+        if span_shares:
+            shares[exp_id] = span_shares
+    return shares
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -438,18 +562,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     tier = "smoke" if args.smoke else "default"
-    timings = _bench_timings(args)
+    timings, profile_records = _bench_timings(args)
+    hotspot_shares = _hotspot_shares(profile_records)
 
     if args.record:
         store = BaselineStore.load(args.record)
         for exp_id, samples in sorted(timings.items()):
             store.record(tier, exp_id, samples)
+        hotspots = HotspotBaseline(store)
+        for exp_id, shares in sorted(hotspot_shares.items()):
+            hotspots.record(tier, exp_id, shares)
         store.save()
         rows = [(e, f"{min(s):.3f}", f"{median(s):.3f}")
                 for e, s in sorted(timings.items())]
+        title = f"recorded {len(rows)} baselines (tier={tier}) -> {args.record}"
+        if hotspot_shares:
+            title = (f"recorded {len(rows)} baselines + "
+                     f"{len(hotspot_shares)} hotspot profiles "
+                     f"(tier={tier}) -> {args.record}")
         print(rows_table(["experiment", "min s", "median s"], rows,
-                         title=f"recorded {len(rows)} baselines "
-                               f"(tier={tier}) -> {args.record}"))
+                         title=title))
         return 0
 
     store = BaselineStore.load(args.against)
@@ -457,21 +589,46 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.threshold is not None:
         kwargs["threshold"] = args.threshold
     report = store.compare(tier, timings, **kwargs)
-    if args.record_missing and report.new:
+    hotspots = HotspotBaseline(store)
+    hotspot_report = (
+        hotspots.compare(tier, hotspot_shares) if hotspot_shares else None
+    )
+    if args.record_missing:
+        bootstrapped = 0
         for comparison in report.new:
             store.record(tier, comparison.experiment,
                          timings[comparison.experiment])
-        store.save()
-        print(f"bootstrapped {len(report.new)} baseline entries "
-              f"into {args.against}")
+            bootstrapped += 1
+        if hotspot_report is not None:
+            for exp_id in sorted({
+                c.experiment for c in hotspot_report.comparisons
+                if c.status == "new"
+            }):
+                hotspots.record(tier, exp_id, hotspot_shares[exp_id])
+                bootstrapped += 1
+        if bootstrapped:
+            store.save()
+            print(f"bootstrapped {bootstrapped} baseline entries "
+                  f"into {args.against}")
     print(report.to_table())
     n_reg = len(report.regressions)
+    hotspot_failed = False
+    if hotspot_report is not None:
+        print()
+        print(hotspot_report.to_table())
+        n_hot = len(hotspot_report.regressions)
+        hotspot_failed = not hotspot_report.passed
+        print(f"\nhotspot gate: {'PASS' if hotspot_report.passed else 'FAIL'} "
+              f"({n_hot} share regression{'s' if n_hot != 1 else ''})")
     print(f"\nperf gate: {'PASS' if report.passed else 'FAIL'} "
           f"({n_reg} regression{'s' if n_reg != 1 else ''}, "
           f"{len(report.new)} new)")
     if args.json_out:
-        _write_json(args.json_out, report.as_dict())
-    return 1 if report.regressions else 0
+        payload = report.as_dict()
+        if hotspot_report is not None:
+            payload["hotspots"] = hotspot_report.as_dict()
+        _write_json(args.json_out, payload)
+    return 1 if (report.regressions or hotspot_failed) else 0
 
 
 def _emit_json(json_out: str, payload: Any) -> None:
@@ -585,6 +742,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_check(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "runs":

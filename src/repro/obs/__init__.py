@@ -35,6 +35,13 @@ Read side — what the streams are *for*:
   thread emitting ``resource_sample`` events (RSS/CPU of the coordinator
   and pmap workers) into the run's event log; :class:`TraceReader`
   attributes peak RSS per worker and per span.
+* **CPU profiling** (:mod:`repro.obs.profile`) — an opt-in sampling
+  profiler (plus a deterministic cProfile fallback) writing per-span
+  stack captures of the coordinator and pmap workers to ``profile.jsonl``
+  beside the event stream; :class:`ProfileReader` derives per-span
+  hotspot tables and collapsed-stack flamegraphs (the ``repro profile``
+  subcommand), and :class:`HotspotBaseline` gates per-function wall
+  shares in CI.
 
 Knobs: ``REPRO_OBS_DIR`` points the default logger at a directory
 (``events.jsonl`` inside it); ``REPRO_OBS_DISABLE=1`` silences
@@ -45,10 +52,14 @@ from repro.obs.baseline import (
     BaselineEntry,
     BaselineStore,
     Comparison,
+    HotspotBaseline,
+    HotspotReport,
     RegressionReport,
 )
 from repro.obs.events import (
     SCHEMA_VERSION,
+    VOLATILE_FIELDS,
+    VOLATILE_KINDS,
     EventLog,
     capture_events,
     configure,
@@ -83,6 +94,12 @@ from repro.obs.metrics import (
     TimingHistogram,
     get_metrics,
 )
+from repro.obs.profile import (
+    DeterministicProfiler,
+    SamplingProfiler,
+    attach_worker_profiler,
+    resolve_profile,
+)
 from repro.obs.prometheus import escape_label_value, render_prometheus
 from repro.obs.resources import (
     ResourceSampler,
@@ -94,6 +111,9 @@ from repro.obs.resources import (
 from repro.obs.spans import current_span_path, span
 from repro.obs.trace import (
     ACCESS_LOG_NAME,
+    PROFILE_LOG_NAME,
+    Hotspot,
+    ProfileReader,
     ResourceUsage,
     ServeTraceIndex,
     TraceError,
@@ -127,14 +147,25 @@ __all__ = [
     "current_span_path",
     "span",
     "ACCESS_LOG_NAME",
+    "PROFILE_LOG_NAME",
     "TraceError",
     "TraceReader",
+    "ProfileReader",
+    "Hotspot",
     "ServeTraceIndex",
     "ResourceUsage",
     "BaselineEntry",
     "BaselineStore",
     "Comparison",
     "RegressionReport",
+    "HotspotBaseline",
+    "HotspotReport",
+    "VOLATILE_FIELDS",
+    "VOLATILE_KINDS",
+    "SamplingProfiler",
+    "DeterministicProfiler",
+    "attach_worker_profiler",
+    "resolve_profile",
     "render_prometheus",
     "escape_label_value",
     "RunRecord",

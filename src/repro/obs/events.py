@@ -61,6 +61,8 @@ from repro.obs import context as _trace_context
 
 __all__ = [
     "SCHEMA_VERSION",
+    "VOLATILE_FIELDS",
+    "VOLATILE_KINDS",
     "EventLog",
     "configure",
     "get_logger",
@@ -80,6 +82,12 @@ _DISABLE_ENV = "REPRO_OBS_DISABLE"
 #: ``trace`` carries request-trace ids (repro.obs.context), which mix in
 #: a process-local counter and therefore differ between re-runs.
 VOLATILE_FIELDS = ("ts", "wall", "trace")
+
+#: Record *kinds* that are volatile wholesale: their positions in a
+#: stream are wall-clock-determined (sampler ticks), so stream-comparison
+#: tooling drops whole records of these kinds before byte comparison —
+#: :func:`repro.obs.resources.strip_samples` is the canonical filter.
+VOLATILE_KINDS = ("resource_sample", "profile_sample", "profile_stat")
 
 
 def _jsonable(value: Any) -> Any:

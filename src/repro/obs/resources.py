@@ -179,9 +179,12 @@ def sample_processes(
 def strip_samples(
     records: Iterable[Mapping[str, Any]]
 ) -> list[Mapping[str, Any]]:
-    """Drop ``resource_sample`` records (they sit outside the determinism
-    contract: their *positions* in the stream are wall-clock-determined)."""
-    return [r for r in records if r.get("kind") != SAMPLE_KIND]
+    """Drop sampler-tick records (``resource_sample``, ``profile_sample``,
+    ``profile_stat``) — they sit outside the determinism contract: their
+    *positions* in the stream are wall-clock-determined."""
+    from repro.obs.events import VOLATILE_KINDS
+
+    return [r for r in records if r.get("kind") not in VOLATILE_KINDS]
 
 
 # ---------------------------------------------------------------------------

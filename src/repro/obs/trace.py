@@ -42,10 +42,12 @@ from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.obs.events import SCHEMA_VERSION
+from repro.obs.profile import PROFILE_KIND, PROFILE_LOG_NAME, STAT_KIND
 from repro.utils.tables import Table
 
 __all__ = [
     "ACCESS_LOG_NAME",
+    "PROFILE_LOG_NAME",
     "TraceError",
     "SpanNode",
     "PmapCall",
@@ -53,11 +55,14 @@ __all__ = [
     "ClusterContention",
     "CacheAttribution",
     "ResourceUsage",
+    "Hotspot",
     "TraceReader",
+    "ProfileReader",
     "ServeTraceIndex",
     "render_summary",
     "render_utilization",
     "render_critical_path",
+    "render_hotspots",
     "render_serve_trace",
     "render_serve_report",
 ]
@@ -924,6 +929,409 @@ def render_critical_path(reader: TraceReader) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Profile analytics: the read side of repro.obs.profile
+
+
+@dataclass
+class Hotspot:
+    """One function's aggregated cost across a profile stream.
+
+    Weights are approximate CPU seconds: in sampling mode each stack
+    capture contributes its sampling interval, in deterministic mode the
+    cProfile ``tottime``/``cumtime`` are used directly.  ``self_weight``
+    counts only samples whose *leaf* frame is this function (exclusive
+    time); ``total_weight`` counts every sample the function appears in
+    anywhere on the stack (inclusive time, recursion-safe).
+    """
+
+    func: str
+    file: str
+    line: int
+    self_weight: float = 0.0
+    total_weight: float = 0.0
+    # Exclusive weight split per sampled process, keyed "role:pid" —
+    # the per-worker view of where a pmap-heavy span burns its time.
+    by_process: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        """The line-number-free identity used by the hotspot baseline gate
+        (edits above a function must not churn its baseline key)."""
+        return f"{self.file}:{self.func}"
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "func": self.func,
+            "file": self.file,
+            "line": self.line,
+            "self_s": self.self_weight,
+            "total_s": self.total_weight,
+            "by_process": dict(sorted(self.by_process.items())),
+        }
+
+
+class ProfileReader:
+    """Load one ``profile.jsonl`` stream and derive hotspot analytics.
+
+    Construct with :meth:`load` (a path to ``profile.jsonl`` or to the
+    run directory that contains it) or :meth:`from_records` (in-memory
+    records from a :class:`repro.obs.events.EventLog`).  Handles both
+    record kinds the write side emits: ``profile_sample`` stacks from the
+    sampling profiler (coordinator and pmap workers interleaved in one
+    stream) and ``profile_stat`` rows from the deterministic cProfile
+    fallback.
+
+    Span filters accept a path prefix: ``span="E6"`` matches samples
+    stamped ``E6`` *and* any nested span under it (``E6/sweep/...``), so
+    one experiment's whole subtree aggregates naturally.
+    """
+
+    def __init__(
+        self,
+        records: Sequence[Mapping[str, Any]],
+        *,
+        truncated: bool = False,
+        source: str | None = None,
+    ) -> None:
+        self.events = _validate(records)
+        self.truncated = truncated
+        self.source = source
+        self.samples = [e for e in self.events if e["kind"] == PROFILE_KIND]
+        self.stats = [e for e in self.events if e["kind"] == STAT_KIND]
+
+    @classmethod
+    def load(cls, source: str | os.PathLike) -> "ProfileReader":
+        """Read ``profile.jsonl`` from a file path or a run directory."""
+        path = Path(source)
+        if path.is_dir():
+            path = path / PROFILE_LOG_NAME
+        if not path.exists():
+            raise TraceError(
+                f"no profile stream at {path} — record one with "
+                "'repro run ... --profile'"
+            )
+        records, truncated = _parse_stream(path.read_text(encoding="utf-8"))
+        return cls(records, truncated=truncated, source=str(path))
+
+    @classmethod
+    def from_records(
+        cls, records: Sequence[Mapping[str, Any]]
+    ) -> "ProfileReader":
+        """Wrap already-parsed profile records (validated the same way)."""
+        return cls(records)
+
+    def __len__(self) -> int:
+        return len(self.samples) + len(self.stats)
+
+    @property
+    def mode(self) -> str:
+        """``sampling``, ``deterministic``, or ``empty`` (no ticks landed)."""
+        if self.samples:
+            return "sampling"
+        return "deterministic" if self.stats else "empty"
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.samples)
+
+    # -- span bookkeeping --------------------------------------------------
+
+    @staticmethod
+    def _span_of(wall: Mapping[str, Any]) -> str:
+        return str(wall.get("span") or "") or "(run)"
+
+    @staticmethod
+    def _span_matches(span_filter: str | None, span: str) -> bool:
+        if span_filter is None:
+            return True
+        return span == span_filter or span.startswith(span_filter + "/")
+
+    @staticmethod
+    def _sample_weight(wall: Mapping[str, Any]) -> float:
+        interval = wall.get("interval_s")
+        try:
+            weight = float(interval) if interval is not None else 0.0
+        except (TypeError, ValueError):
+            weight = 0.0
+        return weight if weight > 0 else 1.0
+
+    def spans(self) -> dict[str, float]:
+        """Exclusive weight per span path, heaviest first.
+
+        Span paths are the *innermost* paths the profiler stamped;
+        experiment-level aggregation happens via the prefix-matching
+        span filters on :meth:`hotspots`/:meth:`shares`.
+        """
+        out: dict[str, float] = {}
+        for event in self.samples:
+            wall = event.get("wall", {})
+            span = self._span_of(wall)
+            out[span] = out.get(span, 0.0) + self._sample_weight(wall)
+        for event in self.stats:
+            wall = event.get("wall", {})
+            span = self._span_of(wall)
+            out[span] = out.get(span, 0.0) + float(wall.get("tottime_s", 0.0) or 0.0)
+        return dict(sorted(out.items(), key=lambda kv: kv[1], reverse=True))
+
+    def total_weight(self, span: str | None = None) -> float:
+        """The sum of exclusive weights inside a span subtree (or the run)."""
+        return sum(
+            weight
+            for path, weight in self.spans().items()
+            if self._span_matches(span, path)
+        )
+
+    # -- hotspots ----------------------------------------------------------
+
+    def hotspots(self, span: str | None = None) -> list[Hotspot]:
+        """Per-function costs inside a span subtree, largest self first."""
+        table: dict[tuple[str, str, int], Hotspot] = {}
+
+        def slot(func: str, file: str, line: int) -> Hotspot:
+            key = (func, file, line)
+            if key not in table:
+                table[key] = Hotspot(func=func, file=file, line=line)
+            return table[key]
+
+        for event in self.samples:
+            wall = event.get("wall", {})
+            if not self._span_matches(span, self._span_of(wall)):
+                continue
+            stack = wall.get("stack") or []
+            if not stack:
+                continue
+            weight = self._sample_weight(wall)
+            process = f"{wall.get('role', '?')}:{wall.get('pid', '?')}"
+            func, file, line = stack[-1]
+            leaf = slot(str(func), str(file), int(line))
+            leaf.self_weight += weight
+            leaf.by_process[process] = leaf.by_process.get(process, 0.0) + weight
+            seen: set[tuple[str, str, int]] = set()
+            for func, file, line in stack:
+                frame = (str(func), str(file), int(line))
+                if frame in seen:
+                    continue  # recursion: inclusive time counts once
+                seen.add(frame)
+                slot(*frame).total_weight += weight
+        for event in self.stats:
+            wall = event.get("wall", {})
+            if not self._span_matches(span, self._span_of(wall)):
+                continue
+            process = f"{wall.get('role', '?')}:{wall.get('pid', '?')}"
+            entry = slot(
+                str(wall.get("func", "?")),
+                str(wall.get("file", "?")),
+                int(wall.get("line", 0) or 0),
+            )
+            tottime = float(wall.get("tottime_s", 0.0) or 0.0)
+            entry.self_weight += tottime
+            entry.total_weight += float(wall.get("cumtime_s", 0.0) or 0.0)
+            entry.by_process[process] = (
+                entry.by_process.get(process, 0.0) + tottime
+            )
+        return sorted(
+            table.values(),
+            key=lambda h: (-h.self_weight, -h.total_weight, h.key),
+        )
+
+    def shares(
+        self, span: str | None = None, top: int | None = None
+    ) -> dict[str, float]:
+        """Each function's fraction of a span's exclusive weight.
+
+        Keyed by the line-free :attr:`Hotspot.key`; rows for the same
+        function at different lines merge.  This is the quantity the
+        :class:`repro.obs.baseline.HotspotBaseline` gate records and
+        compares.
+        """
+        total = self.total_weight(span)
+        if total <= 0:
+            return {}
+        merged: dict[str, float] = {}
+        for hotspot in self.hotspots(span):
+            merged[hotspot.key] = merged.get(hotspot.key, 0.0) + (
+                hotspot.self_weight / total
+            )
+        ranked = sorted(merged.items(), key=lambda kv: (-kv[1], kv[0]))
+        if top is not None:
+            ranked = ranked[:top]
+        return dict(ranked)
+
+    def processes(self, span: str | None = None) -> list[dict[str, Any]]:
+        """Per-process sample totals: the coordinator/worker split."""
+        out: dict[str, dict[str, Any]] = {}
+        for event in self.samples + self.stats:
+            wall = event.get("wall", {})
+            if not self._span_matches(span, self._span_of(wall)):
+                continue
+            key = f"{wall.get('role', '?')}:{wall.get('pid', '?')}"
+            slot = out.setdefault(
+                key,
+                {
+                    "pid": str(wall.get("pid", "?")),
+                    "role": str(wall.get("role", "?")),
+                    "n_samples": 0,
+                    "weight_s": 0.0,
+                },
+            )
+            slot["n_samples"] += 1
+            if event["kind"] == PROFILE_KIND:
+                slot["weight_s"] += self._sample_weight(wall)
+            else:
+                slot["weight_s"] += float(wall.get("tottime_s", 0.0) or 0.0)
+
+        def order(slot: dict[str, Any]) -> tuple[int, str]:
+            return (0 if slot["role"] == "coordinator" else 1, slot["pid"])
+
+        return sorted(out.values(), key=order)
+
+    # -- flamegraph export -------------------------------------------------
+
+    def collapsed(self, span: str | None = None) -> dict[str, float]:
+        """Collapsed stacks: ``"frame;frame;frame" -> weight``.
+
+        Sampling mode only — deterministic cProfile rows carry no stacks,
+        so they collapse to nothing (callers should check :attr:`mode`).
+        """
+        out: dict[str, float] = {}
+        for event in self.samples:
+            wall = event.get("wall", {})
+            if not self._span_matches(span, self._span_of(wall)):
+                continue
+            stack = wall.get("stack") or []
+            if not stack:
+                continue
+            label = ";".join(
+                f"{func} ({file}:{line})".replace(";", ",")
+                for func, file, line in stack
+            )
+            out[label] = out.get(label, 0.0) + self._sample_weight(wall)
+        return out
+
+    def flamegraph(self, span: str | None = None) -> str:
+        """The stream in collapsed-stack format (flamegraph.pl / speedscope).
+
+        One ``stack count`` line per unique stack; counts are sample
+        counts scaled back out of the weights, so the file stays valid
+        for tooling that expects integers.  Deterministic-mode streams
+        carry no stacks, so asking them for a flamegraph is an error,
+        not an empty file.
+        """
+        if self.stats and not self.samples:
+            raise TraceError(
+                "deterministic profiles carry no stacks — record with "
+                "'--profile' (sampling mode) for a flamegraph"
+            )
+        lines = []
+        for label, weight in sorted(self.collapsed(span).items()):
+            count = max(1, round(weight / DEFAULT_FLAME_UNIT_S))
+            lines.append(f"{label} {count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    # -- summary -----------------------------------------------------------
+
+    def summary(self, top: int = 10) -> dict[str, Any]:
+        """The whole profile analysis as one JSON-able document."""
+        total = self.total_weight()
+        return {
+            "schema": SCHEMA_VERSION,
+            "source": self.source,
+            "mode": self.mode,
+            "truncated": self.truncated,
+            "n_samples": self.n_samples,
+            "n_stat_rows": len(self.stats),
+            "total_weight_s": total,
+            "spans": self.spans(),
+            "processes": self.processes(),
+            "hotspots": [
+                {
+                    **h.as_dict(),
+                    "self_frac": h.self_weight / total if total > 0 else 0.0,
+                    "total_frac": h.total_weight / total if total > 0 else 0.0,
+                }
+                for h in self.hotspots()[:top]
+            ],
+        }
+
+
+#: Weight-to-count unit for flamegraph export: one count per default
+#: sampler tick, so a 5 ms-interval run exports its raw sample counts.
+DEFAULT_FLAME_UNIT_S = 0.005
+
+
+def render_hotspots(
+    profile: ProfileReader, *, top: int = 10, span: str | None = None
+) -> str:
+    """Per-span hotspot tables (``repro profile``); returned, never printed."""
+    blocks: list[str] = []
+    head = Table(["field", "value"], title="profile summary", decimals=4)
+    head.add_row(["source", profile.source or "(in-memory)"])
+    head.add_row(["mode", profile.mode])
+    head.add_row(["samples", profile.n_samples])
+    if profile.stats:
+        head.add_row(["stat rows", len(profile.stats)])
+    head.add_row(["truncated tail", profile.truncated])
+    if span is not None:
+        head.add_row(["span filter", span])
+    blocks.append(head.render())
+
+    if profile.mode == "empty":
+        blocks.append(
+            "no profile ticks landed — the run finished inside one sampling "
+            "interval; lower the interval (--profile 0.001) or use "
+            "--profile deterministic"
+        )
+        return "\n\n".join(blocks)
+
+    spans = {
+        path: weight
+        for path, weight in profile.spans().items()
+        if profile._span_matches(span, path)
+    }
+    run_total = sum(spans.values())
+    if len(spans) > 1:
+        table = Table(["span", "self s", "share"], title="spans", decimals=3)
+        for path, weight in spans.items():
+            table.add_row([
+                path, weight,
+                f"{100 * weight / run_total:.0f}%" if run_total > 0 else "-",
+            ])
+        blocks.append(table.render())
+
+    total = profile.total_weight(span)
+    hotspots = profile.hotspots(span)[:top]
+    if hotspots:
+        table = Table(
+            ["function", "file:line", "self s", "self %", "total %", "procs"],
+            title="hotspots" if span is None else f"hotspots — {span}",
+            decimals=3,
+        )
+        for h in hotspots:
+            table.add_row([
+                h.func, f"{h.file}:{h.line}", h.self_weight,
+                f"{100 * h.self_weight / total:.1f}" if total > 0 else "-",
+                f"{100 * min(1.0, h.total_weight / total):.1f}"
+                if total > 0 else "-",
+                len(h.by_process),
+            ])
+        blocks.append(table.render())
+
+    processes = profile.processes(span)
+    if len(processes) > 1:
+        table = Table(
+            ["process", "role", "samples", "weight s", "share"],
+            title="per-process split", decimals=3,
+        )
+        for slot in processes:
+            table.add_row([
+                slot["pid"], slot["role"], slot["n_samples"], slot["weight_s"],
+                f"{100 * slot['weight_s'] / total:.0f}%" if total > 0 else "-",
+            ])
+        blocks.append(table.render())
+    return "\n\n".join(blocks)
+
+
+# ---------------------------------------------------------------------------
 # Serve-side stitching: access log ⋈ run directories
 
 
@@ -968,13 +1376,31 @@ class ServeTraceIndex:
 
     @classmethod
     def load(cls, source: str | os.PathLike) -> "ServeTraceIndex":
-        """Read ``access.jsonl`` from a serve root directory or file path."""
+        """Read ``access.jsonl`` from a serve root directory or file path.
+
+        A rotated segment (``access.jsonl.1``, produced by the write
+        side's size-threshold rotation) is read first when present, so
+        stitching and fleet aggregates span the rotation boundary.
+        Rotation happens between whole-line appends, which is why the
+        rotated segment can be parsed with the same one-torn-tail
+        tolerance as a live stream.
+        """
         path = Path(source)
         if path.is_dir():
             path = path / ACCESS_LOG_NAME
-        if not path.exists():
+        rotated = path.with_name(path.name + ".1")
+        records: list[dict[str, Any]] = []
+        truncated = False
+        if rotated.exists():
+            segment, torn = _parse_stream(rotated.read_text(encoding="utf-8"))
+            records.extend(segment)
+            truncated = truncated or torn
+        if path.exists():
+            segment, torn = _parse_stream(path.read_text(encoding="utf-8"))
+            records.extend(segment)
+            truncated = truncated or torn
+        elif not records:
             raise TraceError(f"no access log at {path}")
-        records, truncated = _parse_stream(path.read_text(encoding="utf-8"))
         return cls(
             records, root=path.parent, truncated=truncated, source=str(path)
         )
@@ -1101,6 +1527,7 @@ class ServeTraceIndex:
             "coalesced": any(r.get("coalesced") for r in requests),
             "cached": any(r.get("cached") for r in requests),
             "critical_path": None,
+            "hotspots": None,
         }
         run_dir = self.run_dir_of(run_id) if run_id else None
         if run_dir is not None and (run_dir / "events.jsonl").exists():
@@ -1110,6 +1537,24 @@ class ServeTraceIndex:
                 )
             except TraceError:
                 pass  # a torn worker stream must not sink the timeline
+        if run_dir is not None and (run_dir / PROFILE_LOG_NAME).exists():
+            # The run executed under --profile: inline its top hotspots so
+            # `repro trace --serve` answers "why was this request slow"
+            # down to the function level.
+            try:
+                profile = ProfileReader.load(run_dir)
+                total = profile.total_weight()
+                timeline["hotspots"] = [
+                    {
+                        **h.as_dict(),
+                        "self_frac": (
+                            h.self_weight / total if total > 0 else 0.0
+                        ),
+                    }
+                    for h in profile.hotspots()[:5]
+                ]
+            except TraceError:
+                pass  # a torn profile stream must not sink the timeline
         return timeline
 
     # -- fleet aggregates ----------------------------------------------------
@@ -1283,6 +1728,15 @@ def render_serve_trace(
                 f"{100 * hop['fraction']:.0f}%",
             ])
         blocks.append(path.render())
+    if timeline["hotspots"]:
+        spots = Table(["function", "file:line", "self s", "self %"],
+                      title="run hotspots", decimals=3)
+        for h in timeline["hotspots"]:
+            spots.add_row([
+                h["func"], f"{h['file']}:{h['line']}", h["self_s"],
+                f"{100 * h['self_frac']:.1f}",
+            ])
+        blocks.append(spots.render())
     return "\n\n".join(blocks)
 
 

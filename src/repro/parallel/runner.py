@@ -51,6 +51,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Sequence
 
 from repro import obs
+from repro.obs import profile as obs_profile
 from repro.obs import resources as obs_resources
 from repro.parallel.cache import ResultCache, cache_key, code_salt
 from repro.utils.rng import spawn_children
@@ -102,8 +103,14 @@ def _worker_init() -> None:
 
     Cell interiors cannot emit in canonical order from workers, so the
     coordinator's per-cell events are the single record of the run.
+
+    The CPU profiler is the one exception: its stream is volatile by
+    construction (it never touches ``events.jsonl``), so when the
+    coordinator published a profile file this worker self-samples into
+    it — coordinators cannot capture another process's Python stacks.
     """
     os.environ["REPRO_OBS_DISABLE"] = "1"
+    obs_profile.attach_worker_profiler()
 
 
 def _describe(fn: Callable[..., Any]) -> str:
@@ -217,6 +224,13 @@ def pmap(
             fn, *(configs[i] for i in pending[:1])
         ):
             try:
+                if os.environ.get(obs_profile.PROFILE_FILE_ENV):
+                    # Workers inherit env at fork: stamp the span path
+                    # enclosing this pmap call so their profile samples
+                    # attribute to the right region of the run.
+                    os.environ[obs_profile.PROFILE_SPAN_ENV] = (
+                        obs.current_span_path()
+                    )
                 with ProcessPoolExecutor(
                     max_workers=n_workers, initializer=_worker_init
                 ) as pool:

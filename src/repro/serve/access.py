@@ -21,8 +21,16 @@ handler threads and the drainer thread may interleave lines but never
 bytes.  The ``REPRO_OBS_DISABLE=1`` kill switch silences the log
 entirely — the tracing-overhead benchmark leans on that.
 
+Long-lived fleets rotate: when an append would push the file past
+``max_bytes`` (default 4 MiB, ``REPRO_ACCESS_LOG_MAX_BYTES`` overrides,
+``0`` disables), the live file is renamed to ``access.jsonl.1`` —
+clobbering the previous rotation, so disk usage is bounded at roughly
+two segments — and a fresh live file starts.  Rotation happens under
+the write lock between whole-line appends, never mid-line.
+
 The read side lives in :class:`repro.obs.trace.ServeTraceIndex`, which
-stitches these lines to run directories.
+reads the rotated segment before the live one, so stitching and fleet
+aggregates span the rotation boundary.
 """
 
 from __future__ import annotations
@@ -36,9 +44,14 @@ from typing import Any
 
 from repro.obs.trace import ACCESS_LOG_NAME
 
-__all__ = ["ACCESS_LOG_NAME", "AccessLog"]
+__all__ = ["ACCESS_LOG_NAME", "DEFAULT_MAX_BYTES", "AccessLog"]
 
 _DISABLE_ENV = "REPRO_OBS_DISABLE"
+_MAX_BYTES_ENV = "REPRO_ACCESS_LOG_MAX_BYTES"
+
+#: Rotation threshold — small enough that a runaway fleet can't fill the
+#: disk, large enough (~10k records) that rotation is rare in normal use.
+DEFAULT_MAX_BYTES = 4 * 1024 * 1024
 
 
 class AccessLog:
@@ -54,9 +67,20 @@ class AccessLog:
     ('request', 'POST')
     """
 
-    def __init__(self, path: str | os.PathLike) -> None:
+    def __init__(
+        self, path: str | os.PathLike, *, max_bytes: int | None = None
+    ) -> None:
         self.path = Path(path)
+        if max_bytes is None:
+            raw = os.environ.get(_MAX_BYTES_ENV, "")
+            try:
+                max_bytes = int(raw) if raw else DEFAULT_MAX_BYTES
+            except ValueError:
+                max_bytes = DEFAULT_MAX_BYTES
+        #: Rotation threshold in bytes; ``0`` (or negative) disables.
+        self.max_bytes = max_bytes
         self._fd: int | None = None
+        self._size = 0
         self._lock = threading.Lock()
 
     def write(self, kind: str, **fields: Any) -> dict[str, Any] | None:
@@ -69,15 +93,42 @@ class AccessLog:
             return None
         record: dict[str, Any] = {"kind": str(kind), "ts": time.time()}
         record.update({k: v for k, v in fields.items() if v is not None})
-        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        data = (json.dumps(record, sort_keys=True, default=str) + "\n").encode()
         with self._lock:
             if self._fd is None:
-                self.path.parent.mkdir(parents=True, exist_ok=True)
-                self._fd = os.open(
-                    self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
-                )
-            os.write(self._fd, line.encode())
+                self._open_locked()
+            if (
+                self.max_bytes > 0
+                and self._size > 0
+                and self._size + len(data) > self.max_bytes
+            ):
+                self._rotate_locked()
+            os.write(self._fd, data)
+            self._size += len(data)
         return record
+
+    def _open_locked(self) -> None:
+        """Open (or reopen) the live segment; caller holds the lock."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        # Seed the size from disk so a reopened log (process restart,
+        # close()/write cycle) keeps honoring the threshold.
+        self._size = os.fstat(self._fd).st_size
+
+    def _rotate_locked(self) -> None:
+        """Rename the live segment to ``.1`` and start a fresh one.
+
+        Runs between whole-line appends under the lock, so neither
+        segment ever holds a torn line (beyond the crash-tolerance the
+        readers already have).
+        """
+        assert self._fd is not None
+        os.close(self._fd)
+        self._fd = None
+        os.replace(self.path, self.path.with_name(self.path.name + ".1"))
+        self._open_locked()
 
     def close(self) -> None:
         """Release the descriptor (subsequent writes reopen it)."""

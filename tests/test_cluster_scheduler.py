@@ -530,6 +530,23 @@ class TestMemoryAwareScheduling:
         with pytest.raises(ValueError, match="mem"):
             Job(0, "a", 1, 1.0, 0.0, 1e9, mem=-1.0)
 
+    @pytest.mark.parametrize(
+        "policy",
+        ["fifo", "edf", "fairshare", "backfill", "conservative",
+         "conservative-edf", "hybrid-1", "hybrid-3"],
+    )
+    def test_full_capacity_mem_job_survives_float_residue(self, policy):
+        # Hypothesis-found regression: releasing fractional-mem jobs in a
+        # different order than they were allocated leaves ~1e-15 residue
+        # in the pool's running mem sum, and an exact-comparison admission
+        # check then wedges a mem == capacity job in PENDING forever.
+        jobs = [Job(i, f"p{i % 3}", 1, 1.0, 0.0, 1e9, mem=m)
+                for i, m in enumerate(
+                    [0.0, 0.0, 0.0, 0.0,
+                     1.5359187949929982, 64.0, 32.64530191099035])]
+        recs = ClusterSimulator(4, policy=policy, mem_capacity=64.0).run(jobs)
+        assert all(r.state is JobState.COMPLETED for r in recs)
+
 
 class TestSyntheticWorkload:
     def test_deterministic_and_sorted(self):

@@ -559,3 +559,83 @@ class TestTracing:
             status = quiet_client.submit(RunRequest(ids=("ZZQ",), cache=False))
             quiet_client.wait(status.run_id, timeout_s=60)
             assert not (srv.queue.root / "access.jsonl").exists()
+
+
+class TestAccessLogRotation:
+    """Size-threshold rotation of access.jsonl, and reading across it."""
+
+    @staticmethod
+    def _fill(log, n, prefix="t"):
+        from repro.serve.access import AccessLog  # noqa: F401  (re-export check)
+
+        for i in range(n):
+            log.write(
+                "request", method="GET", path=f"/runs/{i}", status=200,
+                trace_id=f"{prefix}{i:03d}", dur_s=0.01,
+            )
+
+    def test_write_past_threshold_rotates_to_dot_one(self, tmp_path):
+        from repro.serve.access import AccessLog
+
+        log = AccessLog(tmp_path / "access.jsonl", max_bytes=600)
+        self._fill(log, 8)
+        log.close()
+        live = tmp_path / "access.jsonl"
+        rotated = tmp_path / "access.jsonl.1"
+        assert live.exists() and rotated.exists()
+        assert live.stat().st_size <= 600
+        # Both segments hold whole lines only — rotation never tears one.
+        for segment in (live, rotated):
+            for line in segment.read_text().splitlines():
+                assert json.loads(line)["kind"] == "request"
+
+    def test_index_stitches_across_the_rotation_boundary(self, tmp_path):
+        from repro.obs.trace import ServeTraceIndex
+        from repro.serve.access import AccessLog
+
+        log = AccessLog(tmp_path / "access.jsonl", max_bytes=800)
+        self._fill(log, 12)
+        log.close()
+        assert (tmp_path / "access.jsonl.1").exists()
+        index = ServeTraceIndex.load(tmp_path)
+        # Every record survives the rotation, rotated segment first.
+        assert sorted(index.trace_ids()) == [f"t{i:03d}" for i in range(12)]
+        assert len(index.requests) == 12
+
+    def test_zero_threshold_disables_rotation(self, tmp_path):
+        from repro.serve.access import AccessLog
+
+        log = AccessLog(tmp_path / "access.jsonl", max_bytes=0)
+        self._fill(log, 50)
+        log.close()
+        assert not (tmp_path / "access.jsonl.1").exists()
+
+    def test_reopened_log_keeps_honoring_the_threshold(self, tmp_path):
+        from repro.serve.access import AccessLog
+
+        log = AccessLog(tmp_path / "access.jsonl", max_bytes=600)
+        self._fill(log, 4, prefix="a")
+        log.close()
+        # A new instance (process restart) seeds its size from disk.
+        log = AccessLog(tmp_path / "access.jsonl", max_bytes=600)
+        self._fill(log, 8, prefix="b")
+        log.close()
+        assert (tmp_path / "access.jsonl.1").exists()
+
+    def test_env_var_overrides_the_default_threshold(self, tmp_path, monkeypatch):
+        from repro.serve.access import DEFAULT_MAX_BYTES, AccessLog
+
+        monkeypatch.setenv("REPRO_ACCESS_LOG_MAX_BYTES", "700")
+        assert AccessLog(tmp_path / "a.jsonl").max_bytes == 700
+        monkeypatch.setenv("REPRO_ACCESS_LOG_MAX_BYTES", "not-a-number")
+        assert AccessLog(tmp_path / "b.jsonl").max_bytes == DEFAULT_MAX_BYTES
+
+    def test_rotated_fleet_report_counts_both_segments(self, tmp_path):
+        from repro.obs.trace import ServeTraceIndex
+        from repro.serve.access import AccessLog
+
+        log = AccessLog(tmp_path / "access.jsonl", max_bytes=800)
+        self._fill(log, 12)
+        log.close()
+        report = ServeTraceIndex.load(tmp_path).fleet_report()
+        assert report["requests"]["total"] == 12
